@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Connectivity profile: Central Zone vs full square.
+
+Paper artifact: Section 1 / ref [13] / refs [18, 27]
+Connectivity transition profile and threshold scaling (full vs CZ vs uniform).
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_connectivity(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("connectivity",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

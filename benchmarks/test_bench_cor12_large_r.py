@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Large-radius flooding within 18 L/R (Corollary 12).
+
+Paper artifact: Corollary 12 / Theorem 10
+Empty Suburb and measured flooding times under the 18 L/R bound.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_cor12_large_r(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("cor12_large_r",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

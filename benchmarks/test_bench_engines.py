@@ -1,0 +1,60 @@
+"""Microbenchmarks of the neighbor engines (the simulation's hot path).
+
+Ablation: bucket grid (pure numpy) vs scipy cKDTree vs brute force on the
+per-step flooding query (``any_within``) and the disk-graph edge query
+(``pairs_within``).  Run with ``pytest benchmarks/ --benchmark-only`` and
+compare the backend groups.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.neighbors import available_backends, make_engine
+
+SIDE = 100.0
+RADIUS = 3.0
+N = 5_000
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    rng = np.random.default_rng(0)
+    positions = rng.uniform(0, SIDE, (N, 2))
+    informed = np.zeros(N, dtype=bool)
+    informed[rng.choice(N, size=N // 10, replace=False)] = True
+    return positions, informed
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_bench_any_within(benchmark, snapshot, backend):
+    """The flooding infection test: informed sources vs uninformed queries."""
+    if backend == "brute" and N > 3_000:
+        pytest.skip("quadratic reference engine: too slow at this n")
+    positions, informed = snapshot
+    engine = make_engine(backend, SIDE)
+    sources = positions[informed]
+    queries = positions[~informed]
+    result = benchmark(engine.any_within, sources, queries, RADIUS)
+    assert result.shape == (queries.shape[0],)
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_bench_pairs_within(benchmark, snapshot, backend):
+    """Disk-graph edge enumeration for one snapshot."""
+    if backend == "brute":
+        pytest.skip("quadratic reference engine: too slow at this n")
+    positions, _ = snapshot
+    engine = make_engine(backend, SIDE)
+    pairs = benchmark(engine.pairs_within, positions, RADIUS)
+    assert pairs.shape[1] == 2
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_bench_count_within(benchmark, snapshot, backend):
+    """Occupancy counting (density-condition monitoring)."""
+    if backend == "brute":
+        pytest.skip("quadratic reference engine: too slow at this n")
+    positions, informed = snapshot
+    engine = make_engine(backend, SIDE)
+    counts = benchmark(engine.count_within, positions[informed], positions[~informed], RADIUS)
+    assert counts.shape == (int(np.count_nonzero(~informed)),)

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Flooding under crash faults (robustness extension).
+
+Paper artifact: extension of Theorem 3 (not in paper)
+Completion over survivors and zone-wise damage across crash rates.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fault_tolerance(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("fault_tolerance",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Destination distribution at (L/3, L/4) (Fig. 1, blue cross).
+
+Paper artifact: Fig. 1 / Theorem 2 / Eqs. 4-5
+Quadrant and cross-segment destination masses at the paper's example position.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig1_destination(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("fig1_destination",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

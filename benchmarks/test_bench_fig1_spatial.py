@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Stationary spatial density (Fig. 1, gray gradient).
+
+Paper artifact: Fig. 1 / Theorem 1
+ASCII regeneration of Fig. 1's spatial density, empirical vs closed form.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_fig1_spatial(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("fig1_spatial",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

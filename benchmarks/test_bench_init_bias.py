@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Stationary vs uniform initialization (perfect-simulation ablation).
+
+Paper artifact: Section 2 / refs [6, 21, 22]
+TV-to-stationary over time and flooding-time bias of cold starts.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_init_bias(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("init_bias",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

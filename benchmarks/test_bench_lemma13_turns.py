@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Turn counts per window (Lemma 13).
+
+Paper artifact: Lemma 13
+Max per-agent turn counts vs the 4 log n / log(L/(v tau)) bound.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_lemma13_turns(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("lemma13_turns",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

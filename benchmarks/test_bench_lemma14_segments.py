@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Good inward segments of corner agents (Lemma 14).
+
+Paper artifact: Lemma 14
+Conditioned corner agents' longest inward runs vs the Lemma-14 bound.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_lemma14_segments(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("lemma14_segments",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

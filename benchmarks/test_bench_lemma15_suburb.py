@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Suburb corner extent vs S (Lemma 15).
+
+Paper artifact: Lemma 15
+Measured Suburb reach against the closed-form diameter bound S.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_lemma15_suburb(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("lemma15_suburb",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Central-Zone row/column coverage (Lemma 6).
+
+Paper artifact: Lemma 6 / Definition 4 / Ineq. 7
+Measured critical radius factor for the m/sqrt2 full-row bound vs the sqrt5 prediction.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_lemma6_rows(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("lemma6_rows",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Density condition in CZ cores (Lemma 7).
+
+Paper artifact: Lemma 7 / Definition 4
+Minimum CZ-core occupancy vs the Definition-4 threshold factor.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_lemma7_density(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("lemma7_density",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Suburb meeting times with CZ emissaries (Lemma 16).
+
+Paper artifact: Lemma 16 / Claim 17
+First-meeting times of suburban agents with Central-Zone agents.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_meeting_suburb(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("meeting_suburb",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

@@ -1,0 +1,55 @@
+"""Microbenchmarks of the mobility models and stationary samplers."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.mrwp import ManhattanRandomWaypoint
+from repro.mobility.random_direction import RandomDirection
+from repro.mobility.random_walk import RandomWalk
+from repro.mobility.rwp import RandomWaypoint
+from repro.mobility.stationary import ClosedFormStationarySampler, PalmStationarySampler
+
+SIDE = 100.0
+N = 20_000
+
+
+def test_bench_mrwp_step(benchmark):
+    """One synchronous MRWP step for 20k agents (the simulation inner loop)."""
+    model = ManhattanRandomWaypoint(N, SIDE, speed=1.0, rng=np.random.default_rng(0))
+    benchmark(model.step)
+
+
+def test_bench_mrwp_step_fast_agents(benchmark):
+    """High speed exercises the multi-leg carry-over path."""
+    model = ManhattanRandomWaypoint(N, SIDE, speed=30.0, rng=np.random.default_rng(0))
+    benchmark(model.step)
+
+
+@pytest.mark.parametrize(
+    "model_cls,kwargs",
+    [
+        (RandomWaypoint, {"speed": 1.0}),
+        (RandomWalk, {"move_radius": 1.0}),
+        (RandomDirection, {"speed": 1.0}),
+    ],
+    ids=["rwp", "random-walk", "random-direction"],
+)
+def test_bench_baseline_step(benchmark, model_cls, kwargs):
+    model = model_cls(N, SIDE, rng=np.random.default_rng(0), **kwargs)
+    benchmark(model.step)
+
+
+def test_bench_palm_sampler(benchmark):
+    """Perfect simulation via Palm calculus, 20k agents."""
+    sampler = PalmStationarySampler(SIDE)
+    rng = np.random.default_rng(0)
+    state = benchmark(sampler.sample, N, rng)
+    assert state.n == N
+
+
+def test_bench_closed_form_sampler(benchmark):
+    """Perfect simulation via the closed forms (ablation vs Palm)."""
+    sampler = ClosedFormStationarySampler(SIDE)
+    rng = np.random.default_rng(0)
+    state = benchmark(sampler.sample, N, rng)
+    assert state.n == N

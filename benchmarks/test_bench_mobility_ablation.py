@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Flooding time across mobility models.
+
+Paper artifact: Section 1 / refs [10, 11]
+Same flooding workload under MRWP, RWP, random-walk, random-direction.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_mobility_ablation(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("mobility_ablation",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

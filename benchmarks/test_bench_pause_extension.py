@@ -1,0 +1,23 @@
+"""Benchmark: regenerate MRWP with pause times (Random-Trip extension).
+
+Paper artifact: Section 3 closing remark / refs [21, 22, 23]
+Closed-form mixture law of pause-MRWP and its flooding-time cost.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_pause_extension(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("pause_extension",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Flooding vs baseline broadcast protocols.
+
+Paper artifact: Section 1 context / ref [3]
+Completion time / coverage of gossip, parsimonious, probabilistic, SIR vs flooding.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_protocol_baselines(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("protocol_baselines",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

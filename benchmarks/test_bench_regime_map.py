@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Parameter-regime map of the bound.
+
+Paper artifact: Section 1 discussion / Section 5 / Theorem 18
+ASCII regime map of the (R, v) plane with simulation spot checks.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_regime_map(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("regime_map",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Random trip speeds: decay transient vs perfect simulation.
+
+Paper artifact: Section 3 direction / Random-Trip literature (refs [21-23])
+Speed-decay transient of cold starts vs the exact stationary speed law.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_speed_decay(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("speed_decay",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

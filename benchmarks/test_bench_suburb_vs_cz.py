@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Suburb flooding vs Central-Zone flooding.
+
+Paper artifact: Section 1 (headline claim) / Theorem 3
+Per-zone completion times and their ratio, for central and suburban sources.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_suburb_vs_cz(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("suburb_vs_cz",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

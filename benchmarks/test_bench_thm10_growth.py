@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Informed-cell growth in the Central Zone (Theorem 10).
+
+Paper artifact: Theorem 10 / Lemmas 8-9 / Claim 11
+Step-by-step Lemma-9 growth recurrence and completion vs 18 L/R.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_thm10_growth(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("thm10_growth",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

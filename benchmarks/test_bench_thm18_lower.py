@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Lower-bound construction (Theorem 18).
+
+Paper artifact: Theorem 18
+Event-B probability and conditioned trapped-agent informing times vs the bound.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_thm18_lower(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("thm18_lower",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Stationary spatial distribution vs Theorem 1.
+
+Paper artifact: Theorem 1
+TV distance of both perfect samplers and the stepped MRWP process to the closed form.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_thm1_spatial(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("thm1_spatial",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

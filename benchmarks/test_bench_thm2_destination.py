@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Process-level destination law vs Theorem 2.
+
+Paper artifact: Theorem 2 / Section 2
+Destination quadrant masses and second-leg fraction of MRWP agents near probes.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_thm2_destination(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("thm2_destination",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Flooding time vs transmission radius (Theorem 3).
+
+Paper artifact: Theorem 3
+Radius sweep at fixed speed: flooding time decreasing in R.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_thm3_radius(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("thm3_radius",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Flooding-time scaling in n (Theorem 3, L = sqrt n).
+
+Paper artifact: Theorem 3
+Power-law fit of flooding time vs n in the canonical scaling.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_thm3_scaling(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("thm3_scaling",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Flooding time vs agent speed (Theorem 3).
+
+Paper artifact: Theorem 3 / Section 1 discussion
+Speed sweeps in the optimal window (flat) and the sparse regime (a + b/v).
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_thm3_speed(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("thm3_speed",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Trip-length distribution of the MRWP process.
+
+Paper artifact: Section 2 (trip mechanics)
+KS test of observed trip lengths against the exact closed-form law.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_trip_lengths(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("trip_lengths",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Parameter study: sweep the radio range with parallel trials, export CSV.
+
+The pattern for building your own studies on top of the library: define a
+base configuration, fan trials out over processes with
+``sweep_parallel`` (bit-identical to the serial runner), and export the
+aggregated table for plotting.
+
+Run:  python examples/parameter_study.py [output.csv]
+"""
+
+import math
+import sys
+
+from repro.core import theory
+from repro.simulation.config import FloodingConfig
+from repro.simulation.parallel import sweep_parallel
+from repro.viz.csvout import write_csv
+from repro.viz.tables import format_table
+
+
+def main() -> int:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "/tmp/radius_study.csv"
+    n = 2_000
+    side = math.sqrt(n)
+    base = math.sqrt(math.log(n))
+    config = FloodingConfig(
+        n=n,
+        side=side,
+        radius=base,  # swept below
+        speed=0.3,
+        max_steps=20_000,
+        seed=2_024,
+        track_zones=False,
+    )
+    radii = [round(f * base, 3) for f in (1.0, 1.4, 2.0, 2.8, 4.0)]
+
+    results = sweep_parallel(config, "radius", radii, n_trials=6, max_workers=6)
+
+    headers = ["R", "mean T_flood", "ci_low", "ci_high", "min", "max",
+               "18 L/R", "L/(R+2v)"]
+    rows = []
+    for radius, summary, _trials in results:
+        rows.append(
+            [
+                radius,
+                round(summary.mean, 1),
+                round(summary.ci_low, 1),
+                round(summary.ci_high, 1),
+                summary.minimum,
+                summary.maximum,
+                round(theory.cz_flooding_bound(side, radius), 0),
+                round(theory.geometric_lower_bound(side, radius, config.speed), 1),
+            ]
+        )
+    print(format_table(headers, rows, title=f"flooding time vs radio range (n={n}, 6 trials each)"))
+    write_csv(out_path, headers, rows)
+    print(f"\n[table exported to {out_path}]")
+    print("Measured times sit between the trivial lower bound and the 18 L/R")
+    print("Central-Zone bound, falling as R grows — Theorem 3's radius knob.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Protocol comparison: how much broadcast speed do energy savings cost?
+
+Flooding transmits everywhere, always — maximal speed, maximal energy.
+Its standard relaxations (bounded fanout, bounded active window, duty
+cycling, permanent recovery) save transmissions; this example measures the
+price in completion time and coverage over the same Manhattan MANET, and
+shows *where* the cheap protocols lose: the Suburb.
+
+Run:  python examples/protocol_comparison.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.core.flooding import build_zone_partition, select_source
+from repro.mobility import ManhattanRandomWaypoint
+from repro.protocols import (
+    FloodingProtocol,
+    GossipProtocol,
+    ParsimoniousFlooding,
+    ProbabilisticFlooding,
+    SIREpidemic,
+)
+from repro.viz.tables import format_table
+
+
+def run_protocol(make_protocol, state, n, side, radius, speed, source, max_steps, seed):
+    """Run one protocol over a fixed mobility realization; returns stats."""
+    model = ManhattanRandomWaypoint(
+        n, side, speed, rng=np.random.default_rng(seed), init=state
+    )
+    protocol = make_protocol(source)
+    completion = math.inf
+    for step in range(1, max_steps + 1):
+        positions = model.step()
+        protocol.step(positions)
+        if protocol.is_complete():
+            completion = step
+            break
+        if not protocol.can_progress():
+            break
+    coverage = protocol.informed_count / n
+    return completion, coverage, protocol.informed.copy(), model.positions
+
+
+def main() -> int:
+    n = 2_000
+    side = math.sqrt(n)
+    radius = 1.4 * math.sqrt(math.log(n))
+    speed = 0.25 * radius
+    max_steps = 4_000
+    zones = build_zone_partition(n, side, radius)
+
+    base = ManhattanRandomWaypoint(n, side, speed, rng=np.random.default_rng(3))
+    state = base.get_state()
+    source = select_source(state.positions, side, "central", np.random.default_rng(4))
+
+    variants = [
+        ("flooding", lambda s: FloodingProtocol(n, side, radius, s)),
+        ("gossip k=1", lambda s: GossipProtocol(n, side, radius, s, rng=np.random.default_rng(5), fanout=1)),
+        ("gossip k=3", lambda s: GossipProtocol(n, side, radius, s, rng=np.random.default_rng(5), fanout=3)),
+        ("parsimonious w=4", lambda s: ParsimoniousFlooding(n, side, radius, s, active_window=4)),
+        ("probabilistic p=0.3", lambda s: ProbabilisticFlooding(n, side, radius, s, rng=np.random.default_rng(6), p=0.3)),
+        ("SIR rho=0.05", lambda s: SIREpidemic(n, side, radius, s, rng=np.random.default_rng(7), recovery_prob=0.05)),
+    ]
+
+    rows = []
+    for label, make in variants:
+        completion, coverage, informed, final_positions = run_protocol(
+            make, state, n, side, radius, speed, source, max_steps, seed=99
+        )
+        # Which zone did the protocol fail to reach?
+        missing = ~informed
+        in_suburb = zones.in_suburb(final_positions) if zones is not None else np.zeros(n, bool)
+        missing_suburb = int(np.count_nonzero(missing & in_suburb))
+        missing_cz = int(np.count_nonzero(missing & ~in_suburb))
+        rows.append(
+            [
+                label,
+                completion if math.isfinite(completion) else "never",
+                round(coverage, 4),
+                missing_cz,
+                missing_suburb,
+            ]
+        )
+
+    print(f"same mobility realization for every protocol; n={n}, R={radius:.1f}\n")
+    print(
+        format_table(
+            ["protocol", "completion step", "final coverage", "missed in CZ", "missed in suburb"],
+            rows,
+            title="broadcast protocols over a Manhattan MANET",
+        )
+    )
+    print()
+    print("The cheap protocols cover the Central Zone easily; what they miss (or")
+    print("pay dearly for) is the Suburb — brief Lemma-16 meeting windows punish")
+    print("protocols that are not always on.")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: one flooding run over a Manhattan MANET, start to finish.
+
+Builds the paper's canonical network (``L = sqrt n`` square, radius a small
+multiple of ``sqrt(log n)``, slow mobility), floods a message from a random
+agent, and prints the coverage curve, the per-zone completion times, and
+Theorem 3's bound next to the measurement.
+
+Run:  python examples/quickstart.py [n]
+"""
+
+import sys
+
+from repro import run_flooding, standard_config, theory
+from repro.viz.ascii import render_sparkline
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 2_000
+    # speed_fraction 0.1 keeps the slow-mobility assumption (Ineq. 8:
+    # v <= R / (3 (1 + sqrt5)) ~ 0.103 R) satisfied.
+    config = standard_config(n, radius_factor=1.5, speed_fraction=0.1, seed=42)
+    print("network:", config.describe())
+
+    assumptions = config.assumptions(c1=1.5)  # calibrated constant, see DESIGN.md
+    print(
+        "assumptions (calibrated c1): radius_ok=%s speed_ok=%s suburb_nonempty=%s"
+        % (assumptions.radius_ok, assumptions.speed_ok, assumptions.suburb_nonempty)
+    )
+
+    result = run_flooding(config)
+    coverage = result.informed_history / n
+    print()
+    print(f"flooding time: {result.flooding_time:.0f} steps (completed: {result.completed})")
+    print(f"coverage curve: {render_sparkline(coverage)}")
+    if result.cz_completion_time is not None:
+        print(f"Central Zone complete at step {result.cz_completion_time:.0f}")
+        print(f"Suburb complete at step       {result.suburb_completion_time:.0f}")
+    print()
+    print(f"Theorem 3 upper bound (paper constants): {config.upper_bound():.0f}")
+    print(f"18 L/R Central-Zone bound (Thm 10):      "
+          f"{theory.cz_flooding_bound(config.side, config.radius):.0f}")
+    print(f"trivial lower bound L/(R+2v):            "
+          f"{theory.geometric_lower_bound(config.side, config.radius, config.speed):.0f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

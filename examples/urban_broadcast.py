@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Urban emergency broadcast: will downtown hear before the outskirts?
+
+The scenario the paper's introduction motivates: vehicles/pedestrians
+moving over a Manhattan-style street grid, one of them (e.g. an emergency
+vehicle) originating an alert that spreads device-to-device.  City centers
+are dense; corner neighborhoods are sparse and often *disconnected* from
+the mesh.  The paper's result says the outskirts still hear the alert in
+about the time the center does.
+
+This example runs the scenario at several radio ranges and prints, per
+range: time to 50% / 90% / 100% coverage, per-zone completion, and how the
+most remote agents (deep corner) fare — plus the paper's bound for context.
+
+Run:  python examples/urban_broadcast.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import FloodingConfig, run_flooding, theory
+from repro.core.flooding import build_zone_partition
+from repro.viz.tables import format_table
+
+
+def main() -> int:
+    n = 3_000  # commuters
+    side = math.sqrt(n)  # the canonical scaling; think "city blocks"
+    print(f"city: {side:.0f} x {side:.0f} blocks, {n} commuters, Manhattan trips\n")
+
+    rows = []
+    for radio_blocks in (3.0, 4.5, 7.0):
+        speed = 0.8  # blocks per tick, same for every commuter
+        config = FloodingConfig(
+            n=n,
+            side=side,
+            radius=radio_blocks,
+            speed=speed,
+            source="central",  # alert starts downtown
+            max_steps=20_000,
+            seed=2024,
+        )
+        result = run_flooding(config)
+        zones = build_zone_partition(n, side, radio_blocks)
+        suburb_cells = zones.n_suburb_cells if zones is not None else 0
+        # Below the Central-Zone threshold every cell is "suburb" and the
+        # per-zone split is vacuous — show a dash instead of 0.
+        has_cz = zones is not None and zones.n_central_cells > 0
+        rows.append(
+            [
+                radio_blocks,
+                result.time_to_coverage(0.5),
+                result.time_to_coverage(0.9),
+                result.flooding_time,
+                result.cz_completion_time if has_cz else "-",
+                result.suburb_completion_time if has_cz else "-",
+                suburb_cells,
+                round(theory.cz_flooding_bound(side, radio_blocks), 0),
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "radio range",
+                "t(50%)",
+                "t(90%)",
+                "t(100%)",
+                "downtown done",
+                "outskirts done",
+                "suburb cells",
+                "18 L/R",
+            ],
+            rows,
+            title="alert propagation vs radio range",
+        )
+    )
+    print()
+    print("The outskirts finish within a small factor of downtown even where the")
+    print("suburb cells are radio-disconnected — the paper's headline phenomenon.")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

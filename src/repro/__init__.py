@@ -1,0 +1,77 @@
+"""repro — reproduction of "Fast Flooding over Manhattan" (PODC 2010).
+
+A simulation and analysis library for MANET flooding under the Manhattan
+Random Way-Point mobility model: the MRWP process with perfect stationary
+simulation, the paper's closed-form distributions and bounds, the flooding
+protocol and baselines, and the experiment harness regenerating the paper's
+figure and validating every lemma and theorem empirically.
+
+Quickstart::
+
+    from repro import standard_config, run_flooding
+
+    config = standard_config(n=2000, seed=7)
+    result = run_flooding(config)
+    print(result.flooding_time, "steps; bound", config.upper_bound())
+
+See README.md for the full tour and DESIGN.md for the paper -> code map.
+"""
+
+from repro.core import theory
+from repro.core.cells import CellGrid
+from repro.core.zones import ZonePartition
+from repro.mobility import (
+    ManhattanRandomWaypoint,
+    ManhattanRandomWaypointWithPause,
+    RandomDirection,
+    RandomSpeedManhattanWaypoint,
+    RandomWalk,
+    RandomWaypoint,
+)
+from repro.network import DiskGraph, SnapshotSeries, temporal_bfs
+from repro.protocols import (
+    FloodingProtocol,
+    GossipProtocol,
+    ParsimoniousFlooding,
+    ProbabilisticFlooding,
+    SIREpidemic,
+)
+from repro.simulation import (
+    FloodingConfig,
+    FloodingResult,
+    run_flooding,
+    run_trials,
+    standard_config,
+    summarize,
+    sweep,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "theory",
+    "CellGrid",
+    "ZonePartition",
+    "ManhattanRandomWaypoint",
+    "ManhattanRandomWaypointWithPause",
+    "RandomSpeedManhattanWaypoint",
+    "RandomWaypoint",
+    "RandomWalk",
+    "RandomDirection",
+    "DiskGraph",
+    "SnapshotSeries",
+    "temporal_bfs",
+    "FloodingProtocol",
+    "GossipProtocol",
+    "ParsimoniousFlooding",
+    "ProbabilisticFlooding",
+    "SIREpidemic",
+    "FloodingConfig",
+    "FloodingResult",
+    "standard_config",
+    "run_flooding",
+    "run_trials",
+    "sweep",
+    "summarize",
+]

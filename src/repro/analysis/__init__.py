@@ -1,0 +1,63 @@
+"""Analysis toolkit: statistics, empirical densities, scaling fits."""
+
+from repro.analysis.empirical import (
+    analytic_cell_probabilities,
+    chi_square_statistic,
+    histogram_density,
+    ks_critical_value,
+    ks_statistic,
+    total_variation,
+)
+from repro.analysis.scaling import (
+    AffineInverseFit,
+    PowerLawFit,
+    fit_affine_inverse,
+    fit_power_law,
+    r_squared,
+)
+from repro.analysis.stats import (
+    bootstrap_ci,
+    empirical_quantiles,
+    fraction_satisfying,
+    geometric_mean,
+)
+from repro.analysis.trips import (
+    axis_gap_cdf,
+    axis_gap_pdf,
+    collect_trip_lengths,
+    mean_axis_gap,
+    trip_length_cdf,
+    trip_length_pdf,
+)
+from repro.analysis.validation import (
+    destination_cross_errors,
+    destination_quadrant_errors,
+    spatial_distribution_tv,
+)
+
+__all__ = [
+    "histogram_density",
+    "analytic_cell_probabilities",
+    "total_variation",
+    "ks_statistic",
+    "ks_critical_value",
+    "chi_square_statistic",
+    "fit_power_law",
+    "fit_affine_inverse",
+    "r_squared",
+    "PowerLawFit",
+    "AffineInverseFit",
+    "bootstrap_ci",
+    "empirical_quantiles",
+    "fraction_satisfying",
+    "geometric_mean",
+    "spatial_distribution_tv",
+    "destination_quadrant_errors",
+    "destination_cross_errors",
+    "axis_gap_pdf",
+    "axis_gap_cdf",
+    "mean_axis_gap",
+    "trip_length_pdf",
+    "trip_length_cdf",
+    "collect_trip_lengths",
+]

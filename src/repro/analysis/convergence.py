@@ -1,0 +1,89 @@
+"""Mixing-to-stationarity profiles.
+
+How fast does the MRWP process forget a biased start?  The profile tracks
+the TV distance between the empirical spatial law and Theorem 1 over time;
+the *mixing time* estimate is the first step at which the distance settles
+into the sampling-noise floor.  This quantifies the warm-up a cold-start
+simulation would need — and therefore what perfect simulation saves (the
+``init_bias`` experiment's machinery, reusable on any mobility model with a
+known stationary density).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.empirical import (
+    analytic_cell_probabilities,
+    histogram_density,
+    total_variation,
+)
+
+__all__ = ["tv_profile", "estimate_mixing_time", "noise_floor"]
+
+
+def noise_floor(pdf, side: float, bins: int, n_samples: int) -> float:
+    """Expected TV distance of an exact sampler at this sample size/binning."""
+    cells = analytic_cell_probabilities(pdf, side, bins).ravel()
+    return float(
+        0.5 * np.sum(np.sqrt(2.0 * cells * (1.0 - cells) / (np.pi * n_samples)))
+    )
+
+
+def tv_profile(model, pdf, steps: int, bins: int = 10, every: int = 1) -> dict:
+    """TV distance to an analytic stationary pdf along a run.
+
+    Args:
+        model: a mobility model (advanced in place).
+        pdf: the stationary density ``pdf(x, y)`` to compare against.
+        steps: number of steps to run.
+        bins: histogram resolution per side.
+        every: record every ``every`` steps (step 0 always recorded).
+
+    Returns:
+        dict with ``steps`` (recorded step indices), ``tv`` (distances) and
+        ``floor`` (the sampler noise floor for this configuration).
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be non-negative, got {steps}")
+    if every < 1:
+        raise ValueError(f"every must be positive, got {every}")
+    side = model.side
+    analytic = analytic_cell_probabilities(pdf, side, bins)
+    cell_area = (side / bins) ** 2
+
+    def _tv(positions):
+        empirical = histogram_density(positions, side, bins) * cell_area
+        return total_variation(empirical, analytic)
+
+    recorded_steps = [0]
+    tv = [_tv(model.positions)]
+    for t in range(1, steps + 1):
+        positions = model.step()
+        if t % every == 0 or t == steps:
+            recorded_steps.append(t)
+            tv.append(_tv(positions))
+    return {
+        "steps": np.asarray(recorded_steps),
+        "tv": np.asarray(tv),
+        "floor": noise_floor(pdf, side, bins, model.n),
+    }
+
+
+def estimate_mixing_time(profile: dict, slack: float = 1.5) -> float:
+    """First recorded step at which TV enters ``slack * floor`` for good.
+
+    Returns ``numpy.inf`` when the profile never settles within the slack
+    (run longer, or the start is pathologically far).
+    """
+    if slack <= 1.0:
+        raise ValueError(f"slack must exceed 1, got {slack}")
+    threshold = slack * profile["floor"]
+    below = profile["tv"] <= threshold
+    # "For good": the last excursion above the threshold decides.
+    above_idx = np.nonzero(~below)[0]
+    if above_idx.size == 0:
+        return float(profile["steps"][0])
+    if above_idx[-1] == len(below) - 1:
+        return float("inf")
+    return float(profile["steps"][above_idx[-1] + 1])

@@ -1,0 +1,81 @@
+"""Scaling-law fits.
+
+The Theorem-3 experiments check *shapes*: flooding time ~ ``a + b / v`` in
+the speed sweep, power laws in the ``n`` sweep.  These are ordinary
+least-squares fits in the appropriate transform, with ``R^2`` reported so
+the experiment tables carry goodness-of-fit evidence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fit_power_law", "fit_affine_inverse", "r_squared", "PowerLawFit", "AffineInverseFit"]
+
+from dataclasses import dataclass
+
+
+def r_squared(y: np.ndarray, y_hat: np.ndarray) -> float:
+    """Coefficient of determination."""
+    y = np.asarray(y, dtype=np.float64)
+    y_hat = np.asarray(y_hat, dtype=np.float64)
+    ss_res = float(np.sum((y - y_hat) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``y = amplitude * x^exponent`` fitted in log-log space."""
+
+    exponent: float
+    amplitude: float
+    r2: float
+
+    def predict(self, x) -> np.ndarray:
+        return self.amplitude * np.asarray(x, dtype=np.float64) ** self.exponent
+
+
+def fit_power_law(x, y) -> PowerLawFit:
+    """Least-squares power-law fit (requires positive data)."""
+    x = np.asarray(list(x), dtype=np.float64)
+    y = np.asarray(list(y), dtype=np.float64)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need at least two (x, y) pairs of equal length")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fit requires positive data")
+    lx = np.log(x)
+    ly = np.log(y)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    fit = PowerLawFit(exponent=float(slope), amplitude=float(np.exp(intercept)), r2=0.0)
+    r2 = r_squared(ly, np.log(fit.predict(x)))
+    return PowerLawFit(exponent=fit.exponent, amplitude=fit.amplitude, r2=r2)
+
+
+@dataclass(frozen=True)
+class AffineInverseFit:
+    """``y = constant + slope / x`` — Theorem 3's speed-sweep shape
+    ``T = Theta(L/R) + Theta(S) / v``."""
+
+    constant: float
+    slope: float
+    r2: float
+
+    def predict(self, x) -> np.ndarray:
+        return self.constant + self.slope / np.asarray(x, dtype=np.float64)
+
+
+def fit_affine_inverse(x, y) -> AffineInverseFit:
+    """Least-squares fit of ``y = c + s / x``."""
+    x = np.asarray(list(x), dtype=np.float64)
+    y = np.asarray(list(y), dtype=np.float64)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need at least two (x, y) pairs of equal length")
+    if np.any(x == 0):
+        raise ValueError("x must be non-zero")
+    design = np.stack([np.ones_like(x), 1.0 / x], axis=1)
+    coeffs, _res, _rank, _sv = np.linalg.lstsq(design, y, rcond=None)
+    fit = AffineInverseFit(constant=float(coeffs[0]), slope=float(coeffs[1]), r2=0.0)
+    return AffineInverseFit(fit.constant, fit.slope, r_squared(y, fit.predict(x)))

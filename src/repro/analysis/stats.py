@@ -1,0 +1,75 @@
+"""Statistical helpers: bootstrap intervals and robust summaries.
+
+The paper's statements are "with high probability"; empirically we replace
+them with Monte-Carlo estimates over independent trials plus bootstrap
+confidence intervals (no distributional assumptions — flooding times are
+skewed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bootstrap_ci", "empirical_quantiles", "fraction_satisfying", "geometric_mean"]
+
+
+def bootstrap_ci(
+    values,
+    statistic=np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: np.random.Generator = None,
+) -> tuple:
+    """Percentile-bootstrap confidence interval for a statistic.
+
+    Args:
+        values: 1-D sample.
+        statistic: callable reducing an array to a scalar (default mean).
+        confidence: interval coverage.
+        n_resamples: bootstrap resamples.
+        rng: generator (seeded by default for reproducibility).
+
+    Returns:
+        ``(low, high)``.
+    """
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("values must be non-empty")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    idx = rng.integers(0, values.size, size=(n_resamples, values.size))
+    samples = values[idx]
+    stats = np.apply_along_axis(statistic, 1, samples)
+    alpha = (1.0 - confidence) / 2.0
+    return (float(np.quantile(stats, alpha)), float(np.quantile(stats, 1.0 - alpha)))
+
+
+def empirical_quantiles(values, qs=(0.05, 0.25, 0.5, 0.75, 0.95)) -> dict:
+    """Named quantiles of a sample (ignores non-finite entries)."""
+    values = np.asarray(list(values), dtype=np.float64)
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return {q: float("nan") for q in qs}
+    return {q: float(np.quantile(finite, q)) for q in qs}
+
+
+def fraction_satisfying(values, predicate) -> float:
+    """Fraction of sample entries for which ``predicate`` holds.
+
+    The empirical counterpart of a w.h.p. statement: e.g.
+    ``fraction_satisfying(turn_counts, lambda h: h <= bound)``.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("values must be non-empty")
+    hits = sum(1 for value in values if predicate(value))
+    return hits / len(values)
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values (ratios across parameter sweeps)."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if np.any(values <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(values))))

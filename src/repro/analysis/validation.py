@@ -1,0 +1,110 @@
+"""End-to-end validation of the stationary distributions (Theorems 1-2).
+
+These functions power the ``thm1_spatial`` / ``thm2_destination``
+experiments and the statistical test suite: they run the samplers (or the
+MRWP process itself) and compare against the closed forms, returning
+distances and pass/fail indications at explicit tolerances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.empirical import (
+    analytic_cell_probabilities,
+    histogram_density,
+    total_variation,
+)
+from repro.mobility.distributions import (
+    cross_probability,
+    quadrant_masses,
+    spatial_pdf,
+)
+
+__all__ = [
+    "spatial_distribution_tv",
+    "destination_quadrant_errors",
+    "destination_cross_errors",
+]
+
+
+def spatial_distribution_tv(positions, side: float, bins: int = 20) -> float:
+    """Total-variation distance between sampled positions and Theorem 1.
+
+    The comparison is on the ``bins x bins`` discretization: the empirical
+    histogram probabilities against the exact integral of the closed-form
+    pdf over the same cells.
+    """
+    density = histogram_density(positions, side, bins)
+    cell_area = (side / bins) ** 2
+    empirical = density * cell_area
+    analytic = analytic_cell_probabilities(lambda x, y: spatial_pdf(x, y, side), side, bins)
+    return total_variation(empirical, analytic)
+
+
+def destination_quadrant_errors(position, destinations, side: float) -> dict:
+    """Empirical vs analytic quadrant masses of the destination law at a position.
+
+    Args:
+        position: the conditioning position ``(x0, y0)``.
+        destinations: sampled destinations of agents at that position.
+
+    Returns:
+        dict with ``empirical`` and ``analytic`` arrays (order SW, SE, NW,
+        NE — the off-cross part only) and ``max_error``.
+    """
+    destinations = np.asarray(destinations, dtype=np.float64)
+    x0, y0 = float(position[0]), float(position[1])
+    x = destinations[:, 0]
+    y = destinations[:, 1]
+    tol = 1e-12 * max(side, 1.0)
+    on_cross = (np.abs(x - x0) <= tol) | (np.abs(y - y0) <= tol)
+    n = destinations.shape[0]
+    emp = np.array(
+        [
+            np.count_nonzero((x < x0) & (y < y0) & ~on_cross),
+            np.count_nonzero((x > x0) & (y < y0) & ~on_cross),
+            np.count_nonzero((x < x0) & (y > y0) & ~on_cross),
+            np.count_nonzero((x > x0) & (y > y0) & ~on_cross),
+        ],
+        dtype=np.float64,
+    ) / n
+    analytic = quadrant_masses(x0, y0, side)
+    return {
+        "empirical": emp,
+        "analytic": analytic,
+        "max_error": float(np.max(np.abs(emp - analytic))),
+    }
+
+
+def destination_cross_errors(position, destinations, side: float) -> dict:
+    """Empirical vs analytic cross-segment masses (Eqs. 4-5) at a position.
+
+    Returns:
+        dict with ``empirical`` and ``analytic`` arrays (order S, N, W, E),
+        ``total_empirical`` (should approach 1/2) and ``max_error``.
+    """
+    destinations = np.asarray(destinations, dtype=np.float64)
+    x0, y0 = float(position[0]), float(position[1])
+    x = destinations[:, 0]
+    y = destinations[:, 1]
+    tol = 1e-12 * max(side, 1.0)
+    on_vertical = np.abs(x - x0) <= tol
+    on_horizontal = np.abs(y - y0) <= tol
+    n = destinations.shape[0]
+    emp = np.array(
+        [
+            np.count_nonzero(on_vertical & (y < y0)),
+            np.count_nonzero(on_vertical & (y > y0)),
+            np.count_nonzero(on_horizontal & (x < x0)),
+            np.count_nonzero(on_horizontal & (x > x0)),
+        ],
+        dtype=np.float64,
+    ) / n
+    analytic = cross_probability(x0, y0, side)
+    return {
+        "empirical": emp,
+        "analytic": analytic,
+        "total_empirical": float(emp.sum()),
+        "max_error": float(np.max(np.abs(emp - analytic))),
+    }

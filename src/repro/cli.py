@@ -1,0 +1,140 @@
+"""Command-line interface: ``repro-manhattan`` (or ``python -m repro.cli``).
+
+Subcommands:
+
+* ``list`` — show all registered experiments;
+* ``run <id> [--scale quick|full] [--seed N] [--csv PATH]`` — run one
+  experiment and print its report;
+* ``all [--scale ...] [--seed N]`` — run the whole suite;
+* ``flood --n N [--radius-factor C] [--speed-fraction F] ...`` — one ad-hoc
+  flooding run with the canonical ``L = sqrt n`` scaling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import all_ids, get_spec, run_experiment
+from repro.simulation.config import standard_config
+from repro.simulation.runner import run_flooding
+from repro.viz.csvout import write_csv
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-manhattan",
+        description="Fast Flooding over Manhattan (PODC 2010) — reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", choices=all_ids())
+    run_p.add_argument("--scale", choices=("quick", "full"), default="quick")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--csv", help="also write the result table to this CSV path")
+
+    all_p = sub.add_parser("all", help="run every experiment")
+    all_p.add_argument("--scale", choices=("quick", "full"), default="quick")
+    all_p.add_argument("--seed", type=int, default=0)
+
+    flood_p = sub.add_parser("flood", help="one ad-hoc flooding run (L = sqrt n)")
+    flood_p.add_argument("--n", type=int, required=True)
+    flood_p.add_argument("--radius-factor", type=float, default=2.0)
+    flood_p.add_argument("--speed-fraction", type=float, default=0.25)
+    flood_p.add_argument("--source", default="uniform")
+    flood_p.add_argument("--seed", type=int, default=0)
+    flood_p.add_argument("--max-steps", type=int, default=20_000)
+
+    report_p = sub.add_parser(
+        "report", help="run experiments and write a markdown reproduction report"
+    )
+    report_p.add_argument("--out", default="EXPERIMENTS.md")
+    report_p.add_argument("--scale", choices=("quick", "full"), default="quick")
+    report_p.add_argument("--seed", type=int, default=0)
+    report_p.add_argument(
+        "--only", nargs="*", default=None, help="subset of experiment ids"
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    for experiment_id in all_ids():
+        spec = get_spec(experiment_id)
+        print(f"{experiment_id:20s} {spec.paper_ref:40s} {spec.description}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    result = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
+    print(result.to_text())
+    if args.csv:
+        write_csv(args.csv, result.headers, result.rows)
+        print(f"[table written to {args.csv}]")
+    return 0 if result.passed in (True, None) else 1
+
+
+def _cmd_all(args) -> int:
+    failures = 0
+    for experiment_id in all_ids():
+        result = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+        print(result.to_text())
+        print()
+        if result.passed is False:
+            failures += 1
+    print(f"[{len(all_ids()) - failures}/{len(all_ids())} experiments passed their shape checks]")
+    return 0 if failures == 0 else 1
+
+
+def _cmd_flood(args) -> int:
+    source = args.source
+    if source not in ("uniform", "central", "suburb"):
+        source = int(source)
+    config = standard_config(
+        args.n,
+        radius_factor=args.radius_factor,
+        speed_fraction=args.speed_fraction,
+        source=source,
+        seed=args.seed,
+        max_steps=args.max_steps,
+    )
+    print(config.describe())
+    result = run_flooding(config)
+    print(f"flooding time: {result.flooding_time}")
+    print(f"completed: {result.completed} (coverage {result.final_coverage:.3f})")
+    if result.cz_completion_time is not None:
+        print(f"CZ completion: {result.cz_completion_time}")
+        print(f"Suburb completion: {result.suburb_completion_time}")
+    print(f"Theorem 3 bound: {config.upper_bound():.1f}")
+    return 0 if result.completed else 1
+
+
+def _cmd_report(args) -> int:
+    from repro.viz.report import write_report
+
+    path = write_report(args.out, scale=args.scale, seed=args.seed, experiment_ids=args.only)
+    print(f"[report written to {path}]")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "all":
+        return _cmd_all(args)
+    if args.command == "flood":
+        return _cmd_flood(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""The paper's core machinery: cells, zones, bounds, turn/meeting analyses."""
+
+from repro.core import theory
+from repro.core.cells import CellGrid, cell_side_bounds
+from repro.core.density import DensityCondition, core_occupancy_of_central_cells
+from repro.core.flooding import build_zone_partition, select_source
+from repro.core.meetings import first_meeting_times_from_zone, meeting_radius
+from repro.core.regimes import REGIMES, classify_regime, regime_map
+from repro.core.spread import (
+    InformedCellTracker,
+    claim11_completion_steps,
+    growth_deficits,
+)
+from repro.core.turns import (
+    count_turns_in_window,
+    longest_inward_run,
+    longest_inward_runs_from_frames,
+    max_turns_in_window,
+)
+from repro.core.zones import ZonePartition, density_threshold, suburb_diameter_bound
+
+__all__ = [
+    "theory",
+    "CellGrid",
+    "cell_side_bounds",
+    "ZonePartition",
+    "density_threshold",
+    "suburb_diameter_bound",
+    "DensityCondition",
+    "core_occupancy_of_central_cells",
+    "select_source",
+    "build_zone_partition",
+    "meeting_radius",
+    "first_meeting_times_from_zone",
+    "count_turns_in_window",
+    "max_turns_in_window",
+    "longest_inward_run",
+    "longest_inward_runs_from_frames",
+    "REGIMES",
+    "classify_regime",
+    "regime_map",
+    "InformedCellTracker",
+    "claim11_completion_steps",
+    "growth_deficits",
+]

@@ -1,0 +1,162 @@
+"""The cell partition of Section 4 (Inequality 6).
+
+The square is partitioned into ``m x m`` cells of side ``l`` with
+
+.. math:: \\frac{R}{1 + \\sqrt 5} \\le \\ell \\le \\frac{R}{\\sqrt 5}
+
+so that an agent anywhere in a cell can transmit to an agent anywhere in
+any of the four adjacent cells (the worst-case distance across adjacent
+cells is ``sqrt(5) * l <= R``).  Each cell's *core* is its central
+subsquare of side ``l / 3``; the slow-mobility assumption (Ineq. 8,
+``v <= R / (3 (1 + sqrt 5)) = l_min / 3``) guarantees an agent in a core at
+time ``t`` is still inside the same cell at ``t + 1``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.points import as_points
+from repro.mobility.distributions import cell_mass
+
+__all__ = ["CellGrid", "cell_side_bounds"]
+
+_SQRT5 = math.sqrt(5.0)
+
+
+def cell_side_bounds(radius: float) -> tuple:
+    """The admissible cell-side interval ``[R/(1+sqrt5), R/sqrt5]`` of Ineq. 6."""
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    return (radius / (1.0 + _SQRT5), radius / _SQRT5)
+
+
+class CellGrid:
+    """An ``m x m`` cell partition of ``[0, side]^2``.
+
+    Construct directly with an explicit ``m`` or via :meth:`for_radius`,
+    which picks the smallest ``m`` satisfying Inequality 6.
+
+    Args:
+        side: square side ``L``.
+        m: number of cells per side.
+
+    Attributes:
+        ell: cell side length ``l = L / m``.
+    """
+
+    def __init__(self, side: float, m: int):
+        if side <= 0:
+            raise ValueError(f"side must be positive, got {side}")
+        if m <= 0:
+            raise ValueError(f"m must be positive, got {m}")
+        self.side = float(side)
+        self.m = int(m)
+        self.ell = self.side / self.m
+
+    @classmethod
+    def for_radius(cls, side: float, radius: float) -> "CellGrid":
+        """Build the grid whose cell side satisfies Inequality 6 for ``radius``.
+
+        Picks ``m = ceil(sqrt5 * L / R)`` (the finest admissible grid) and
+        verifies ``l >= R / (1 + sqrt5)``.
+
+        Raises:
+            ValueError: when no integer ``m`` satisfies the inequality — this
+                happens only for ``R > L`` (fewer than ~2 cells), where the
+                paper's bound is trivial anyway (see Section 4's
+                ``R <= sqrt2 L`` remark).
+        """
+        lo, hi = cell_side_bounds(radius)
+        m = int(math.ceil(side / hi))
+        m = max(m, 1)
+        ell = side / m
+        if ell < lo - 1e-12 or ell > hi + 1e-12:
+            raise ValueError(
+                f"no integer cell count satisfies Ineq. 6 for side={side}, radius={radius} "
+                f"(need cell side in [{lo:.4g}, {hi:.4g}], got {ell:.4g} with m={m}); "
+                "radius is too large relative to the square"
+            )
+        return cls(side, m)
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of cells, ``m^2``."""
+        return self.m * self.m
+
+    # ------------------------------------------------------------------
+    # Point <-> cell maps
+    # ------------------------------------------------------------------
+    def cell_indices(self, points) -> np.ndarray:
+        """Integer cell coordinates ``(ix, iy)`` of each point, shape ``(n, 2)``.
+
+        Points on the far boundary are assigned to the last cell.
+        """
+        points = as_points(points)
+        ij = np.floor(points / self.ell).astype(np.intp)
+        np.clip(ij, 0, self.m - 1, out=ij)
+        return ij
+
+    def flat_indices(self, points) -> np.ndarray:
+        """Flattened cell id ``ix * m + iy`` of each point."""
+        ij = self.cell_indices(points)
+        return ij[:, 0] * self.m + ij[:, 1]
+
+    def cell_sw_corner(self, ix, iy) -> np.ndarray:
+        """South-west corner coordinates of cells ``(ix, iy)``."""
+        ix = np.asarray(ix, dtype=np.float64)
+        iy = np.asarray(iy, dtype=np.float64)
+        return np.stack(np.broadcast_arrays(ix * self.ell, iy * self.ell), axis=-1)
+
+    def cell_center(self, ix, iy) -> np.ndarray:
+        """Center coordinates of cells ``(ix, iy)``."""
+        return self.cell_sw_corner(ix, iy) + self.ell / 2.0
+
+    def in_core(self, points) -> np.ndarray:
+        """Mask of points lying in the *core* (central ``l/3`` subsquare) of
+        their cell."""
+        points = as_points(points)
+        offset = np.mod(points, self.ell)
+        lo = self.ell / 3.0
+        hi = 2.0 * self.ell / 3.0
+        return np.all((offset >= lo) & (offset <= hi), axis=1)
+
+    # ------------------------------------------------------------------
+    # Cell masses (Observation 5)
+    # ------------------------------------------------------------------
+    def all_cell_masses(self) -> np.ndarray:
+        """Stationary probability mass of every cell, shape ``(m, m)``.
+
+        ``masses[ix, iy]`` integrates Theorem 1's pdf over the cell via the
+        closed form of Observation 5; the full array sums to 1.
+        """
+        idx = np.arange(self.m, dtype=np.float64) * self.ell
+        x0 = idx[:, None]
+        y0 = idx[None, :]
+        return cell_mass(x0, y0, self.ell, self.side)
+
+    def occupancy(self, points, core_only: bool = False) -> np.ndarray:
+        """Agent counts per cell, shape ``(m, m)``.
+
+        Args:
+            core_only: count only agents inside cell cores (the quantity of
+                the Lemma-7 density condition).
+        """
+        points = as_points(points)
+        if core_only:
+            points = points[self.in_core(points)]
+        flat = self.flat_indices(points)
+        counts = np.bincount(flat, minlength=self.n_cells)
+        return counts.reshape(self.m, self.m)
+
+    def adjacent_pairs(self) -> np.ndarray:
+        """All 4-adjacent cell pairs as flat ids, shape ``(k, 2)``."""
+        ids = np.arange(self.n_cells, dtype=np.intp).reshape(self.m, self.m)
+        horizontal = np.stack([ids[:-1, :].ravel(), ids[1:, :].ravel()], axis=1)
+        vertical = np.stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()], axis=1)
+        return np.concatenate([horizontal, vertical], axis=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CellGrid(side={self.side}, m={self.m}, ell={self.ell:.4g})"

@@ -1,0 +1,84 @@
+"""The density condition of Lemma 7.
+
+The Central-Zone flooding argument needs every CZ cell's *core* to hold at
+least ``eta * log n`` agents at every step of the observation window (the
+event ``D``).  This module measures core occupancy over a run so the
+experiment suite can validate Lemma 7 empirically.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.cells import CellGrid
+from repro.core.zones import ZonePartition
+from repro.mobility.base import MobilityModel
+
+__all__ = ["DensityCondition", "core_occupancy_of_central_cells"]
+
+
+def core_occupancy_of_central_cells(
+    grid: CellGrid, zones: ZonePartition, positions: np.ndarray
+) -> np.ndarray:
+    """Number of agents in the core of each Central-Zone cell.
+
+    Returns:
+        integer array over CZ cells (order: flat cell id ascending).
+    """
+    counts = grid.occupancy(positions, core_only=True).ravel()
+    return counts[zones.central_cell_ids()]
+
+
+class DensityCondition:
+    """Monitor of Lemma 7's density condition over a mobility run.
+
+    Args:
+        grid: cell partition (Ineq. 6).
+        zones: Central Zone / Suburb partition (Def. 4).
+        eta: the constant in the ``eta * log n`` occupancy requirement.
+    """
+
+    def __init__(self, grid: CellGrid, zones: ZonePartition, eta: float = 1.0):
+        if eta <= 0:
+            raise ValueError(f"eta must be positive, got {eta}")
+        self.grid = grid
+        self.zones = zones
+        self.eta = float(eta)
+        self.required = self.eta * math.log(zones.n)
+
+    def check(self, positions: np.ndarray) -> bool:
+        """Does the density condition hold for this snapshot?"""
+        occupancy = core_occupancy_of_central_cells(self.grid, self.zones, positions)
+        if occupancy.size == 0:
+            return True
+        return bool(occupancy.min() >= self.required)
+
+    def min_core_occupancy(self, positions: np.ndarray) -> int:
+        """The smallest core occupancy over CZ cells in this snapshot."""
+        occupancy = core_occupancy_of_central_cells(self.grid, self.zones, positions)
+        if occupancy.size == 0:
+            return 0
+        return int(occupancy.min())
+
+    def monitor(self, model: MobilityModel, steps: int, dt: float = 1.0) -> dict:
+        """Run ``model`` for ``steps`` steps tracking the density condition.
+
+        Returns:
+            dict with ``min_occupancy`` (per-step array, including the
+            initial snapshot), ``holds_fraction`` (share of steps at which
+            the condition held), and ``required`` (the threshold used).
+        """
+        if steps < 0:
+            raise ValueError(f"steps must be non-negative, got {steps}")
+        series = np.empty(steps + 1, dtype=np.intp)
+        series[0] = self.min_core_occupancy(model.positions)
+        for t in range(1, steps + 1):
+            series[t] = self.min_core_occupancy(model.step(dt))
+        holds = np.count_nonzero(series >= self.required) / series.size
+        return {
+            "min_occupancy": series,
+            "holds_fraction": float(holds),
+            "required": self.required,
+        }

@@ -1,0 +1,61 @@
+"""Flooding-experiment helpers: source placement and zone construction.
+
+The heavy lifting lives in :mod:`repro.simulation.runner`; this module holds
+the paper-specific pieces — where the source starts (Theorem 3 treats the
+central and suburban cases separately) and the Central-Zone/Suburb partition
+attached to a run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cells import CellGrid
+from repro.core.zones import ZonePartition
+from repro.geometry.points import as_points
+
+__all__ = ["select_source", "build_zone_partition"]
+
+
+def select_source(positions, side: float, mode, rng: np.random.Generator) -> int:
+    """Pick the source agent.
+
+    Args:
+        mode: ``"uniform"`` — uniformly random agent; ``"central"`` — the
+            agent closest to the square's center (Theorem 3's first case);
+            ``"suburb"`` — the agent closest to its nearest corner
+            (Theorem 3's second case); or an explicit index.
+    """
+    positions = as_points(positions)
+    n = positions.shape[0]
+    if isinstance(mode, (int, np.integer)):
+        idx = int(mode)
+        if not 0 <= idx < n:
+            raise ValueError(f"source index must be in [0, {n}), got {idx}")
+        return idx
+    if mode == "uniform":
+        return int(rng.integers(0, n))
+    if mode == "central":
+        center = np.array([side / 2.0, side / 2.0])
+        return int(np.argmin(np.sum((positions - center) ** 2, axis=1)))
+    if mode == "suburb":
+        x = np.minimum(positions[:, 0], side - positions[:, 0])
+        y = np.minimum(positions[:, 1], side - positions[:, 1])
+        return int(np.argmin(x + y))
+    raise ValueError(f"unknown source mode {mode!r}")
+
+
+def build_zone_partition(
+    n: int, side: float, radius: float, threshold_factor: float = 3.0 / 8.0
+) -> ZonePartition:
+    """Zone partition for a parameter tuple, or None when no cell grid fits.
+
+    Returns None (rather than raising) when ``radius`` is too large for
+    Inequality 6's grid — the regime where the whole square is one dense
+    zone and per-zone tracking is meaningless.
+    """
+    try:
+        grid = CellGrid.for_radius(side, radius)
+    except ValueError:
+        return None
+    return ZonePartition(grid, n, threshold_factor=threshold_factor)

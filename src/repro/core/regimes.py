@@ -1,0 +1,121 @@
+"""Parameter-regime classification — Sections 1 and 5 made computable.
+
+The paper's discussion partitions the ``(R, v)`` plane (for given ``n``,
+``L``) into regimes:
+
+* ``trivial``        — ``R > sqrt2 L``: one hop covers the square;
+* ``no-suburb``      — ``R`` above Corollary 12's threshold: flooding in
+  ``18 L/R``, speed irrelevant;
+* ``cz-dominated``   — Theorem 3's bound is ``Theta(L/R)`` (the optimal
+  window ``v >= S R / L``);
+* ``suburb-dominated`` — the ``S/v`` term dominates: flooding time depends
+  on ``v`` (and for ``R = O(L/n^(1/3))``, Theorem 18's lower bound bites);
+* ``below-assumption`` — ``R`` under the (calibrated) Inequality-7 radius:
+  outside the theorem's hypotheses;
+* ``fast-mobility``  — ``v`` above Inequality 8: outside the slow-mobility
+  hypothesis.
+
+:func:`classify_regime` labels a parameter point; :func:`regime_map`
+rasterizes the plane for the ``regime_map`` experiment's ASCII figure.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core import theory
+
+__all__ = ["REGIMES", "classify_regime", "regime_map", "REGIME_SYMBOLS"]
+
+REGIMES = (
+    "trivial",
+    "no-suburb",
+    "cz-dominated",
+    "suburb-dominated",
+    "below-assumption",
+    "fast-mobility",
+)
+
+#: One-character symbols for the ASCII regime map.
+REGIME_SYMBOLS = {
+    "trivial": "T",
+    "no-suburb": "O",
+    "cz-dominated": "C",
+    "suburb-dominated": "S",
+    "below-assumption": ".",
+    "fast-mobility": "^",
+}
+
+
+def classify_regime(
+    n: int,
+    side: float,
+    radius: float,
+    speed: float,
+    c1: float = math.sqrt(5.0),
+    speed_divisor: float = theory.PAPER_SPEED_DIVISOR,
+) -> str:
+    """Label the regime of a parameter point.
+
+    Args:
+        c1: calibrated Inequality-7 constant (default: the measured
+            ``sqrt 5`` of the ``lemma6_rows`` experiment; the paper's 200 is
+            available via :data:`repro.core.theory.PAPER_C1`).
+    """
+    if radius <= 0 or speed < 0:
+        raise ValueError("radius must be positive and speed non-negative")
+    if radius > math.sqrt(2.0) * side:
+        return "trivial"
+    if radius >= theory.large_radius_threshold(n, side):
+        return "no-suburb"
+    if radius < theory.radius_assumption_threshold(n, side, c1=c1):
+        return "below-assumption"
+    if speed > theory.speed_assumption_max(radius, speed_divisor):
+        return "fast-mobility"
+    v_min, _v_max = theory.optimal_speed_range(n, side, radius)
+    if speed >= v_min:
+        return "cz-dominated"
+    return "suburb-dominated"
+
+
+def regime_map(
+    n: int,
+    side: float,
+    radius_range: tuple,
+    speed_fractions: tuple,
+    resolution: int = 24,
+    c1: float = math.sqrt(5.0),
+) -> dict:
+    """Rasterize the regime plane over log-spaced ``R`` and ``v/R`` axes.
+
+    Args:
+        radius_range: ``(R_min, R_max)``.
+        speed_fractions: ``(f_min, f_max)`` range of ``v / R``.
+        resolution: grid points per axis.
+
+    Returns:
+        dict with ``radii`` (ascending), ``fractions`` (ascending),
+        ``labels`` (resolution x resolution array of regime names, indexed
+        ``[radius_idx, fraction_idx]``) and ``ascii`` (rendered map, speed
+        fraction increasing upward, radius increasing rightward).
+    """
+    if resolution < 2:
+        raise ValueError(f"resolution must be at least 2, got {resolution}")
+    radii = np.geomspace(radius_range[0], radius_range[1], resolution)
+    fractions = np.geomspace(speed_fractions[0], speed_fractions[1], resolution)
+    labels = np.empty((resolution, resolution), dtype=object)
+    for i, radius in enumerate(radii):
+        for j, fraction in enumerate(fractions):
+            labels[i, j] = classify_regime(n, side, float(radius), float(fraction * radius), c1=c1)
+    lines = []
+    for j in range(resolution - 1, -1, -1):
+        lines.append("".join(REGIME_SYMBOLS[labels[i, j]] for i in range(resolution)))
+    legend = "  ".join(f"{symbol}={name}" for name, symbol in REGIME_SYMBOLS.items())
+    return {
+        "radii": radii,
+        "fractions": fractions,
+        "labels": labels,
+        "ascii": "\n".join(lines) + "\n[" + legend + "]",
+    }

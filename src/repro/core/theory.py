@@ -1,0 +1,240 @@
+"""Every closed-form bound and assumption of the paper, as computable functions.
+
+This is the analytical companion to the simulator: Theorem 3's upper bound,
+Theorem 10 / Corollary 12's Central-Zone bound, Theorem 18's lower bound,
+the parameter assumptions (Ineqs. 7-9), and the per-lemma quantities
+(Lemma 13's turn bound, Lemma 14's segment bound, Lemma 15's ``S``,
+Lemma 16's meeting window).  The experiment harness evaluates these next to
+the measured flooding times.
+
+Constants note (also in DESIGN.md): the paper states its constants are not
+optimized ("definitely does not optimize the constants").  Functions take
+the paper's constants as defaults and accept overrides, so experiments can
+report both the paper-exact and the scaled-down versions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "PAPER_C1",
+    "PAPER_SPEED_DIVISOR",
+    "radius_assumption_threshold",
+    "speed_assumption_max",
+    "large_radius_threshold",
+    "suburb_diameter",
+    "cz_flooding_bound",
+    "flooding_upper_bound",
+    "flooding_lower_bound",
+    "geometric_lower_bound",
+    "turn_count_bound",
+    "good_segment_bound",
+    "meeting_window",
+    "optimal_speed_range",
+    "Assumptions",
+    "check_assumptions",
+]
+
+#: Inequality 7's constant: ``R >= 200 L sqrt(log n / n)``.
+PAPER_C1 = 200.0
+#: Inequality 8's divisor: ``v <= R / (3 (1 + sqrt 5))``.
+PAPER_SPEED_DIVISOR = 3.0 * (1.0 + math.sqrt(5.0))
+
+
+def radius_assumption_threshold(n: int, side: float, c1: float = PAPER_C1) -> float:
+    """Minimum radius of Inequality 7: ``c1 * L * sqrt(log n / n)``."""
+    if n < 2:
+        raise ValueError(f"n must be at least 2, got {n}")
+    return c1 * side * math.sqrt(math.log(n) / n)
+
+
+def speed_assumption_max(radius: float, divisor: float = PAPER_SPEED_DIVISOR) -> float:
+    """Maximum speed of Inequality 8: ``R / (3 (1 + sqrt5))`` by default.
+
+    This is the slow-mobility regime: an agent in a cell core at time ``t``
+    cannot leave the cell by time ``t + 1``.
+    """
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    return radius / divisor
+
+
+def large_radius_threshold(n: int, side: float) -> float:
+    """Corollary 12's radius: ``(1+sqrt5)/2 * L * (3 log n / n)^(1/3)``.
+
+    Above this radius every cell is in the Central Zone (the Suburb is
+    empty) and flooding completes within ``18 L / R`` steps w.h.p.
+    """
+    if n < 2:
+        raise ValueError(f"n must be at least 2, got {n}")
+    return (1.0 + math.sqrt(5.0)) / 2.0 * side * (3.0 * math.log(n) / n) ** (1.0 / 3.0)
+
+
+def suburb_diameter(n: int, side: float, radius: float) -> float:
+    """The ``S = Theta(L^3 log n / (R^2 n))`` of the abstract, with the
+    paper's cell-side convention.
+
+    Uses the finest admissible cell side ``l = R / sqrt5`` (Ineq. 6), giving
+    ``S = 3 L^3 log n / (2 l^2 n) = 15 L^3 log n / (2 R^2 n)``.
+    """
+    if n < 2:
+        raise ValueError(f"n must be at least 2, got {n}")
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    ell = radius / math.sqrt(5.0)
+    return 3.0 * side**3 * math.log(n) / (2.0 * ell * ell * n)
+
+
+def cz_flooding_bound(side: float, radius: float) -> float:
+    """Theorem 10's explicit Central-Zone flooding bound: ``18 L / R``."""
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    return 18.0 * side / radius
+
+
+def flooding_upper_bound(
+    n: int,
+    side: float,
+    radius: float,
+    speed: float,
+    cz_constant: float = 18.0,
+    suburb_constant: float = 594.0,
+) -> float:
+    """Theorem 3's upper bound ``O(L/R + S/v)`` with explicit constants.
+
+    The default suburb constant traces the proof: the meeting window is
+    ``tau = 590 S/v`` (Lemma 16), plus the ``S/v`` entry delay and the
+    ``3 S/v`` return-to-CZ allowance — about ``594 S/v`` in total.
+
+    Returns ``math.inf`` for ``speed == 0`` when the Suburb term is active
+    (flooding need not terminate with immobile suburban agents).
+    """
+    cz_term = cz_constant * side / radius
+    s = suburb_diameter(n, side, radius)
+    if speed <= 0:
+        return math.inf if s > 0 else cz_term
+    return cz_term + suburb_constant * s / speed
+
+
+def flooding_lower_bound(
+    n: int, side: float, radius: float, speed: float, d_constant: float = 1.0
+) -> float:
+    """Theorem 18's lower bound ``(2d - R) / (2v)`` with ``d = c L / n^(1/3)``.
+
+    Valid when ``R <= d`` (the theorem's ``R = O(L / n^{1/3})`` hypothesis);
+    returns 0.0 otherwise.  ``math.inf`` when ``speed == 0`` and the bound is
+    active.
+    """
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    d = d_constant * side / n ** (1.0 / 3.0)
+    if radius > d:
+        return 0.0
+    if speed <= 0:
+        return math.inf
+    return (2.0 * d - radius) / (2.0 * speed)
+
+
+def geometric_lower_bound(distance: float, radius: float, speed: float) -> float:
+    """Trivial information-speed bound: ``distance / (R + 2 v)`` steps.
+
+    Per step, the informed set's reach grows by at most one hop (``R``)
+    plus the movement of both endpoints (``2 v``).
+    """
+    if distance < 0:
+        raise ValueError(f"distance must be non-negative, got {distance}")
+    if radius + 2.0 * speed <= 0:
+        return math.inf if distance > 0 else 0.0
+    return distance / (radius + 2.0 * speed)
+
+
+def turn_count_bound(n: int, side: float, speed: float, tau: float) -> float:
+    """Lemma 13's w.h.p. bound on turns in a window: ``4 log n / log(L / (v tau))``.
+
+    Valid for ``L/(n v) <= tau <= L/(4 v)``.
+
+    Raises:
+        ValueError: when ``tau`` is outside the lemma's validity range.
+    """
+    if n < 2:
+        raise ValueError(f"n must be at least 2, got {n}")
+    if speed <= 0 or tau <= 0:
+        raise ValueError("speed and tau must be positive")
+    lo = side / (n * speed)
+    hi = side / (4.0 * speed)
+    if not lo <= tau <= hi * (1 + 1e-12):
+        raise ValueError(f"tau={tau} outside Lemma 13's range [{lo:.4g}, {hi:.4g}]")
+    return 4.0 * math.log(n) / math.log(side / (speed * tau))
+
+
+def good_segment_bound(n: int, side: float, speed: float, tau: float) -> float:
+    """Lemma 14's guaranteed inward-segment length:
+    ``v tau log(L/(v tau)) / (40 log n)``."""
+    if n < 2:
+        raise ValueError(f"n must be at least 2, got {n}")
+    if speed <= 0 or tau <= 0:
+        raise ValueError("speed and tau must be positive")
+    return speed * tau * math.log(side / (speed * tau)) / (40.0 * math.log(n))
+
+
+def meeting_window(n: int, side: float, radius: float, speed: float) -> float:
+    """Lemma 16's meeting window ``tau = 590 S / v``."""
+    if speed <= 0:
+        return math.inf
+    return 590.0 * suburb_diameter(n, side, radius) / speed
+
+
+def optimal_speed_range(n: int, side: float, radius: float) -> tuple:
+    """Speed interval on which Theorem 3's bound is order-optimal.
+
+    The bound is ``Theta(L/R)`` — matching the trivial lower bound — exactly
+    when the Suburb term is dominated: ``v >= S R / L``.  Combined with the
+    slow-mobility assumption ``v <= R``, the optimal window is
+    ``[S R / L, R]`` (for ``L = sqrt n``, ``R = Theta(log n)``, this is the
+    paper's "v larger than an absolute constant" remark).
+
+    Returns:
+        ``(v_min, v_max)``; empty (``v_min > v_max``) when the window closes.
+    """
+    s = suburb_diameter(n, side, radius)
+    return (s * radius / side, radius)
+
+
+@dataclass(frozen=True)
+class Assumptions:
+    """Result of checking a parameter tuple against the paper's hypotheses."""
+
+    radius_ok: bool
+    speed_ok: bool
+    radius_not_trivial: bool
+    suburb_nonempty: bool
+
+    @property
+    def all_ok(self) -> bool:
+        """Whether Theorem 3's hypotheses hold (Suburb may or may not be empty)."""
+        return self.radius_ok and self.speed_ok and self.radius_not_trivial
+
+
+def check_assumptions(
+    n: int,
+    side: float,
+    radius: float,
+    speed: float,
+    c1: float = PAPER_C1,
+    speed_divisor: float = PAPER_SPEED_DIVISOR,
+) -> Assumptions:
+    """Check Inequalities 7-9 for a parameter tuple.
+
+    Args:
+        c1: the radius constant (paper: 200); experiments use smaller,
+            explicitly-reported values.
+        speed_divisor: the slow-mobility divisor (paper: ``3 (1 + sqrt5)``).
+    """
+    return Assumptions(
+        radius_ok=radius >= radius_assumption_threshold(n, side, c1),
+        speed_ok=speed <= speed_assumption_max(radius, speed_divisor),
+        radius_not_trivial=radius <= math.sqrt(2.0) * side,
+        suburb_nonempty=radius <= large_radius_threshold(n, side),
+    )

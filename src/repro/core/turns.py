@@ -1,0 +1,110 @@
+"""Turn statistics and good segments (Lemmas 13 and 14).
+
+The Suburb analysis rests on two trajectory properties of an MRWP agent
+observed over a window ``[t, t + tau]``:
+
+* **Lemma 13** — the number of turns ``H_{t,tau}`` is w.h.p. at most
+  ``4 log n / log(L / (v tau))``;
+* **Lemma 14** — w.h.p. the agent travels one axis-aligned segment of
+  length at least ``v tau log(L/(v tau)) / (40 log n)`` *directed toward
+  the Central Zone* (a "good segment").
+
+This module measures both quantities on simulated trajectories.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mobility.mrwp import ManhattanRandomWaypoint
+
+__all__ = [
+    "count_turns_in_window",
+    "max_turns_in_window",
+    "longest_inward_run",
+    "longest_inward_runs_from_frames",
+]
+
+
+def count_turns_in_window(
+    model: ManhattanRandomWaypoint, tau_steps: int, dt: float = 1.0
+) -> np.ndarray:
+    """Per-agent turn counts over the next ``tau_steps`` steps of ``model``.
+
+    Turns are direction-change events: Manhattan corners plus trip arrivals
+    (the events the ``H_{t,tau}`` statistic counts).  The model is advanced
+    in place.
+    """
+    if tau_steps < 0:
+        raise ValueError(f"tau_steps must be non-negative, got {tau_steps}")
+    before = model.turn_counts.copy()
+    for _ in range(tau_steps):
+        model.step(dt)
+    return model.turn_counts - before
+
+
+def max_turns_in_window(model: ManhattanRandomWaypoint, tau_steps: int, dt: float = 1.0) -> int:
+    """Maximum over agents of the turn count in the window (Lemma 13's subject)."""
+    return int(count_turns_in_window(model, tau_steps, dt).max())
+
+
+def _fold_toward_center(frames: np.ndarray, side: float) -> np.ndarray:
+    """Coordinate fold ``u -> min(u, L - u)``.
+
+    After folding, movement "toward the Central Zone" from any corner is
+    movement that *increases* the folded coordinate, so all four corners are
+    treated uniformly.
+    """
+    return np.minimum(frames, side - frames)
+
+
+def longest_inward_runs_from_frames(frames: np.ndarray, side: float) -> np.ndarray:
+    """Longest center-directed axis-aligned run per agent in a trajectory.
+
+    Args:
+        frames: positions of shape ``(T + 1, n, 2)``
+            (see :func:`repro.mobility.base.record_trajectory`).
+        side: square side ``L``.
+
+    Returns:
+        float array of shape ``(n,)`` — for each agent, the greatest total
+        length of a maximal run of consecutive steps that move along a
+        single axis, strictly toward the center (in the folded coordinate).
+        Steps that turn mid-step (L-shaped displacement) break runs, making
+        the estimate conservative with respect to Lemma 14.
+    """
+    frames = np.asarray(frames, dtype=np.float64)
+    if frames.ndim != 3 or frames.shape[2] != 2:
+        raise ValueError(f"frames must have shape (T+1, n, 2), got {frames.shape}")
+    folded = _fold_toward_center(frames, side)
+    deltas = np.diff(folded, axis=0)  # (T, n, 2)
+    t_steps, n, _ = deltas.shape
+    tol = 1e-9 * max(side, 1.0)
+
+    dx = deltas[:, :, 0]
+    dy = deltas[:, :, 1]
+    horizontal_in = (dx > tol) & (np.abs(dy) <= tol)
+    vertical_in = (dy > tol) & (np.abs(dx) <= tol)
+
+    best = np.zeros(n, dtype=np.float64)
+    run_h = np.zeros(n, dtype=np.float64)
+    run_v = np.zeros(n, dtype=np.float64)
+    for t in range(t_steps):
+        h = horizontal_in[t]
+        v = vertical_in[t]
+        run_h = np.where(h, run_h + dx[t], 0.0)
+        run_v = np.where(v, run_v + dy[t], 0.0)
+        best = np.maximum(best, np.maximum(run_h, run_v))
+    return best
+
+
+def longest_inward_run(trajectory: np.ndarray, side: float) -> float:
+    """Single-agent convenience wrapper over :func:`longest_inward_runs_from_frames`.
+
+    Args:
+        trajectory: positions of shape ``(T + 1, 2)``.
+    """
+    trajectory = np.asarray(trajectory, dtype=np.float64)
+    if trajectory.ndim != 2 or trajectory.shape[1] != 2:
+        raise ValueError(f"trajectory must have shape (T+1, 2), got {trajectory.shape}")
+    return float(longest_inward_runs_from_frames(trajectory[:, None, :], side)[0])

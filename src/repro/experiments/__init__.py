@@ -1,0 +1,21 @@
+"""Experiment harness: one module per paper artifact (see DESIGN.md)."""
+
+from repro.experiments.base import ExperimentResult, ExperimentSpec, scale_params
+from repro.experiments.registry import (
+    EXPERIMENT_MODULES,
+    all_ids,
+    get_spec,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "scale_params",
+    "EXPERIMENT_MODULES",
+    "all_ids",
+    "get_spec",
+    "run_experiment",
+    "run_all",
+]

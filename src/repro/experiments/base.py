@@ -1,0 +1,85 @@
+"""Experiment framework.
+
+Each paper artifact (Figure 1, each theorem/lemma's supporting simulation)
+is one module under :mod:`repro.experiments` exposing an
+:class:`ExperimentSpec`.  Running a spec produces an
+:class:`ExperimentResult`: a table (headers + rows), free-form notes, ASCII
+artifacts (heatmaps), and a pass/fail verdict for the artifact's
+shape-validation criterion.  The registry (:mod:`repro.experiments.registry`)
+indexes the specs for the CLI and the benchmark suite.
+
+Scales:
+
+* ``"quick"`` — seconds; used by benchmarks and CI;
+* ``"full"`` — the EXPERIMENTS.md numbers (minutes for the largest sweeps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.viz.csvout import rows_to_csv_string
+from repro.viz.tables import format_table
+
+__all__ = ["ExperimentSpec", "ExperimentResult", "scale_params", "SCALES"]
+
+SCALES = ("quick", "full")
+
+
+def scale_params(scale: str, quick: dict, full: dict) -> dict:
+    """Pick the parameter dict for a scale (with validation)."""
+    if scale == "quick":
+        return dict(quick)
+    if scale == "full":
+        return dict(full)
+    raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run."""
+
+    experiment_id: str
+    title: str
+    paper_ref: str
+    headers: list
+    rows: list
+    notes: list = field(default_factory=list)
+    artifacts: dict = field(default_factory=dict)
+    passed: bool = None
+
+    def to_text(self) -> str:
+        """Full human-readable report."""
+        lines = [f"== {self.experiment_id}: {self.title} ({self.paper_ref}) =="]
+        if self.rows:
+            lines.append(format_table(self.headers, self.rows))
+        for name, artifact in self.artifacts.items():
+            lines.append(f"-- {name} --")
+            lines.append(artifact)
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        if self.passed is not None:
+            lines.append(f"shape check: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """The table as CSV."""
+        return rows_to_csv_string(self.headers, self.rows)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registered, runnable experiment."""
+
+    id: str
+    title: str
+    paper_ref: str
+    description: str
+    runner: object  # callable (scale: str, seed: int) -> ExperimentResult
+
+    def run(self, scale: str = "quick", seed: int = 0) -> ExperimentResult:
+        """Execute the experiment at the given scale."""
+        result = self.runner(scale=scale, seed=seed)
+        if result.experiment_id != self.id:  # defensive consistency check
+            raise RuntimeError(f"runner for {self.id!r} returned id {result.experiment_id!r}")
+        return result

@@ -1,0 +1,127 @@
+"""Connectivity: connected Central Zone, disconnected corners, growing gap.
+
+Section 1's setup: under MRWP the connectivity threshold of the full
+snapshot is exponentially above the uniform-case ``Theta(sqrt(log n))``
+(ref [13]), because the corners are nearly empty — yet the Central Zone
+sub-network connects at small radii.  Two measurements:
+
+1. a giant-component / isolation profile of stationary snapshots across a
+   radius sweep (the connectivity transition);
+2. empirical connectivity thresholds across ``n`` — full graph vs CZ-only
+   vs the Gupta-Kumar uniform benchmark.  The deepest occupied corner
+   point sits at depth ``~ (L^3/n)^(1/3)``, so the full/uniform threshold
+   ratio grows like ``n^(1/6) / sqrt(log n)`` — the finite-``n`` footprint
+   of ref [13]'s "some root of n".
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.flooding import build_zone_partition
+from repro.experiments.base import ExperimentResult, ExperimentSpec, scale_params
+from repro.mobility.stationary import PalmStationarySampler
+from repro.network.connectivity import (
+    connectivity_profile,
+    estimate_connectivity_threshold,
+    uniform_connectivity_threshold,
+)
+
+EXPERIMENT_ID = "connectivity"
+
+
+def _mean_thresholds(n: int, snapshots: int, rng) -> tuple:
+    """Mean empirical thresholds (full, CZ-only) over stationary snapshots."""
+    side = math.sqrt(n)
+    sampler = PalmStationarySampler(side)
+    zones = build_zone_partition(n, side, 1.3 * math.sqrt(math.log(n)))
+    full = []
+    cz = []
+    for _ in range(snapshots):
+        positions = sampler.sample(n, rng).positions
+        full.append(estimate_connectivity_threshold(positions, side))
+        if zones is not None:
+            mask = zones.in_central_zone(positions)
+            cz.append(estimate_connectivity_threshold(positions, side, mask=mask))
+    return (float(np.mean(full)), float(np.mean(cz)) if cz else float("nan"))
+
+
+def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+    params = scale_params(
+        scale,
+        quick={"profile_n": 2_000, "snapshots": 2, "threshold_ns": [500, 2_000, 8_000]},
+        full={"profile_n": 16_000, "snapshots": 4, "threshold_ns": [500, 2_000, 8_000, 32_000]},
+    )
+    rng = np.random.default_rng(seed)
+
+    # Panel 1: transition profile at one n.
+    n = params["profile_n"]
+    side = math.sqrt(n)
+    base = math.sqrt(math.log(n))
+    sampler = PalmStationarySampler(side)
+    radii = [0.4 * base, 0.6 * base, 0.8 * base, 1.2 * base, 2.0 * base]
+    profiles = []
+    for _ in range(params["snapshots"]):
+        positions = sampler.sample(n, rng).positions
+        profiles.append(connectivity_profile(positions, side, radii))
+    rows = [["-- profile --", f"n={n}", "", "", ""]]
+    for k, radius in enumerate(radii):
+        rows.append(
+            [
+                round(radius / base, 2),
+                round(radius, 2),
+                round(float(np.mean([p["giant_fraction"][k] for p in profiles])), 4),
+                round(float(np.mean([p["isolated_fraction"][k] for p in profiles])), 4),
+                round(float(np.mean([float(p["connected"][k]) for p in profiles])), 2),
+            ]
+        )
+
+    # Panel 2: threshold scaling across n.
+    rows.append(["-- thresholds --", "full", "CZ-only", "uniform benchmark", "full/uniform"])
+    ratios = []
+    cz_below_full = []
+    for k, tn in enumerate(params["threshold_ns"]):
+        full_thr, cz_thr = _mean_thresholds(
+            tn, params["snapshots"], np.random.default_rng(seed + 10 + k)
+        )
+        uniform_thr = uniform_connectivity_threshold(tn, math.sqrt(tn))
+        ratio = full_thr / uniform_thr
+        ratios.append(ratio)
+        cz_below_full.append(not math.isfinite(cz_thr) or cz_thr <= full_thr)
+        rows.append(
+            [f"n={tn}", round(full_thr, 2), round(cz_thr, 2), round(uniform_thr, 2), round(ratio, 2)]
+        )
+
+    ratio_grows = all(b >= a * 0.95 for a, b in zip(ratios, ratios[1:])) and ratios[-1] > ratios[0]
+    passed = ratios[-1] >= 1.5 and ratio_grows and all(cz_below_full)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Connectivity profile: Central Zone vs full square",
+        paper_ref="Section 1 / ref [13] / refs [18, 27]",
+        headers=[
+            "R / sqrt(log n)",
+            "R",
+            "mean giant fraction",
+            "mean isolated fraction",
+            "fraction connected",
+        ],
+        rows=rows,
+        notes=[
+            "the giant component saturates long before full connectivity: the last",
+            "holdouts are deep-corner agents — the Suburb of Definition 4;",
+            "the full/uniform threshold ratio grows with n (~ n^(1/6)/sqrt(log n)),",
+            "the finite-n footprint of ref [13]'s exponentially-higher threshold.",
+        ],
+        passed=passed,
+    )
+
+
+EXPERIMENT = ExperimentSpec(
+    id=EXPERIMENT_ID,
+    title="Connectivity profile: Central Zone vs full square",
+    paper_ref="Section 1 / ref [13] / refs [18, 27]",
+    description="Connectivity transition profile and threshold scaling (full vs CZ vs uniform).",
+    runner=run,
+)

@@ -1,0 +1,96 @@
+"""Figure 1 (blue cross): the destination distribution at ``(L/3, L/4)``.
+
+The paper overlays, at agent position ``(L/3, L/4)``, the destination law of
+Theorem 2: four constant-density quadrants plus the probability-1/2 cross.
+We sample the law, compare empirical quadrant/segment masses with the closed
+forms, and render the conditional quadrant density as a heatmap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.validation import destination_cross_errors, destination_quadrant_errors
+from repro.experiments.base import ExperimentResult, ExperimentSpec, scale_params
+from repro.mobility.distributions import (
+    QUADRANTS,
+    SEGMENTS,
+    cross_probability,
+    destination_pdf,
+    quadrant_masses,
+)
+from repro.mobility.stationary import sample_destination_given_position
+from repro.viz.ascii import render_heatmap
+
+EXPERIMENT_ID = "fig1_destination"
+SIDE = 90.0
+
+
+def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+    params = scale_params(
+        scale,
+        quick={"n_samples": 60_000},
+        full={"n_samples": 600_000},
+    )
+    rng = np.random.default_rng(seed)
+    position = np.array([SIDE / 3.0, SIDE / 4.0])
+    n_samples = params["n_samples"]
+
+    positions = np.tile(position, (n_samples, 1))
+    destinations, on_cross = sample_destination_given_position(positions, SIDE, rng)
+
+    quad = destination_quadrant_errors(position, destinations, SIDE)
+    cross = destination_cross_errors(position, destinations, SIDE)
+
+    rows = []
+    for k, label in enumerate(QUADRANTS):
+        rows.append(
+            [f"quadrant {label}", float(quad["empirical"][k]), float(quad["analytic"][k])]
+        )
+    for k, label in enumerate(SEGMENTS):
+        rows.append(
+            [f"segment {label}", float(cross["empirical"][k]), float(cross["analytic"][k])]
+        )
+    rows.append(["cross total", cross["total_empirical"], 0.5])
+    rows.append(["on-cross sample fraction", float(np.mean(on_cross)), 0.5])
+
+    # Conditional quadrant-density heatmap (the off-cross part of Thm 2).
+    bins = 18
+    centers = (np.arange(bins) + 0.5) * SIDE / bins
+    xg, yg = np.meshgrid(centers, centers, indexing="ij")
+    density = destination_pdf(position[0], position[1], xg, yg, SIDE)
+    density = np.where(np.isfinite(density), density, np.nan)
+    density = np.nan_to_num(density, nan=float(np.nanmax(density)))
+
+    tolerance = 4.0 / np.sqrt(n_samples)
+    max_err = max(quad["max_error"], cross["max_error"])
+    # Sanity identities of Theorem 2 / Eqs. 4-5 at this position.
+    identity_gap = abs(
+        float(np.sum(quadrant_masses(*position, SIDE)))
+        + float(np.sum(cross_probability(*position, SIDE)))
+        - 1.0
+    )
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Destination distribution at (L/3, L/4) (Fig. 1, blue cross)",
+        paper_ref="Fig. 1 / Theorem 2 / Eqs. 4-5",
+        headers=["component", "empirical mass", "analytic mass"],
+        rows=rows,
+        artifacts={"analytic quadrant density": render_heatmap(density)},
+        notes=[
+            f"max |empirical - analytic| = {max_err:.5f} (tolerance {tolerance:.5f});",
+            f"quadrants+cross sum to 1 within {identity_gap:.2e};",
+            "half the destination mass sits on a zero-area cross — the paper's highlighted fact.",
+        ],
+        passed=max_err <= tolerance and identity_gap < 1e-9,
+    )
+
+
+EXPERIMENT = ExperimentSpec(
+    id=EXPERIMENT_ID,
+    title="Destination distribution at (L/3, L/4) (Fig. 1, blue cross)",
+    paper_ref="Fig. 1 / Theorem 2 / Eqs. 4-5",
+    description="Quadrant and cross-segment destination masses at the paper's example position.",
+    runner=run,
+)

@@ -1,0 +1,86 @@
+"""Figure 1 (left): the stationary spatial density over the square.
+
+Regenerates the paper's grayscale density gradient — dark Central Zone,
+light corner Suburb — as ASCII heatmaps: the analytic pdf of Theorem 1 next
+to an empirical histogram of perfect-simulation samples, with the
+total-variation distance between them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.empirical import analytic_cell_probabilities, histogram_density, total_variation
+from repro.experiments.base import ExperimentResult, ExperimentSpec, scale_params
+from repro.mobility.distributions import spatial_pdf
+from repro.mobility.stationary import PalmStationarySampler
+from repro.viz.ascii import render_heatmap
+
+EXPERIMENT_ID = "fig1_spatial"
+SIDE = 100.0
+
+
+def _expected_tv_noise(analytic: np.ndarray, n_samples: int) -> float:
+    """Expected TV distance of an *exact* sampler at this sample size.
+
+    Per-bin binomial noise: ``E|p_hat - p| ~ sqrt(2 p (1-p) / (pi n))``.
+    """
+    p = analytic.ravel()
+    return float(0.5 * np.sum(np.sqrt(2.0 * p * (1.0 - p) / (np.pi * n_samples))))
+
+
+def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+    params = scale_params(
+        scale,
+        quick={"n_samples": 40_000, "bins": 12},
+        full={"n_samples": 400_000, "bins": 24},
+    )
+    rng = np.random.default_rng(seed)
+    bins = params["bins"]
+    n_samples = params["n_samples"]
+
+    state = PalmStationarySampler(SIDE).sample(n_samples, rng)
+    empirical_density = histogram_density(state.positions, SIDE, bins)
+    cell_area = (SIDE / bins) ** 2
+    empirical = empirical_density * cell_area
+    analytic = analytic_cell_probabilities(lambda x, y: spatial_pdf(x, y, SIDE), SIDE, bins)
+    tv = total_variation(empirical, analytic)
+    noise = _expected_tv_noise(analytic, n_samples)
+
+    center = float(spatial_pdf(SIDE / 2, SIDE / 2, SIDE))
+    corner = float(spatial_pdf(SIDE / 50, SIDE / 50, SIDE))
+    rows = [
+        ["samples", n_samples],
+        ["bins per side", bins],
+        ["TV(empirical, Thm 1)", tv],
+        ["TV noise floor (exact sampler)", noise],
+        ["pdf at center (analytic)", center],
+        ["pdf near corner (analytic)", corner],
+        ["center/corner density ratio", center / corner],
+    ]
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Stationary spatial density (Fig. 1, gray gradient)",
+        paper_ref="Fig. 1 / Theorem 1",
+        headers=["quantity", "value"],
+        rows=rows,
+        artifacts={
+            "analytic density (Thm 1)": render_heatmap(analytic),
+            "empirical density (perfect simulation)": render_heatmap(empirical),
+        },
+        notes=[
+            "dark center / light corners reproduce the paper's gradient;",
+            f"TV within 3x the exact-sampler noise floor ({noise:.4f}) counts as a match.",
+        ],
+        passed=tv <= 3.0 * noise,
+    )
+    return result
+
+
+EXPERIMENT = ExperimentSpec(
+    id=EXPERIMENT_ID,
+    title="Stationary spatial density (Fig. 1, gray gradient)",
+    paper_ref="Fig. 1 / Theorem 1",
+    description="ASCII regeneration of Fig. 1's spatial density, empirical vs closed form.",
+    runner=run,
+)

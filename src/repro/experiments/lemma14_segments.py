@@ -1,0 +1,104 @@
+"""Lemma 14: near-corner agents travel a long inward "good segment".
+
+The lemma conditions on the agent sitting close to a corner
+(``max{L/n, 4 x0, 4 y0} <= v tau``) and guarantees, w.h.p., one axis-
+aligned segment of length at least ``v tau log(L/(v tau)) / (40 log n)``
+*directed toward the Central Zone* within the window ``[t, t + tau]``.
+
+We use conditional perfect simulation
+(:meth:`~repro.mobility.stationary.ClosedFormStationarySampler.sample_at`)
+to place a population of agents exactly at qualifying corner positions with
+stationary destinations/legs, record their trajectories over the window,
+and measure each agent's longest center-directed run against the bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core import theory
+from repro.core.turns import longest_inward_runs_from_frames
+from repro.experiments.base import ExperimentResult, ExperimentSpec, scale_params
+from repro.mobility.base import record_trajectory
+from repro.mobility.mrwp import ManhattanRandomWaypoint
+from repro.mobility.stationary import ClosedFormStationarySampler
+
+EXPERIMENT_ID = "lemma14_segments"
+
+
+def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+    params = scale_params(
+        scale,
+        quick={"n": 2_000, "agents": 500, "divisors": [16, 8, 5]},
+        full={"n": 20_000, "agents": 4_000, "divisors": [32, 16, 8, 5]},
+    )
+    n = params["n"]  # the network size entering the bound's log n
+    side = math.sqrt(n)
+    speed = 0.01 * side
+    sampler = ClosedFormStationarySampler(side)
+    rng = np.random.default_rng(seed)
+
+    rows = []
+    checks = []
+    for divisor in params["divisors"]:
+        tau_steps = max(2, int(round(side / (divisor * speed))))
+        # Qualifying corner positions: x0, y0 <= v tau / 4 (Lemma 14's
+        # hypothesis), placed uniformly in that corner box.
+        reach = speed * tau_steps / 4.0
+        positions = rng.uniform(0.0, reach, size=(params["agents"], 2))
+        state = sampler.sample_at(positions, rng)
+        model = ManhattanRandomWaypoint(
+            params["agents"], side, speed, rng=rng, init=state
+        )
+        frames = record_trajectory(model, tau_steps)
+        runs = longest_inward_runs_from_frames(frames, side)
+        bound = theory.good_segment_bound(n, side, speed, tau_steps)
+        satisfied = float(np.mean(runs >= bound))
+        ok = satisfied >= 0.98  # w.h.p. with slack for the run-splitting bias
+        checks.append(ok)
+        rows.append(
+            [
+                f"L/({divisor} v)",
+                tau_steps,
+                round(reach, 2),
+                round(float(runs.mean()), 2),
+                round(float(runs.min()), 3),
+                round(bound, 3),
+                round(satisfied, 4),
+                "ok" if ok else "VIOLATED",
+            ]
+        )
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Good inward segments of corner agents (Lemma 14)",
+        paper_ref="Lemma 14",
+        headers=[
+            "window tau",
+            "steps",
+            "corner box v tau/4",
+            "mean longest inward run",
+            "min over agents",
+            "bound",
+            "fraction satisfying",
+            "verdict",
+        ],
+        rows=rows,
+        notes=[
+            f"network n={n} (enters the bound), {params['agents']} conditioned",
+            "corner agents per window via conditional perfect simulation;",
+            "runs split at mid-step turns, under-estimating the lemma's segment.",
+        ],
+        passed=all(checks),
+    )
+
+
+EXPERIMENT = ExperimentSpec(
+    id=EXPERIMENT_ID,
+    title="Good inward segments of corner agents (Lemma 14)",
+    paper_ref="Lemma 14",
+    description="Conditioned corner agents' longest inward runs vs the Lemma-14 bound.",
+    runner=run,
+)

@@ -1,0 +1,108 @@
+"""Lemma 7: the density condition — CZ cores hold ``eta log n`` agents.
+
+Mechanism check.  A Central-Zone cell of mass ``F log n / n`` (``F`` =
+Definition 4's threshold factor) holds ``F log n`` agents in expectation;
+its core (1/9 of the area) about ``F log n / 9``.  The lemma's event *D*
+(every CZ core above ``eta log n`` at every step) therefore needs a large
+enough ``F`` — the paper's un-optimized ``F = 3/8`` relies on its equally
+un-optimized radius constant.  We sweep ``F`` at a fixed generous radius
+and record the *minimum* core occupancy over all CZ cells and steps: it
+must track ``F log n / 9`` and exceed ``log n`` once ``F`` is large —
+exactly Lemma 7's content with calibrated constants.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.cells import CellGrid
+from repro.core.density import DensityCondition
+from repro.core.zones import ZonePartition
+from repro.experiments.base import ExperimentResult, ExperimentSpec, scale_params
+from repro.mobility.mrwp import ManhattanRandomWaypoint
+
+EXPERIMENT_ID = "lemma7_density"
+
+
+def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+    params = scale_params(
+        scale,
+        quick={"n": 4_000, "fractions": [0.05, 0.3, 0.8], "steps": 20},
+        full={"n": 20_000, "fractions": [0.015, 0.05, 0.15, 0.3, 0.5, 0.8], "steps": 80},
+    )
+    n = params["n"]
+    side = math.sqrt(n)
+    log_n = math.log(n)
+    radius = 10.0 * math.sqrt(log_n)  # generous cells so large F keeps a CZ
+    grid = CellGrid.for_radius(side, radius)
+    model = ManhattanRandomWaypoint(
+        n, side, speed=radius / 8.0, rng=np.random.default_rng(seed)
+    )
+    # The largest usable Definition-4 factor at this grid: the densest
+    # cell's mass expressed in log n / n units.  Factors are chosen as
+    # fractions of it so the Central Zone never empties.
+    max_factor = float(grid.all_cell_masses().max()) * n / log_n
+    factors = [round(frac * max_factor, 2) for frac in params["fractions"]]
+
+    rows = []
+    min_occs = []
+    for factor in factors:
+        zones = ZonePartition(grid, n, threshold_factor=factor)
+        if zones.n_central_cells == 0:
+            rows.append([factor, 0, "-", "-", "-", "-"])
+            continue
+        condition = DensityCondition(grid, zones, eta=1.0)
+        model.reset(np.random.default_rng(seed))
+        report = condition.monitor(model, params["steps"])
+        min_occ = int(report["min_occupancy"].min())
+        predicted = factor * log_n / 9.0
+        min_occs.append(min_occ)
+        rows.append(
+            [
+                factor,
+                zones.n_central_cells,
+                min_occ,
+                round(predicted, 1),
+                round(log_n, 2),
+                round(min_occ / log_n, 2),
+            ]
+        )
+
+    # Lemma 7 asks for "eta log n for a suitable positive constant eta"; the
+    # minimum over |CZ| * steps Poisson draws sits well below the per-cell
+    # mean, so eta = 0.5 is the declared constant of the check.
+    eta = 0.5
+    monotone = all(b >= a for a, b in zip(min_occs, min_occs[1:]))
+    achieves_logn = bool(min_occs) and min_occs[-1] >= eta * log_n
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Density condition in CZ cores (Lemma 7)",
+        paper_ref="Lemma 7 / Definition 4",
+        headers=[
+            "threshold factor F",
+            "CZ cells",
+            "min core occupancy (all cells, all steps)",
+            "predicted F log n / 9",
+            "log n",
+            "min occ / log n",
+        ],
+        rows=rows,
+        notes=[
+            f"n={n}, L={side:.1f}, R={radius:.1f} (m={grid.m}), {params['steps']} steps;",
+            f"factors are fractions of the max usable Def-4 factor ({max_factor:.1f})",
+            "at this grid; minimum core occupancy tracks F log n / 9 and exceeds",
+            "eta log n (eta = 0.5, the lemma's 'suitable constant') at large F.",
+        ],
+        passed=monotone and achieves_logn,
+    )
+
+
+EXPERIMENT = ExperimentSpec(
+    id=EXPERIMENT_ID,
+    title="Density condition in CZ cores (Lemma 7)",
+    paper_ref="Lemma 7 / Definition 4",
+    description="Minimum CZ-core occupancy vs the Definition-4 threshold factor.",
+    runner=run,
+)

@@ -1,0 +1,96 @@
+"""Extension: random trip speeds — the speed-decay trap and its exact fix.
+
+When each trip draws its speed from ``Uniform[v_min, v_max]``, a cold-
+started simulation's average speed *decays* over time toward the
+duration-biased mean ``(v_max - v_min)/ln(v_max/v_min)`` — the classic
+"random waypoint considered harmful" artifact that skews any
+mobility-dependent measurement (flooding time included).  Perfect
+simulation starts at the stationary law and shows no transient; the
+spatial law meanwhile stays Theorem 1 exactly (speed and geometry
+factorize).  All three facts are measured here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.validation import spatial_distribution_tv
+from repro.experiments.base import ExperimentResult, ExperimentSpec, scale_params
+from repro.mobility.speed_range import (
+    RandomSpeedManhattanWaypoint,
+    cold_start_speed_decay,
+    stationary_mean_speed,
+)
+
+EXPERIMENT_ID = "speed_decay"
+SIDE = 30.0
+
+
+def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+    params = scale_params(
+        scale,
+        quick={"agents": 10_000, "steps": 200, "checkpoints": 4},
+        full={"agents": 50_000, "steps": 1_000, "checkpoints": 8},
+    )
+    v_min, v_max = 0.05, 1.0
+    agents = params["agents"]
+
+    # Cold start: the decay curve.
+    decay = cold_start_speed_decay(
+        agents, SIDE, v_min, v_max, steps=params["steps"],
+        rng=np.random.default_rng(seed),
+        every=max(1, params["steps"] // params["checkpoints"]),
+    )
+    rows = [["-- cold start --", "", ""]]
+    for step, speed in zip(decay["steps"], decay["mean_speed"]):
+        rows.append([int(step), round(float(speed), 4), ""])
+
+    # Perfect simulation: no transient.
+    model = RandomSpeedManhattanWaypoint(
+        agents, SIDE, v_min, v_max, rng=np.random.default_rng(seed + 1)
+    )
+    start_speed = model.mean_current_speed
+    model.advance(params["steps"] // 4)
+    end_speed = model.mean_current_speed
+    tv = spatial_distribution_tv(model.positions, SIDE, bins=8)
+    stationary = stationary_mean_speed(v_min, v_max)
+    rows.append(["-- perfect simulation --", "", ""])
+    rows.append(["step 0", round(start_speed, 4), ""])
+    rows.append([f"step {params['steps'] // 4}", round(end_speed, 4), ""])
+    rows.append(["stationary mean (theory)", round(stationary, 4), ""])
+    rows.append(["uniform mean (biased start)", round(decay["uniform_mean"], 4), ""])
+    rows.append(["spatial TV vs Theorem 1", round(tv, 4), ""])
+
+    series = decay["mean_speed"]
+    gap0 = series[0] - stationary
+    gap_end = series[-1] - stationary
+    decays = series[-1] < series[0] and gap_end < 0.5 * gap0
+    no_transient = (
+        abs(start_speed - stationary) <= 0.03 * stationary
+        and abs(end_speed - stationary) <= 0.03 * stationary
+    )
+    spatial_ok = tv < 0.05
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Random trip speeds: decay transient vs perfect simulation",
+        paper_ref="Section 3 direction / Random-Trip literature (refs [21-23])",
+        headers=["checkpoint", "mean current speed", ""],
+        rows=rows,
+        notes=[
+            f"speed range [{v_min}, {v_max}]: uniform mean {decay['uniform_mean']:.3f}, "
+            f"stationary (duration-biased) mean {stationary:.3f};",
+            "cold starts decay toward the stationary mean — the 'considered",
+            "harmful' artifact; perfect simulation starts there (no transient)",
+            "and the spatial law remains Theorem 1 (speed/geometry factorize).",
+        ],
+        passed=decays and no_transient and spatial_ok,
+    )
+
+
+EXPERIMENT = ExperimentSpec(
+    id=EXPERIMENT_ID,
+    title="Random trip speeds: decay transient vs perfect simulation",
+    paper_ref="Section 3 direction / Random-Trip literature (refs [21-23])",
+    description="Speed-decay transient of cold starts vs the exact stationary speed law.",
+    runner=run,
+)

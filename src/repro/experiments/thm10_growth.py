@@ -1,0 +1,112 @@
+"""Theorem 10: informed-cell growth in the Central Zone.
+
+The proof machinery: the informed-cell set satisfies
+``|Q_{t+1}| >= |Q_t| + sqrt(min(|Q_t|, |CZ| - |Q_t|))`` w.h.p. (Lemmas 8-9),
+which forces completion within ``5 sqrt(|CZ|) <= 18 L/R`` steps (Claim 11).
+We track ``|Q_t|`` on live flooding runs and measure how often the
+recurrence holds step-by-step, plus the time to all-cells-informed against
+both bounds.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core import theory
+from repro.core.cells import CellGrid
+from repro.core.spread import InformedCellTracker, claim11_completion_steps, growth_deficits
+from repro.core.zones import ZonePartition
+from repro.experiments.base import ExperimentResult, ExperimentSpec, scale_params
+from repro.mobility.mrwp import ManhattanRandomWaypoint
+from repro.protocols.flooding import FloodingProtocol
+from repro.simulation.engine import Simulation
+
+EXPERIMENT_ID = "thm10_growth"
+
+
+def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+    params = scale_params(
+        scale,
+        quick={"n": 4_000, "radius_factor": 2.6, "trials": 3},
+        full={"n": 16_000, "radius_factor": 2.6, "trials": 8},
+    )
+    n = params["n"]
+    side = math.sqrt(n)
+    radius = params["radius_factor"] * math.sqrt(math.log(n))
+    speed = theory.speed_assumption_max(radius)
+    grid = CellGrid.for_radius(side, radius)
+    zones = ZonePartition(grid, n)
+
+    rows = []
+    checks = []
+    for trial in range(params["trials"]):
+        rng = np.random.default_rng([seed, trial])
+        model = ManhattanRandomWaypoint(n, side, speed, rng=rng)
+        # Source near the center so Q_0 >= 1 (Theorem 10's hypothesis).
+        center = np.array([side / 2, side / 2])
+        source = int(np.argmin(np.linalg.norm(model.positions - center, axis=1)))
+        protocol = FloodingProtocol(n, side, radius, source)
+        tracker = InformedCellTracker(grid, zones)
+        simulation = Simulation(model, protocol, observers=[tracker])
+        simulation.run(2_000)
+
+        q = tracker.q_series()
+        total = zones.n_central_cells
+        complete_steps = np.nonzero(q >= total)[0]
+        completion = int(complete_steps[0]) if complete_steps.size else math.inf
+        deficits = growth_deficits(q, total)
+        hold_fraction = float(np.mean(deficits >= 0)) if deficits.size else 1.0
+        claim11 = claim11_completion_steps(total)
+        thm10 = theory.cz_flooding_bound(side, radius)
+        ok = (
+            math.isfinite(completion)
+            and completion <= thm10
+            and hold_fraction >= 0.9
+        )
+        checks.append(ok)
+        rows.append(
+            [
+                trial,
+                total,
+                completion,
+                claim11,
+                round(thm10, 1),
+                round(hold_fraction, 3),
+                int(deficits.size),
+                "ok" if ok else "off",
+            ]
+        )
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Informed-cell growth in the Central Zone (Theorem 10)",
+        paper_ref="Theorem 10 / Lemmas 8-9 / Claim 11",
+        headers=[
+            "trial",
+            "|CZ| cells",
+            "all-cells-informed step",
+            "Claim 11 bound 5 sqrt|CZ|",
+            "Thm 10 bound 18 L/R",
+            "recurrence hold fraction",
+            "growth steps checked",
+            "verdict",
+        ],
+        rows=rows,
+        notes=[
+            f"n={n}, R={radius:.2f} (m={grid.m}), v={speed:.3f} (slow-mobility max);",
+            "recurrence: |Q_t+1| >= |Q_t| + sqrt(min(|Q_t|, |CZ|-|Q_t|)) per step;",
+            "occasional violations are the w.h.p. slack — 90% per-step hold required.",
+        ],
+        passed=all(checks),
+    )
+
+
+EXPERIMENT = ExperimentSpec(
+    id=EXPERIMENT_ID,
+    title="Informed-cell growth in the Central Zone (Theorem 10)",
+    paper_ref="Theorem 10 / Lemmas 8-9 / Claim 11",
+    description="Step-by-step Lemma-9 growth recurrence and completion vs 18 L/R.",
+    runner=run,
+)

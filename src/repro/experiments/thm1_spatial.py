@@ -1,0 +1,91 @@
+"""Theorem 1 validation: the stationary spatial pdf, three ways.
+
+Compares against the closed form (total-variation distance on a grid):
+
+1. the Palm perfect-simulation sampler,
+2. the closed-form mixture sampler (independent implementation),
+3. the **MRWP process itself** after stepping a stationary start — the
+   end-to-end check that the dynamics preserve the published stationary law.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.empirical import analytic_cell_probabilities
+from repro.analysis.validation import spatial_distribution_tv
+from repro.experiments.base import ExperimentResult, ExperimentSpec, scale_params
+from repro.mobility.distributions import spatial_pdf
+from repro.mobility.mrwp import ManhattanRandomWaypoint
+from repro.mobility.stationary import ClosedFormStationarySampler, PalmStationarySampler
+
+EXPERIMENT_ID = "thm1_spatial"
+SIDE = 50.0
+BINS = 10
+
+
+def _noise_floor(n_samples: int) -> float:
+    analytic = analytic_cell_probabilities(
+        lambda x, y: spatial_pdf(x, y, SIDE), SIDE, BINS
+    ).ravel()
+    return float(
+        0.5 * np.sum(np.sqrt(2.0 * analytic * (1.0 - analytic) / (np.pi * n_samples)))
+    )
+
+
+def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+    params = scale_params(
+        scale,
+        quick={"n_samples": 30_000, "process_agents": 8_000, "process_steps": 25},
+        full={"n_samples": 300_000, "process_agents": 50_000, "process_steps": 100},
+    )
+    rng = np.random.default_rng(seed)
+    n_samples = params["n_samples"]
+
+    rows = []
+    checks = []
+
+    palm = PalmStationarySampler(SIDE).sample(n_samples, rng)
+    tv = spatial_distribution_tv(palm.positions, SIDE, BINS)
+    floor = _noise_floor(n_samples)
+    rows.append(["Palm sampler", n_samples, tv, floor, tv / floor])
+    checks.append(tv <= 3.0 * floor)
+
+    closed = ClosedFormStationarySampler(SIDE).sample(n_samples, rng)
+    tv = spatial_distribution_tv(closed.positions, SIDE, BINS)
+    rows.append(["closed-form sampler", n_samples, tv, floor, tv / floor])
+    checks.append(tv <= 3.0 * floor)
+
+    agents = params["process_agents"]
+    model = ManhattanRandomWaypoint(
+        agents, SIDE, speed=0.02 * SIDE, rng=np.random.default_rng(seed + 1)
+    )
+    model.advance(params["process_steps"])
+    tv = spatial_distribution_tv(model.positions, SIDE, BINS)
+    floor_p = _noise_floor(agents)
+    rows.append(
+        [f"MRWP process (+{params['process_steps']} steps)", agents, tv, floor_p, tv / floor_p]
+    )
+    checks.append(tv <= 3.0 * floor_p)
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="Stationary spatial distribution vs Theorem 1",
+        paper_ref="Theorem 1",
+        headers=["source", "samples", "TV distance", "noise floor", "ratio"],
+        rows=rows,
+        notes=[
+            "the noise floor is the expected TV of an *exact* sampler at this sample size;",
+            "ratios near 1 mean the samplers are statistically indistinguishable from Thm 1.",
+        ],
+        passed=all(checks),
+    )
+
+
+EXPERIMENT = ExperimentSpec(
+    id=EXPERIMENT_ID,
+    title="Stationary spatial distribution vs Theorem 1",
+    paper_ref="Theorem 1",
+    description="TV distance of both perfect samplers and the stepped MRWP process to the closed form.",
+    runner=run,
+)

@@ -1,0 +1,205 @@
+"""Neighbor engines: a uniform interface over spatial indexes.
+
+The simulation core only needs three primitives per snapshot:
+
+* ``any_within(sources, queries, r)`` — which query points have a source
+  point within Euclidean distance ``r`` (flooding's infection test);
+* ``count_within(...)`` — occupancy counts (density condition, Lemma 7);
+* ``pairs_within(points, r)`` — all edges of the disk graph ``G_t``.
+
+Two interchangeable backends implement them:
+
+* :class:`GridNeighborEngine` — the pure-numpy bucket grid of
+  :mod:`repro.geometry.grid` (no dependencies beyond numpy);
+* :class:`KDTreeNeighborEngine` — scipy's cKDTree, typically faster for
+  large ``n``.
+
+Use :func:`make_engine` to construct one by name; ``"auto"`` picks the
+KD-tree when scipy is importable and falls back to the grid otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.grid import GridIndex
+from repro.geometry.points import as_points
+
+__all__ = [
+    "NeighborEngine",
+    "GridNeighborEngine",
+    "KDTreeNeighborEngine",
+    "BruteForceNeighborEngine",
+    "make_engine",
+    "available_backends",
+]
+
+
+class NeighborEngine:
+    """Interface for radius-based neighbor queries on a square region."""
+
+    name = "abstract"
+
+    def __init__(self, side: float):
+        if side <= 0:
+            raise ValueError(f"side must be positive, got {side}")
+        self.side = float(side)
+
+    def any_within(self, sources, queries, radius: float) -> np.ndarray:
+        """Mask over ``queries``: has >= 1 point of ``sources`` within ``radius``."""
+        raise NotImplementedError
+
+    def count_within(self, sources, queries, radius: float) -> np.ndarray:
+        """Per-query count of ``sources`` points within ``radius``."""
+        raise NotImplementedError
+
+    def pairs_within(self, points, radius: float) -> np.ndarray:
+        """All unordered pairs of ``points`` within ``radius``; shape ``(k, 2)``."""
+        raise NotImplementedError
+
+
+class GridNeighborEngine(NeighborEngine):
+    """Bucket-grid backend (pure numpy)."""
+
+    name = "grid"
+
+    def __init__(self, side: float, cell_size: float = None):
+        super().__init__(side)
+        self._cell_size = cell_size
+
+    def _index(self, points, radius: float) -> GridIndex:
+        cell = self._cell_size if self._cell_size is not None else max(radius, self.side / 512.0)
+        index = GridIndex(self.side, cell)
+        index.build(points)
+        return index
+
+    def any_within(self, sources, queries, radius: float) -> np.ndarray:
+        sources = as_points(sources)
+        queries = as_points(queries)
+        if sources.shape[0] == 0:
+            return np.zeros(queries.shape[0], dtype=bool)
+        return self._index(sources, radius).any_within(queries, radius)
+
+    def count_within(self, sources, queries, radius: float) -> np.ndarray:
+        sources = as_points(sources)
+        queries = as_points(queries)
+        if sources.shape[0] == 0:
+            return np.zeros(queries.shape[0], dtype=np.intp)
+        return self._index(sources, radius).count_within(queries, radius)
+
+    def pairs_within(self, points, radius: float) -> np.ndarray:
+        points = as_points(points)
+        if points.shape[0] == 0:
+            return np.empty((0, 2), dtype=np.intp)
+        return self._index(points, radius).pairs_within(radius)
+
+
+class KDTreeNeighborEngine(NeighborEngine):
+    """scipy cKDTree backend.
+
+    Raises:
+        ImportError: when scipy is not installed; use ``make_engine("auto")``
+            to fall back gracefully.
+    """
+
+    name = "kdtree"
+
+    def __init__(self, side: float):
+        super().__init__(side)
+        from scipy.spatial import cKDTree  # noqa: F401 - import check
+
+        self._cKDTree = cKDTree
+
+    def any_within(self, sources, queries, radius: float) -> np.ndarray:
+        sources = as_points(sources)
+        queries = as_points(queries)
+        if sources.shape[0] == 0 or queries.shape[0] == 0:
+            return np.zeros(queries.shape[0], dtype=bool)
+        tree = self._cKDTree(sources)
+        dist, _ = tree.query(queries, k=1, distance_upper_bound=radius * (1 + 1e-12))
+        return np.isfinite(dist)
+
+    def count_within(self, sources, queries, radius: float) -> np.ndarray:
+        sources = as_points(sources)
+        queries = as_points(queries)
+        if sources.shape[0] == 0 or queries.shape[0] == 0:
+            return np.zeros(queries.shape[0], dtype=np.intp)
+        tree = self._cKDTree(sources)
+        counts = tree.query_ball_point(queries, r=radius, return_length=True)
+        return np.asarray(counts, dtype=np.intp)
+
+    def pairs_within(self, points, radius: float) -> np.ndarray:
+        points = as_points(points)
+        if points.shape[0] == 0:
+            return np.empty((0, 2), dtype=np.intp)
+        tree = self._cKDTree(points)
+        pairs = tree.query_pairs(r=radius, output_type="ndarray")
+        return pairs.astype(np.intp, copy=False)
+
+
+class BruteForceNeighborEngine(NeighborEngine):
+    """O(n*m) reference implementation used to validate the real engines."""
+
+    name = "brute"
+
+    def any_within(self, sources, queries, radius: float) -> np.ndarray:
+        sources = as_points(sources)
+        queries = as_points(queries)
+        if sources.shape[0] == 0:
+            return np.zeros(queries.shape[0], dtype=bool)
+        diff = queries[:, None, :] - sources[None, :, :]
+        dist2 = np.sum(diff * diff, axis=-1)
+        return np.any(dist2 <= radius * radius, axis=1)
+
+    def count_within(self, sources, queries, radius: float) -> np.ndarray:
+        sources = as_points(sources)
+        queries = as_points(queries)
+        if sources.shape[0] == 0:
+            return np.zeros(queries.shape[0], dtype=np.intp)
+        diff = queries[:, None, :] - sources[None, :, :]
+        dist2 = np.sum(diff * diff, axis=-1)
+        return np.sum(dist2 <= radius * radius, axis=1).astype(np.intp)
+
+    def pairs_within(self, points, radius: float) -> np.ndarray:
+        points = as_points(points)
+        n = points.shape[0]
+        if n == 0:
+            return np.empty((0, 2), dtype=np.intp)
+        diff = points[:, None, :] - points[None, :, :]
+        dist2 = np.sum(diff * diff, axis=-1)
+        i, j = np.nonzero(np.triu(dist2 <= radius * radius, k=1))
+        return np.stack([i, j], axis=1).astype(np.intp)
+
+
+_BACKENDS = {
+    "grid": GridNeighborEngine,
+    "kdtree": KDTreeNeighborEngine,
+    "brute": BruteForceNeighborEngine,
+}
+
+
+def available_backends() -> list:
+    """Names of neighbor-engine backends importable in this environment."""
+    names = ["grid", "brute"]
+    try:
+        import scipy.spatial  # noqa: F401
+
+        names.insert(0, "kdtree")
+    except ImportError:  # pragma: no cover - depends on environment
+        pass
+    return names
+
+
+def make_engine(backend: str, side: float) -> NeighborEngine:
+    """Construct a neighbor engine by name.
+
+    Args:
+        backend: ``"grid"``, ``"kdtree"``, ``"brute"``, or ``"auto"``
+            (kdtree if scipy is available, else grid).
+        side: side length of the square region.
+    """
+    if backend == "auto":
+        backend = "kdtree" if "kdtree" in available_backends() else "grid"
+    if backend not in _BACKENDS:
+        raise ValueError(f"unknown neighbor backend {backend!r}; expected one of {sorted(_BACKENDS)} or 'auto'")
+    return _BACKENDS[backend](side)

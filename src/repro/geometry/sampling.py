@@ -1,0 +1,90 @@
+"""Low-level random samplers used by the mobility models.
+
+These implement the distribution shapes that show up in the MRWP stationary
+analysis (Section 2 / refs [12, 13, 21, 22] of the paper):
+
+* ``sample_uniform_square`` — way-point selection (destinations are uniform);
+* ``sample_length_biased_pair`` — a pair ``(a, b) in [0, L]^2`` with density
+  proportional to ``|a - b|``.  Palm calculus says a stationary trip's
+  endpoints are length-biased: the probability of observing a trip is
+  proportional to its duration, i.e. its Manhattan length
+  ``|x1-x0| + |y1-y0|``; that L1 length splits into per-axis terms, which is
+  what makes this 1-D primitive sufficient (see
+  :mod:`repro.mobility.stationary`);
+* ``sample_beta22`` — the ``6 x (L - x) / L^3`` marginal that appears in the
+  spatial pdf of Theorem 1 (a scaled Beta(2, 2)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sample_uniform_square",
+    "sample_beta22",
+    "sample_length_biased_pair",
+    "sample_uniform_disk",
+]
+
+
+def sample_uniform_square(n: int, side: float, rng: np.random.Generator) -> np.ndarray:
+    """``n`` i.i.d. uniform points on ``[0, side]^2`` (shape ``(n, 2)``)."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return rng.uniform(0.0, side, size=(n, 2))
+
+
+def sample_beta22(n: int, side: float, rng: np.random.Generator) -> np.ndarray:
+    """``n`` samples from the pdf ``6 x (side - x) / side^3`` on ``[0, side]``.
+
+    This is a Beta(2, 2) scaled to ``[0, side]``; it is the non-uniform
+    coordinate in the mixture decomposition of Theorem 1's spatial pdf
+    ``f(x, y) = (3 / L^4) * (x(L-x) + y(L-y))``.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return side * rng.beta(2.0, 2.0, size=n)
+
+
+def sample_length_biased_pair(n: int, side: float, rng: np.random.Generator) -> np.ndarray:
+    """``n`` pairs ``(a, b)`` on ``[0, side]^2`` with density ``∝ |a - b|``.
+
+    Implemented by rejection against the uniform proposal with acceptance
+    probability ``|a - b| / side`` (worst-case acceptance rate 1/3, so the
+    expected number of proposal rounds is small and bounded).
+
+    Returns:
+        array of shape ``(n, 2)`` with columns ``a`` and ``b``.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if side <= 0:
+        raise ValueError(f"side must be positive, got {side}")
+    out = np.empty((n, 2), dtype=np.float64)
+    filled = 0
+    while filled < n:
+        want = n - filled
+        # Propose ~3x the deficit to keep the loop count ~O(1).
+        batch = max(32, int(3.2 * want))
+        a = rng.uniform(0.0, side, size=batch)
+        b = rng.uniform(0.0, side, size=batch)
+        accept = rng.uniform(0.0, 1.0, size=batch) * side <= np.abs(a - b)
+        a = a[accept][:want]
+        b = b[accept][:want]
+        out[filled:filled + a.size, 0] = a
+        out[filled:filled + a.size, 1] = b
+        filled += a.size
+    return out
+
+
+def sample_uniform_disk(n: int, radius: float, rng: np.random.Generator) -> np.ndarray:
+    """``n`` i.i.d. uniform points in the disk of given ``radius`` about 0.
+
+    Used by the random-walk mobility baseline (paper refs [10, 11]), whose
+    agents jump to a uniform point of the radius-``rho`` disk each step.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    r = radius * np.sqrt(rng.uniform(0.0, 1.0, size=n))
+    theta = rng.uniform(0.0, 2.0 * np.pi, size=n)
+    return np.stack([r * np.cos(theta), r * np.sin(theta)], axis=1)

@@ -1,0 +1,90 @@
+"""Mobility substrate: the MRWP model, baselines, and stationary samplers."""
+
+from repro.mobility.base import MobilityModel, record_trajectory
+from repro.mobility.distributions import (
+    QUADRANTS,
+    SEGMENTS,
+    cell_mass,
+    cross_probability,
+    cross_probability_total,
+    destination_pdf,
+    mean_trip_length,
+    quadrant_masses,
+    region_mass,
+    spatial_marginal_cdf,
+    spatial_marginal_pdf,
+    spatial_pdf,
+    spatial_pdf_max,
+    spatial_pdf_min,
+)
+from repro.mobility.ferry import CompositeMobility, FerryPatrol, rectangle_route
+from repro.mobility.mrwp import ManhattanRandomWaypoint
+from repro.mobility.pause import (
+    ManhattanRandomWaypointWithPause,
+    moving_probability,
+    spatial_pdf_with_pause,
+)
+from repro.mobility.random_direction import RandomDirection
+from repro.mobility.random_walk import RandomWalk
+from repro.mobility.rwp import RandomWaypoint
+from repro.mobility.speed_range import (
+    RandomSpeedManhattanWaypoint,
+    cold_start_speed_decay,
+    sample_stationary_speeds,
+    stationary_mean_speed,
+)
+from repro.mobility.stationary import (
+    ClosedFormStationarySampler,
+    KinematicState,
+    PalmStationarySampler,
+    sample_destination_given_position,
+    sample_stationary_positions,
+)
+
+MODEL_REGISTRY = {
+    "mrwp": ManhattanRandomWaypoint,
+    "mrwp-pause": ManhattanRandomWaypointWithPause,
+    "rwp": RandomWaypoint,
+    "random-walk": RandomWalk,
+    "random-direction": RandomDirection,
+}
+"""Name -> class mapping used by the CLI and the ablation experiments."""
+
+__all__ = [
+    "MobilityModel",
+    "record_trajectory",
+    "ManhattanRandomWaypoint",
+    "ManhattanRandomWaypointWithPause",
+    "moving_probability",
+    "spatial_pdf_with_pause",
+    "RandomWaypoint",
+    "RandomWalk",
+    "RandomDirection",
+    "RandomSpeedManhattanWaypoint",
+    "stationary_mean_speed",
+    "sample_stationary_speeds",
+    "cold_start_speed_decay",
+    "FerryPatrol",
+    "CompositeMobility",
+    "rectangle_route",
+    "MODEL_REGISTRY",
+    "KinematicState",
+    "PalmStationarySampler",
+    "ClosedFormStationarySampler",
+    "sample_stationary_positions",
+    "sample_destination_given_position",
+    "spatial_pdf",
+    "spatial_pdf_max",
+    "spatial_pdf_min",
+    "spatial_marginal_pdf",
+    "spatial_marginal_cdf",
+    "cell_mass",
+    "region_mass",
+    "destination_pdf",
+    "quadrant_masses",
+    "cross_probability",
+    "cross_probability_total",
+    "mean_trip_length",
+    "QUADRANTS",
+    "SEGMENTS",
+]

@@ -1,0 +1,92 @@
+"""Mobility-model interface.
+
+A mobility model owns the kinematic state of ``n`` agents on the square
+``[0, side]^2`` and advances all of them synchronously, one discrete time
+step at a time (the paper's time unit).  Implementations are vectorized:
+state lives in ``(n, 2)`` numpy arrays, never in per-agent objects.
+
+Concrete models:
+
+* :class:`repro.mobility.mrwp.ManhattanRandomWaypoint` — the paper's model;
+* :class:`repro.mobility.rwp.RandomWaypoint` — the classic straight-line RWP;
+* :class:`repro.mobility.random_walk.RandomWalk` — the random-walk model of
+  the authors' earlier papers (refs [10, 11]);
+* :class:`repro.mobility.random_direction.RandomDirection` — a billiard-style
+  model with a uniform stationary distribution (useful as a contrast).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["MobilityModel", "record_trajectory"]
+
+
+class MobilityModel(abc.ABC):
+    """Abstract base for synchronous agent-mobility processes.
+
+    Args:
+        n: number of agents (positive).
+        side: side length ``L`` of the square region (positive).
+        speed: distance travelled by an agent per unit time (``v`` in the
+            paper).  Models that are not constant-speed (e.g. the random
+            walk) document their own interpretation.
+        rng: numpy random generator; a fresh default generator is created
+            when omitted, but experiments should always pass a seeded one.
+    """
+
+    def __init__(self, n: int, side: float, speed: float, rng: np.random.Generator = None):
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if side <= 0:
+            raise ValueError(f"side must be positive, got {side}")
+        if speed < 0:
+            raise ValueError(f"speed must be non-negative, got {speed}")
+        self.n = int(n)
+        self.side = float(side)
+        self.speed = float(speed)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.time = 0.0
+
+    @property
+    @abc.abstractmethod
+    def positions(self) -> np.ndarray:
+        """Copy of the current agent positions, shape ``(n, 2)``."""
+
+    @abc.abstractmethod
+    def step(self, dt: float = 1.0) -> np.ndarray:
+        """Advance all agents by ``dt`` time units; returns the new positions."""
+
+    def advance(self, steps: int, dt: float = 1.0) -> np.ndarray:
+        """Run ``steps`` consecutive steps; returns the final positions."""
+        if steps < 0:
+            raise ValueError(f"steps must be non-negative, got {steps}")
+        out = self.positions
+        for _ in range(steps):
+            out = self.step(dt)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(n={self.n}, side={self.side}, "
+            f"speed={self.speed}, time={self.time})"
+        )
+
+
+def record_trajectory(model: MobilityModel, steps: int, dt: float = 1.0) -> np.ndarray:
+    """Record positions over ``steps`` steps, including the initial snapshot.
+
+    Returns:
+        array of shape ``(steps + 1, n, 2)``; row ``t`` is the position at
+        time ``model.time_at_start + t * dt``.  Used by the Lemma-13/14
+        trajectory analyses (:mod:`repro.core.turns`).
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be non-negative, got {steps}")
+    frames = np.empty((steps + 1, model.n, 2), dtype=np.float64)
+    frames[0] = model.positions
+    for t in range(1, steps + 1):
+        frames[t] = model.step(dt)
+    return frames

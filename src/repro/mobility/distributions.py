@@ -1,0 +1,239 @@
+"""Closed-form stationary distributions of the MRWP model.
+
+These are the analytical results the paper builds on:
+
+* **Theorem 1** (from ref [13]): the stationary *spatial* pdf
+
+  .. math:: f(x, y) = \\frac{3}{L^3}(x + y) - \\frac{3}{L^4}(x^2 + y^2)
+            = \\frac{3}{L^4}\\bigl(x(L-x) + y(L-y)\\bigr)
+
+* **Theorem 2** (from ref [12]): the stationary *destination* pdf
+  conditioned on the agent position ``(x0, y0)`` — constant on each of the
+  four open quadrants around the position and singular (an atom of total
+  mass 1/2) on the axis-parallel *cross* through the position;
+
+* **Equations 4–5**: the cross-segment probabilities
+  ``phi^S = phi^N = y0 (L - y0) / (4 L (x0+y0) - 4 (x0^2+y0^2))`` and
+  ``phi^W = phi^E = x0 (L - x0) / (...)``;
+
+* **Observation 5**: the closed-form probability mass of an axis-aligned
+  square cell, used to define the Central Zone (Definition 4).
+
+All functions broadcast over numpy arrays.  The quadrant naming convention
+is relative to the conditioning position: ``SW`` means destination with
+``x < x0 and y < y0``, etc.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "spatial_pdf",
+    "spatial_pdf_max",
+    "spatial_pdf_min",
+    "spatial_marginal_pdf",
+    "spatial_marginal_cdf",
+    "cell_mass",
+    "region_mass",
+    "destination_pdf",
+    "quadrant_masses",
+    "cross_probability",
+    "cross_probability_total",
+    "mean_trip_length",
+    "QUADRANTS",
+    "SEGMENTS",
+]
+
+#: Quadrant labels, in the fixed order used by array-returning functions.
+QUADRANTS = ("SW", "SE", "NW", "NE")
+#: Cross-segment labels (destinations on the axis-parallel cross).
+SEGMENTS = ("S", "N", "W", "E")
+
+
+def _validate_side(side: float) -> float:
+    if side <= 0:
+        raise ValueError(f"side must be positive, got {side}")
+    return float(side)
+
+
+def spatial_pdf(x, y, side: float):
+    """Stationary spatial pdf ``f(x, y)`` of Theorem 1.
+
+    Zero outside ``[0, side]^2``.  Broadcasts over array inputs.
+    """
+    side = _validate_side(side)
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    inside = (x >= 0) & (x <= side) & (y >= 0) & (y <= side)
+    value = 3.0 / side**4 * (x * (side - x) + y * (side - y))
+    return np.where(inside, value, 0.0)
+
+
+def spatial_pdf_max(side: float) -> float:
+    """Maximum of the spatial pdf, attained at the center ``(L/2, L/2)``."""
+    side = _validate_side(side)
+    return 3.0 / (2.0 * side * side)
+
+
+def spatial_pdf_min(side: float) -> float:
+    """Minimum of the spatial pdf over the square (0, at the corners)."""
+    _validate_side(side)
+    return 0.0
+
+
+def spatial_marginal_pdf(x, side: float):
+    """Marginal pdf of one coordinate: ``f_X(x) = 3 x (L-x)/L^3 + 1/(2L)``.
+
+    Obtained by integrating Theorem 1's pdf over the other coordinate.
+    """
+    side = _validate_side(side)
+    x = np.asarray(x, dtype=np.float64)
+    inside = (x >= 0) & (x <= side)
+    value = 3.0 * x * (side - x) / side**3 + 0.5 / side
+    return np.where(inside, value, 0.0)
+
+
+def spatial_marginal_cdf(x, side: float):
+    """CDF of the coordinate marginal (integral of :func:`spatial_marginal_pdf`)."""
+    side = _validate_side(side)
+    x = np.clip(np.asarray(x, dtype=np.float64), 0.0, side)
+    return (3.0 * x * x / 2.0 * side - x**3) / side**3 + x / (2.0 * side)
+
+
+def cell_mass(x0, y0, cell_side, side: float):
+    """Probability mass of the cell ``[x0, x0+l] x [y0, y0+l]`` (Observation 5).
+
+    Args:
+        x0, y0: the cell's south-west corner (broadcastable arrays).
+        cell_side: the cell side length ``l``.
+        side: the square side ``L``.
+
+    The closed form is
+    ``(3 l^2 / L^4) ( l/3 (3L - 2l) + x0 (L - l - x0) + y0 (L - l - y0) )``.
+    """
+    side = _validate_side(side)
+    if np.any(np.asarray(cell_side) <= 0):
+        raise ValueError("cell_side must be positive")
+    x0 = np.asarray(x0, dtype=np.float64)
+    y0 = np.asarray(y0, dtype=np.float64)
+    ell = np.asarray(cell_side, dtype=np.float64)
+    return (
+        3.0 * ell * ell / side**4
+        * (ell / 3.0 * (3.0 * side - 2.0 * ell) + x0 * (side - ell - x0) + y0 * (side - ell - y0))
+    )
+
+
+def region_mass(x_lo, y_lo, x_hi, y_hi, side: float):
+    """Probability mass of an arbitrary axis-aligned rectangle under Theorem 1.
+
+    Exact integral of the spatial pdf, used for lower-bound constructions
+    (Theorem 18's corner squares) and for validation.
+    """
+    side = _validate_side(side)
+
+    def _g_integral(lo, hi):
+        # integral of t (L - t) dt over [lo, hi]
+        lo = np.asarray(lo, dtype=np.float64)
+        hi = np.asarray(hi, dtype=np.float64)
+        return side * (hi**2 - lo**2) / 2.0 - (hi**3 - lo**3) / 3.0
+
+    x_lo = np.asarray(x_lo, dtype=np.float64)
+    x_hi = np.asarray(x_hi, dtype=np.float64)
+    y_lo = np.asarray(y_lo, dtype=np.float64)
+    y_hi = np.asarray(y_hi, dtype=np.float64)
+    width = x_hi - x_lo
+    height = y_hi - y_lo
+    return 3.0 / side**4 * (height * _g_integral(x_lo, x_hi) + width * _g_integral(y_lo, y_hi))
+
+
+def _denominator(x0, y0, side: float):
+    """Common denominator ``4 L (x0+y0) - 4 (x0^2+y0^2)`` of Theorem 2 / Eqs 4-5."""
+    return 4.0 * (x0 * (side - x0) + y0 * (side - y0))
+
+
+def destination_pdf(x0, y0, x, y, side: float):
+    """Stationary destination pdf ``f_{(x0,y0)}(x, y)`` of Theorem 2.
+
+    Returns the constant quadrant density for off-cross destinations and
+    ``numpy.inf`` on the cross (where the distribution has atoms; their
+    masses are given by :func:`cross_probability`).
+    """
+    side = _validate_side(side)
+    x0 = np.asarray(x0, dtype=np.float64)
+    y0 = np.asarray(y0, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    denom = _denominator(x0, y0, side)
+
+    sw = (x < x0) & (y < y0)
+    ne = (x > x0) & (y > y0)
+    nw = (x < x0) & (y > y0)
+    se = (x > x0) & (y < y0)
+
+    value = np.full(np.broadcast(x0, y0, x, y).shape, np.inf, dtype=np.float64)
+    numerator = np.where(
+        sw,
+        2.0 * side - x0 - y0,
+        np.where(ne, x0 + y0, np.where(nw, side - x0 + y0, np.where(se, side + x0 - y0, np.nan))),
+    )
+    off_cross = sw | ne | nw | se
+    # Theorem 2's quadrant density is numerator / (4 L G) with
+    # G = x0(L-x0) + y0(L-y0); here denom == 4 G.
+    with np.errstate(invalid="ignore", divide="ignore"):
+        quad = numerator / (side * denom)
+    return np.where(off_cross, quad, value)
+
+
+def quadrant_masses(x0, y0, side: float) -> np.ndarray:
+    """Total destination probability of each open quadrant around ``(x0, y0)``.
+
+    Returns:
+        array with last axis of length 4 ordered as :data:`QUADRANTS`
+        (``SW, SE, NW, NE``).  The four masses sum to ``1/2``; the other
+        half of the probability sits on the cross (Section 2).
+    """
+    side = _validate_side(side)
+    x0 = np.asarray(x0, dtype=np.float64)
+    y0 = np.asarray(y0, dtype=np.float64)
+    denom = _denominator(x0, y0, side)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        sw = (2.0 * side - x0 - y0) * x0 * y0 / (side * denom)
+        se = (side + x0 - y0) * (side - x0) * y0 / (side * denom)
+        nw = (side - x0 + y0) * x0 * (side - y0) / (side * denom)
+        ne = (x0 + y0) * (side - x0) * (side - y0) / (side * denom)
+    return np.stack(np.broadcast_arrays(sw, se, nw, ne), axis=-1)
+
+
+def cross_probability(x0, y0, side: float) -> np.ndarray:
+    """Atom masses ``phi^S, phi^N, phi^W, phi^E`` of Equations 4-5.
+
+    Returns:
+        array with last axis of length 4 ordered as :data:`SEGMENTS`
+        (``S, N, W, E``): the probability that the destination lies on each
+        of the four axis-parallel segments outgoing from ``(x0, y0)``.
+    """
+    side = _validate_side(side)
+    x0 = np.asarray(x0, dtype=np.float64)
+    y0 = np.asarray(y0, dtype=np.float64)
+    denom = _denominator(x0, y0, side)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        vertical = y0 * (side - y0) / denom  # phi^S == phi^N
+        horizontal = x0 * (side - x0) / denom  # phi^W == phi^E
+    return np.stack(np.broadcast_arrays(vertical, vertical, horizontal, horizontal), axis=-1)
+
+
+def cross_probability_total(x0, y0, side: float):
+    """Total destination probability of the cross — identically ``1/2``.
+
+    Kept as an explicit function because the paper highlights the fact (a
+    region of zero area carrying half the probability) and the test suite
+    asserts it.
+    """
+    return np.sum(cross_probability(x0, y0, side), axis=-1)
+
+
+def mean_trip_length(side: float) -> float:
+    """Expected Manhattan length of a trip between two uniform points: ``2L/3``."""
+    side = _validate_side(side)
+    return 2.0 * side / 3.0

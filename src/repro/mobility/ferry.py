@@ -1,0 +1,118 @@
+"""Message-ferry mobility (paper ref [30], Zhao-Ammar-Zegura) and composition.
+
+A *message ferry* is a dedicated agent moving along a fixed patrol route to
+carry data across sparse regions — the engineering answer to the problem the
+paper solves probabilistically (information crossing the disconnected
+Suburb).  :class:`FerryPatrol` provides deterministic loop-following agents
+and :class:`CompositeMobility` glues them onto a background MRWP population,
+so the delay-tolerant-routing example can compare "wait for Lemma-16
+meetings" against "add ferries".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel
+
+__all__ = ["FerryPatrol", "CompositeMobility", "rectangle_route"]
+
+
+def rectangle_route(side: float, inset: float) -> np.ndarray:
+    """A rectangular loop at distance ``inset`` from the square's walls.
+
+    A common ferry route: it passes near all four Suburb corners.
+    """
+    if not 0 <= inset < side / 2:
+        raise ValueError(f"inset must be in [0, side/2), got {inset}")
+    lo = inset
+    hi = side - inset
+    return np.array([[lo, lo], [hi, lo], [hi, hi], [lo, hi]], dtype=np.float64)
+
+
+class FerryPatrol(MobilityModel):
+    """Deterministic agents looping along a closed polyline at constant speed.
+
+    Args:
+        n: number of ferries, spaced evenly along the route.
+        side: region side (route points must lie inside).
+        speed: ferry speed.
+        route: ``(k, 2)`` way-points of the closed loop (the segment from
+            the last point back to the first is implied).
+    """
+
+    def __init__(self, n: int, side: float, speed: float, route: np.ndarray, rng=None):
+        super().__init__(n, side, speed, rng)
+        route = np.asarray(route, dtype=np.float64)
+        if route.ndim != 2 or route.shape[1] != 2 or route.shape[0] < 2:
+            raise ValueError(f"route must have shape (k>=2, 2), got {route.shape}")
+        if np.any(route < 0) or np.any(route > side):
+            raise ValueError("route way-points must lie inside the square")
+        self.route = route
+        segments = np.diff(np.vstack([route, route[:1]]), axis=0)
+        self._seg_lengths = np.sqrt(np.sum(segments * segments, axis=1))
+        if np.any(self._seg_lengths <= 0):
+            raise ValueError("route contains zero-length segments")
+        self._cum = np.concatenate([[0.0], np.cumsum(self._seg_lengths)])
+        self.route_length = float(self._cum[-1])
+        # Even spacing along the loop.
+        self._arc = (np.arange(self.n) / self.n) * self.route_length
+
+    def _positions_at_arc(self, arc: np.ndarray) -> np.ndarray:
+        arc = np.mod(arc, self.route_length)
+        seg = np.clip(np.searchsorted(self._cum, arc, side="right") - 1, 0, len(self._seg_lengths) - 1)
+        offset = arc - self._cum[seg]
+        start = self.route[seg]
+        nxt = self.route[(seg + 1) % self.route.shape[0]]
+        direction = (nxt - start) / self._seg_lengths[seg][:, None]
+        return start + direction * offset[:, None]
+
+    @property
+    def positions(self) -> np.ndarray:
+        return self._positions_at_arc(self._arc)
+
+    def step(self, dt: float = 1.0) -> np.ndarray:
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        self._arc = np.mod(self._arc + self.speed * dt, self.route_length)
+        self.time += dt
+        return self.positions
+
+
+class CompositeMobility(MobilityModel):
+    """Concatenation of several mobility models into one agent population.
+
+    Agent indices are assigned block-wise in the order the models are given
+    (e.g. MRWP agents ``0..n-1`` followed by ferries ``n..n+f-1``).
+    """
+
+    def __init__(self, models):
+        models = list(models)
+        if not models:
+            raise ValueError("at least one model is required")
+        side = models[0].side
+        for model in models[1:]:
+            if abs(model.side - side) > 1e-9:
+                raise ValueError("all composed models must share the same side length")
+        total = sum(model.n for model in models)
+        super().__init__(total, side, max(model.speed for model in models))
+        self.models = models
+
+    @property
+    def positions(self) -> np.ndarray:
+        return np.concatenate([model.positions for model in self.models], axis=0)
+
+    def step(self, dt: float = 1.0) -> np.ndarray:
+        for model in self.models:
+            model.step(dt)
+        self.time += dt
+        return self.positions
+
+    def block_slices(self) -> list:
+        """Index slice of each composed model's agents, in composition order."""
+        out = []
+        start = 0
+        for model in self.models:
+            out.append(slice(start, start + model.n))
+            start += model.n
+        return out

@@ -1,0 +1,197 @@
+"""The Manhattan Random Way-Point (MRWP) mobility model — Section 2.
+
+Every agent repeatedly: picks a destination uniformly at random in the
+square, picks one of the two Manhattan shortest paths to it uniformly at
+random, and walks it at constant speed ``v``.  The induced Markov process
+has the non-uniform stationary spatial distribution of Theorem 1 (dense
+Central Zone, sparse corner Suburb) — the phenomenon the whole paper is
+about.
+
+The implementation is vectorized: a step advances all agents at once, with a
+carry-over loop so that an agent may finish a leg (or a whole trip) and
+continue on the next one within a single step.  Turn and arrival events are
+counted per agent, supporting the Lemma-13 turn-statistics experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.paths import choose_corners
+from repro.mobility.base import MobilityModel
+from repro.mobility.stationary import (
+    ClosedFormStationarySampler,
+    KinematicState,
+    PalmStationarySampler,
+)
+
+__all__ = ["ManhattanRandomWaypoint"]
+
+#: Safety cap on legs completed by one agent within a single step.
+_MAX_LEGS_PER_STEP = 100_000
+
+
+class ManhattanRandomWaypoint(MobilityModel):
+    """MRWP mobility over ``[0, side]^2`` (the paper's model).
+
+    Args:
+        n: number of agents.
+        side: square side length ``L``.
+        speed: agent speed ``v`` (distance per time step).
+        rng: seeded numpy generator.
+        init: initial-state mode —
+
+            * ``"stationary"`` (default): perfect simulation via the Palm
+              sampler, so the very first snapshot is already stationary;
+            * ``"closed-form"``: perfect simulation via the closed-form
+              sampler (Theorems 1-2) — statistically identical, kept as an
+              independent implementation;
+            * ``"uniform"``: uniform positions with a fresh trip each — the
+              *biased* cold start, exposed to quantify warm-up effects;
+            * a :class:`~repro.mobility.stationary.KinematicState` to resume
+              from an explicit state.
+
+    Attributes:
+        turn_counts: cumulative number of direction-change events per agent
+            (Manhattan-corner turns plus trip arrivals), as counted by the
+            paper's ``H_{t,tau}`` statistic.
+        arrival_counts: cumulative number of completed trips per agent.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        side: float,
+        speed: float,
+        rng: np.random.Generator = None,
+        init="stationary",
+    ):
+        super().__init__(n, side, speed, rng)
+        self._init_spec = init
+        state = self._make_initial_state(init)
+        self._pos = state.positions
+        self._dest = state.destinations
+        self._target = state.targets
+        self._on_second_leg = state.on_second_leg
+        self.turn_counts = np.zeros(self.n, dtype=np.int64)
+        self.arrival_counts = np.zeros(self.n, dtype=np.int64)
+        self._eps = 1e-9 * max(self.side, 1.0)
+
+    # ------------------------------------------------------------------
+    # Initialization
+    # ------------------------------------------------------------------
+    def _make_initial_state(self, init) -> KinematicState:
+        if isinstance(init, KinematicState):
+            if init.n != self.n:
+                raise ValueError(f"state has {init.n} agents, model expects {self.n}")
+            return init.copy()
+        if init == "stationary":
+            return PalmStationarySampler(self.side).sample(self.n, self.rng)
+        if init == "closed-form":
+            return ClosedFormStationarySampler(self.side).sample(self.n, self.rng)
+        if init == "uniform":
+            positions = self.rng.uniform(0.0, self.side, size=(self.n, 2))
+            dests = self.rng.uniform(0.0, self.side, size=(self.n, 2))
+            corners, _choice = choose_corners(positions, dests, self.rng)
+            on_second_leg = np.zeros(self.n, dtype=bool)
+            return KinematicState(positions, dests, corners, on_second_leg)
+        raise ValueError(
+            f"init must be 'stationary', 'closed-form', 'uniform' or a KinematicState, got {init!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+    @property
+    def positions(self) -> np.ndarray:
+        return self._pos.copy()
+
+    @property
+    def destinations(self) -> np.ndarray:
+        """Copy of the agents' current final destinations."""
+        return self._dest.copy()
+
+    @property
+    def on_second_leg(self) -> np.ndarray:
+        """Copy of the per-agent second-leg flags."""
+        return self._on_second_leg.copy()
+
+    def get_state(self) -> KinematicState:
+        """Snapshot of the full kinematic state (deep copy)."""
+        return KinematicState(
+            self._pos.copy(), self._dest.copy(), self._target.copy(), self._on_second_leg.copy()
+        )
+
+    def set_state(self, state: KinematicState) -> None:
+        """Restore a previously captured kinematic state (deep copy)."""
+        if state.n != self.n:
+            raise ValueError(f"state has {state.n} agents, model expects {self.n}")
+        self._pos = state.positions.copy()
+        self._dest = state.destinations.copy()
+        self._target = state.targets.copy()
+        self._on_second_leg = state.on_second_leg.copy()
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    def step(self, dt: float = 1.0) -> np.ndarray:
+        """Advance every agent by ``dt`` time units along its Manhattan path.
+
+        Handles leg completion with distance carry-over: when an agent
+        reaches its corner (or destination) mid-step, the residual travel
+        budget is spent on the next leg (or a freshly sampled trip).
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        budget = np.full(self.n, self.speed * dt, dtype=np.float64)
+        eps = self._eps
+        for _ in range(_MAX_LEGS_PER_STEP):
+            active = budget > eps
+            idx = np.nonzero(active)[0]
+            if idx.size == 0:
+                break
+            delta = self._target[idx] - self._pos[idx]
+            dist = np.abs(delta).sum(axis=1)  # legs are axis-aligned
+            b = budget[idx]
+            move = np.minimum(b, dist)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                frac = np.where(dist > eps, move / np.where(dist > eps, dist, 1.0), 1.0)
+            self._pos[idx] += delta * frac[:, None]
+            budget[idx] = b - move
+            reached = move >= dist - eps
+            if not np.any(reached):
+                break
+            done = idx[reached]
+            self._pos[done] = self._target[done]
+            second = self._on_second_leg[done]
+            corner_done = done[~second]
+            if corner_done.size:
+                self._on_second_leg[corner_done] = True
+                self._target[corner_done] = self._dest[corner_done]
+                self.turn_counts[corner_done] += 1
+            trip_done = done[second]
+            if trip_done.size:
+                new_dest = self.rng.uniform(0.0, self.side, size=(trip_done.size, 2))
+                corners, _choice = choose_corners(self._pos[trip_done], new_dest, self.rng)
+                self._dest[trip_done] = new_dest
+                self._target[trip_done] = corners
+                self._on_second_leg[trip_done] = False
+                self.turn_counts[trip_done] += 1
+                self.arrival_counts[trip_done] += 1
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(
+                "carry-over loop did not converge; speed is implausibly large "
+                f"relative to the square (speed={self.speed}, side={self.side})"
+            )
+        self.time += dt
+        return self.positions
+
+    def reset(self, rng: np.random.Generator = None) -> None:
+        """Re-draw the initial state (optionally with a new generator)."""
+        if rng is not None:
+            self.rng = rng
+        state = self._make_initial_state(self._init_spec)
+        self.set_state(state)
+        self.turn_counts[:] = 0
+        self.arrival_counts[:] = 0
+        self.time = 0.0

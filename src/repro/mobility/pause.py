@@ -1,0 +1,214 @@
+"""MRWP with pause times — the paper's Random-Trip extension direction.
+
+Section 3 closes with: *"we strongly believe that our ideas and techniques
+... can be adapted to analyze flooding over other versions of the RWP model
+and even over some versions of the more general Random Trip model"*.  The
+simplest such version adds a deterministic **pause** of ``pause_time`` time
+units at every way-point (refs [21, 22, 23]).
+
+The stationary law changes in a closed-form way (Palm calculus): an agent is
+*moving* with probability ``w = E[trip time] / (E[trip time] + pause_time)``
+where ``E[trip time] = (2L/3)/v`` (mean Manhattan trip length over speed),
+in which case its position follows Theorem 1; otherwise it is *paused* at
+its last way-point, which is uniform on the square.  Hence
+
+.. math:: f_pause(x, y) = w \\, f(x, y) + (1 - w) / L^2
+
+This module implements the model, the mixed closed form, and perfect
+simulation of the extended stationary state (a paused agent's residual
+pause is uniform on ``[0, pause_time]`` — the residual of a deterministic
+duration).  The tests validate the sampler and the stepped process against
+the mixed pdf, reproducing the paper's methodology on the extension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.paths import choose_corners
+from repro.mobility.base import MobilityModel
+from repro.mobility.distributions import mean_trip_length, spatial_pdf
+from repro.mobility.mrwp import _MAX_LEGS_PER_STEP
+from repro.mobility.stationary import PalmStationarySampler
+
+__all__ = [
+    "ManhattanRandomWaypointWithPause",
+    "moving_probability",
+    "spatial_pdf_with_pause",
+]
+
+
+def moving_probability(side: float, speed: float, pause_time: float) -> float:
+    """Stationary probability that an agent is mid-trip (not paused)."""
+    if side <= 0 or speed <= 0:
+        raise ValueError("side and speed must be positive")
+    if pause_time < 0:
+        raise ValueError(f"pause_time must be non-negative, got {pause_time}")
+    trip_time = mean_trip_length(side) / speed
+    return trip_time / (trip_time + pause_time)
+
+
+def spatial_pdf_with_pause(x, y, side: float, speed: float, pause_time: float):
+    """Stationary spatial pdf of pause-MRWP: the Thm-1/uniform mixture."""
+    w = moving_probability(side, speed, pause_time)
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    inside = (x >= 0) & (x <= side) & (y >= 0) & (y <= side)
+    uniform = np.where(inside, 1.0 / (side * side), 0.0)
+    return w * spatial_pdf(x, y, side) + (1.0 - w) * uniform
+
+
+class ManhattanRandomWaypointWithPause(MobilityModel):
+    """MRWP where agents rest ``pause_time`` time units at every way-point.
+
+    Args:
+        n, side, speed, rng: see :class:`~repro.mobility.base.MobilityModel`.
+        pause_time: deterministic rest duration at each destination.
+        init: ``"stationary"`` (perfect simulation of the mixed law, default)
+            or ``"uniform"`` (cold start, all agents mid-trip).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        side: float,
+        speed: float,
+        pause_time: float,
+        rng: np.random.Generator = None,
+        init: str = "stationary",
+    ):
+        super().__init__(n, side, speed, rng)
+        if pause_time < 0:
+            raise ValueError(f"pause_time must be non-negative, got {pause_time}")
+        if speed <= 0:
+            raise ValueError("pause-MRWP requires positive speed")
+        self.pause_time = float(pause_time)
+        self._eps = 1e-9 * max(self.side, 1.0)
+        if init == "stationary":
+            self._init_stationary()
+        elif init == "uniform":
+            self._init_uniform()
+        else:
+            raise ValueError(f"init must be 'stationary' or 'uniform', got {init!r}")
+
+    # ------------------------------------------------------------------
+    # Initialization
+    # ------------------------------------------------------------------
+    def _init_uniform(self) -> None:
+        self._pos = self.rng.uniform(0.0, self.side, size=(self.n, 2))
+        self._dest = self.rng.uniform(0.0, self.side, size=(self.n, 2))
+        corners, _ = choose_corners(self._pos, self._dest, self.rng)
+        self._target = corners
+        self._on_second_leg = np.zeros(self.n, dtype=bool)
+        self._pause_left = np.zeros(self.n, dtype=np.float64)
+
+    def _init_stationary(self) -> None:
+        """Perfect simulation: Bernoulli(moving) mixture of the two phases."""
+        w = moving_probability(self.side, self.speed, self.pause_time)
+        moving = self.rng.uniform(size=self.n) < w
+        k = int(np.count_nonzero(moving))
+
+        self._pos = np.empty((self.n, 2))
+        self._dest = np.empty((self.n, 2))
+        self._target = np.empty((self.n, 2))
+        self._on_second_leg = np.zeros(self.n, dtype=bool)
+        self._pause_left = np.zeros(self.n, dtype=np.float64)
+
+        if k:
+            state = PalmStationarySampler(self.side).sample(k, self.rng)
+            self._pos[moving] = state.positions
+            self._dest[moving] = state.destinations
+            self._target[moving] = state.targets
+            self._on_second_leg[moving] = state.on_second_leg
+        rest = self.n - k
+        if rest:
+            # Paused at a uniform way-point; residual pause uniform.
+            spots = self.rng.uniform(0.0, self.side, size=(rest, 2))
+            self._pos[~moving] = spots
+            self._dest[~moving] = spots  # next trip drawn when the pause ends
+            self._target[~moving] = spots
+            self._on_second_leg[~moving] = True
+            self._pause_left[~moving] = self.rng.uniform(
+                0.0, self.pause_time, size=rest
+            )
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+    @property
+    def positions(self) -> np.ndarray:
+        return self._pos.copy()
+
+    @property
+    def paused_mask(self) -> np.ndarray:
+        """Agents currently resting at a way-point."""
+        return self._pause_left > 0
+
+    @property
+    def moving_fraction(self) -> float:
+        """Fraction of agents mid-trip (stationary expectation:
+        :func:`moving_probability`)."""
+        return 1.0 - float(np.count_nonzero(self.paused_mask)) / self.n
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    def step(self, dt: float = 1.0) -> np.ndarray:
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        time_budget = np.full(self.n, float(dt))
+        eps = self._eps / max(self.speed, 1.0)
+        for _ in range(_MAX_LEGS_PER_STEP):
+            # Phase 1: paused agents burn pause before moving.
+            pausing = (self._pause_left > 0) & (time_budget > eps)
+            if np.any(pausing):
+                spend = np.minimum(self._pause_left[pausing], time_budget[pausing])
+                self._pause_left[pausing] -= spend
+                time_budget[pausing] -= spend
+                # A pause that just ended starts a fresh trip.
+                ended = np.nonzero(pausing)[0][self._pause_left[pausing] <= 0]
+                if ended.size:
+                    new_dest = self.rng.uniform(0.0, self.side, size=(ended.size, 2))
+                    corners, _ = choose_corners(self._pos[ended], new_dest, self.rng)
+                    self._dest[ended] = new_dest
+                    self._target[ended] = corners
+                    self._on_second_leg[ended] = False
+            # Phase 2: moving agents walk their Manhattan legs.
+            moving = (self._pause_left <= 0) & (time_budget > eps)
+            idx = np.nonzero(moving)[0]
+            if idx.size == 0:
+                break
+            delta = self._target[idx] - self._pos[idx]
+            dist = np.abs(delta).sum(axis=1)
+            can_move = time_budget[idx] * self.speed
+            move = np.minimum(can_move, dist)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                frac = np.where(dist > self._eps, move / np.where(dist > self._eps, dist, 1.0), 1.0)
+            self._pos[idx] += delta * frac[:, None]
+            time_budget[idx] -= move / self.speed
+            reached = move >= dist - self._eps
+            if not np.any(reached):
+                break
+            done = idx[reached]
+            self._pos[done] = self._target[done]
+            second = self._on_second_leg[done]
+            corner_done = done[~second]
+            if corner_done.size:
+                self._on_second_leg[corner_done] = True
+                self._target[corner_done] = self._dest[corner_done]
+            trip_done = done[second]
+            if trip_done.size:
+                # Arrived: rest.  The new trip is drawn when the pause ends
+                # (phase 1), or immediately when pause_time == 0.
+                if self.pause_time > 0:
+                    self._pause_left[trip_done] = self.pause_time
+                else:
+                    new_dest = self.rng.uniform(0.0, self.side, size=(trip_done.size, 2))
+                    corners, _ = choose_corners(self._pos[trip_done], new_dest, self.rng)
+                    self._dest[trip_done] = new_dest
+                    self._target[trip_done] = corners
+                    self._on_second_leg[trip_done] = False
+        else:  # pragma: no cover - defensive
+            raise RuntimeError("carry-over loop did not converge")
+        self.time += dt
+        return self.positions

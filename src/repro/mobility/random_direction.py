@@ -1,0 +1,84 @@
+"""Random-direction (billiard) mobility.
+
+Agents travel at constant speed along a heading chosen uniformly at random,
+reflect specularly off the square's walls, and redraw a fresh heading after
+an exponentially distributed travelled distance.  Unlike both way-point
+models, the stationary spatial distribution is exactly uniform, making this
+the cleanest "no central density boost" control for the mobility-ablation
+experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel
+
+__all__ = ["RandomDirection"]
+
+
+class RandomDirection(MobilityModel):
+    """Constant-speed billiard motion with exponential leg lengths.
+
+    Args:
+        n, side, speed, rng: see :class:`~repro.mobility.base.MobilityModel`.
+        mean_leg: expected distance travelled between heading redraws;
+            defaults to ``side / 2``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        side: float,
+        speed: float,
+        rng: np.random.Generator = None,
+        mean_leg: float = None,
+    ):
+        super().__init__(n, side, speed, rng)
+        self.mean_leg = float(mean_leg) if mean_leg is not None else self.side / 2.0
+        if self.mean_leg <= 0:
+            raise ValueError(f"mean_leg must be positive, got {self.mean_leg}")
+        self._pos = self.rng.uniform(0.0, self.side, size=(self.n, 2))
+        theta = self.rng.uniform(0.0, 2.0 * np.pi, size=self.n)
+        self._heading = np.stack([np.cos(theta), np.sin(theta)], axis=1)
+        self._leg_left = self.rng.exponential(self.mean_leg, size=self.n)
+
+    @property
+    def positions(self) -> np.ndarray:
+        return self._pos.copy()
+
+    def _redraw_headings(self, idx: np.ndarray) -> None:
+        theta = self.rng.uniform(0.0, 2.0 * np.pi, size=idx.size)
+        self._heading[idx, 0] = np.cos(theta)
+        self._heading[idx, 1] = np.sin(theta)
+        self._leg_left[idx] = self.rng.exponential(self.mean_leg, size=idx.size)
+
+    def _reflect(self) -> None:
+        """Fold positions back into the square, flipping heading components.
+
+        A per-step displacement is at most ``speed``; we iterate folding to
+        handle speeds larger than the square side.
+        """
+        for axis in range(2):
+            for _ in range(64):
+                below = self._pos[:, axis] < 0.0
+                above = self._pos[:, axis] > self.side
+                if not (np.any(below) or np.any(above)):
+                    break
+                self._pos[below, axis] = -self._pos[below, axis]
+                self._heading[below, axis] = -self._heading[below, axis]
+                self._pos[above, axis] = 2.0 * self.side - self._pos[above, axis]
+                self._heading[above, axis] = -self._heading[above, axis]
+
+    def step(self, dt: float = 1.0) -> np.ndarray:
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        travel = self.speed * dt
+        self._pos = self._pos + self._heading * travel
+        self._reflect()
+        self._leg_left -= travel
+        expired = np.nonzero(self._leg_left <= 0)[0]
+        if expired.size:
+            self._redraw_headings(expired)
+        self.time += dt
+        return self.positions

@@ -1,0 +1,79 @@
+"""Random-walk mobility — the model of the authors' earlier work (refs [10, 11]).
+
+Each agent, at every time step, jumps to a point chosen uniformly at random
+in the disk of radius ``move_radius`` around its current position (clipped
+to the square by resampling/reflection).  Its stationary spatial
+distribution is *almost uniform*, which is exactly the property that makes
+MRWP interesting by contrast: MRWP's stationary law (Theorem 1) is far from
+uniform, and the paper's contribution is showing flooding stays fast anyway.
+
+The model is used by the ``mobility_ablation`` experiment as the
+uniform-density baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.sampling import sample_uniform_disk
+from repro.mobility.base import MobilityModel
+
+__all__ = ["RandomWalk"]
+
+
+class RandomWalk(MobilityModel):
+    """Disk-jump random walk over ``[0, side]^2``.
+
+    Args:
+        n, side: as usual.
+        move_radius: the per-step jump radius ``rho`` (plays the role of the
+            agent speed: the maximum distance travelled per time step).
+        rng: seeded generator.
+        boundary: ``"reflect"`` (default) folds jumps at the walls, which
+            preserves the uniform stationary distribution; ``"clip"`` clamps
+            to the walls (slight corner bias, kept for comparison).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        side: float,
+        move_radius: float,
+        rng: np.random.Generator = None,
+        boundary: str = "reflect",
+    ):
+        super().__init__(n, side, speed=move_radius, rng=rng)
+        if move_radius <= 0:
+            raise ValueError(f"move_radius must be positive, got {move_radius}")
+        if move_radius > side:
+            raise ValueError(f"move_radius must not exceed side ({side}), got {move_radius}")
+        if boundary not in ("reflect", "clip"):
+            raise ValueError(f"boundary must be 'reflect' or 'clip', got {boundary!r}")
+        self.move_radius = float(move_radius)
+        self.boundary = boundary
+        # Uniform is the stationary law for the reflected walk.
+        self._pos = self.rng.uniform(0.0, self.side, size=(self.n, 2))
+
+    @property
+    def positions(self) -> np.ndarray:
+        return self._pos.copy()
+
+    def _fold(self, pos: np.ndarray) -> np.ndarray:
+        """Reflect positions into ``[0, side]`` (single reflection suffices
+        because ``move_radius <= side``)."""
+        pos = np.where(pos < 0.0, -pos, pos)
+        pos = np.where(pos > self.side, 2.0 * self.side - pos, pos)
+        return pos
+
+    def step(self, dt: float = 1.0) -> np.ndarray:
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        jump = sample_uniform_disk(self.n, self.move_radius, self.rng)
+        new_pos = self._pos + jump
+        if self.boundary == "reflect":
+            new_pos = self._fold(new_pos)
+        else:
+            np.clip(new_pos, 0.0, self.side, out=new_pos)
+        self._pos = new_pos
+        self.time += dt
+        return self.positions

@@ -1,0 +1,131 @@
+"""Classic (straight-line) Random Way-Point mobility — paper refs [5, 6, 22].
+
+The baseline the MRWP variant is derived from: agents pick uniform
+destinations and travel the *Euclidean* segment to them at speed ``v``,
+optionally pausing at each way-point.  Its stationary spatial distribution
+is also non-uniform (dense center) but differs from MRWP's closed form;
+the mobility-ablation experiment contrasts flooding under the two.
+
+Stationary initialization (pause time zero) uses the same Palm-calculus
+construction as MRWP: trip endpoints length-biased by the Euclidean length
+(rejection sampling against ``dist / (L * sqrt(2))``), observation point
+uniform along the segment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel
+
+__all__ = ["RandomWaypoint"]
+
+_MAX_LEGS_PER_STEP = 100_000
+
+
+def _sample_length_biased_segments(n: int, side: float, rng: np.random.Generator) -> tuple:
+    """Endpoint pairs on the square with density proportional to Euclidean length."""
+    starts = np.empty((n, 2), dtype=np.float64)
+    ends = np.empty((n, 2), dtype=np.float64)
+    bound = side * np.sqrt(2.0)
+    filled = 0
+    while filled < n:
+        want = n - filled
+        batch = max(64, int(2.5 * want))
+        a = rng.uniform(0.0, side, size=(batch, 2))
+        b = rng.uniform(0.0, side, size=(batch, 2))
+        dist = np.sqrt(np.sum((a - b) ** 2, axis=1))
+        accept = rng.uniform(size=batch) * bound <= dist
+        a = a[accept][:want]
+        b = b[accept][:want]
+        starts[filled:filled + a.shape[0]] = a
+        ends[filled:filled + a.shape[0]] = b
+        filled += a.shape[0]
+    return starts, ends
+
+
+class RandomWaypoint(MobilityModel):
+    """Straight-line RWP over ``[0, side]^2``.
+
+    Args:
+        n, side, speed, rng: see :class:`~repro.mobility.base.MobilityModel`.
+        pause_time: time units an agent rests at each way-point before
+            starting the next trip (default 0 — the paper's regime).
+        init: ``"stationary"`` (Palm perfect simulation; exact only for
+            ``pause_time == 0``) or ``"uniform"`` (cold start).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        side: float,
+        speed: float,
+        rng: np.random.Generator = None,
+        pause_time: float = 0.0,
+        init: str = "stationary",
+    ):
+        super().__init__(n, side, speed, rng)
+        if pause_time < 0:
+            raise ValueError(f"pause_time must be non-negative, got {pause_time}")
+        self.pause_time = float(pause_time)
+        if init == "stationary":
+            starts, dests = _sample_length_biased_segments(self.n, self.side, self.rng)
+            frac = self.rng.uniform(size=self.n)
+            self._pos = starts + frac[:, None] * (dests - starts)
+            self._dest = dests
+        elif init == "uniform":
+            self._pos = self.rng.uniform(0.0, self.side, size=(self.n, 2))
+            self._dest = self.rng.uniform(0.0, self.side, size=(self.n, 2))
+        else:
+            raise ValueError(f"init must be 'stationary' or 'uniform', got {init!r}")
+        self._pause_left = np.zeros(self.n, dtype=np.float64)
+        self.arrival_counts = np.zeros(self.n, dtype=np.int64)
+        self._eps = 1e-9 * max(self.side, 1.0)
+
+    @property
+    def positions(self) -> np.ndarray:
+        return self._pos.copy()
+
+    @property
+    def destinations(self) -> np.ndarray:
+        """Copy of the agents' current destinations."""
+        return self._dest.copy()
+
+    def step(self, dt: float = 1.0) -> np.ndarray:
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        time_budget = np.full(self.n, float(dt))
+        eps = self._eps
+        for _ in range(_MAX_LEGS_PER_STEP):
+            # Spend pause time first.
+            pausing = (self._pause_left > 0) & (time_budget > 0)
+            if np.any(pausing):
+                spend = np.minimum(self._pause_left[pausing], time_budget[pausing])
+                self._pause_left[pausing] -= spend
+                time_budget[pausing] -= spend
+            if self.speed <= 0:
+                break
+            moving = (self._pause_left <= 0) & (time_budget * self.speed > eps)
+            idx = np.nonzero(moving)[0]
+            if idx.size == 0:
+                break
+            delta = self._dest[idx] - self._pos[idx]
+            dist = np.sqrt(np.sum(delta * delta, axis=1))
+            can_move = time_budget[idx] * self.speed
+            move = np.minimum(can_move, dist)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                frac = np.where(dist > eps, move / np.where(dist > eps, dist, 1.0), 1.0)
+            self._pos[idx] += delta * frac[:, None]
+            time_budget[idx] -= move / self.speed
+            reached = move >= dist - eps
+            if not np.any(reached):
+                break
+            done = idx[reached]
+            self._pos[done] = self._dest[done]
+            self._dest[done] = self.rng.uniform(0.0, self.side, size=(done.size, 2))
+            self._pause_left[done] = self.pause_time
+            self.arrival_counts[done] += 1
+        else:  # pragma: no cover - defensive
+            raise RuntimeError("carry-over loop did not converge")
+        self.time += dt
+        return self.positions

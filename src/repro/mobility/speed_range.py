@@ -1,0 +1,216 @@
+"""MRWP with per-trip random speeds — and the speed-decay trap.
+
+Another Random-Trip variant (paper's Section 3 direction): each trip's
+speed is drawn uniformly from ``[v_min, v_max]``.  This family is infamous
+in the simulation literature ("random waypoint considered harmful",
+Yoon-Liu-Noble): a *cold-started* simulation's average speed decays over
+time, because slow trips last longer and progressively dominate the time
+average.  The stationary law is exact and closed-form under Palm calculus:
+
+* a trip observed at a random time has speed density ``∝ 1/v`` on
+  ``[v_min, v_max]`` (duration-biased: duration = length / v), so the
+  stationary *time-average* speed is the **harmonic-style mean**
+  ``(v_max - v_min) / ln(v_max / v_min)``;
+* the spatial law is unchanged — speed and geometry are independent, so
+  Theorem 1 still holds (verified in the tests);
+* with ``v_min = 0`` the ``1/v`` density is non-normalizable: there is *no*
+  stationary phase and the average speed decays to zero — the pathology,
+  reproduced by :func:`cold_start_speed_decay`.
+
+Perfect simulation: endpoints length-biased exactly as for fixed-speed MRWP
+(geometry and speed factorize), observed speed from the truncated ``1/v``
+law, position uniform along the path.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.paths import choose_corners
+from repro.mobility.base import MobilityModel
+from repro.mobility.mrwp import _MAX_LEGS_PER_STEP
+from repro.mobility.stationary import PalmStationarySampler
+
+__all__ = [
+    "RandomSpeedManhattanWaypoint",
+    "stationary_mean_speed",
+    "sample_stationary_speeds",
+    "cold_start_speed_decay",
+]
+
+
+def _validate_range(v_min: float, v_max: float) -> None:
+    if not 0 < v_min <= v_max:
+        raise ValueError(
+            f"need 0 < v_min <= v_max (v_min = 0 has no stationary phase — "
+            f"the speed-decay pathology); got [{v_min}, {v_max}]"
+        )
+
+
+def stationary_mean_speed(v_min: float, v_max: float) -> float:
+    """Time-average speed in stationarity: ``(v_max - v_min)/ln(v_max/v_min)``.
+
+    Strictly below the uniform mean ``(v_min + v_max)/2`` — slow trips
+    occupy more than their share of time.
+    """
+    _validate_range(v_min, v_max)
+    if v_min == v_max:
+        return float(v_min)
+    return (v_max - v_min) / math.log(v_max / v_min)
+
+
+def sample_stationary_speeds(n: int, v_min: float, v_max: float, rng) -> np.ndarray:
+    """Observed-trip speeds: density ``∝ 1/v`` on ``[v_min, v_max]``.
+
+    Inverse-CDF: ``V = v_min * (v_max/v_min)^U`` with ``U ~ Uniform(0,1)``.
+    """
+    _validate_range(v_min, v_max)
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if v_min == v_max:
+        return np.full(n, float(v_min))
+    u = rng.uniform(size=n)
+    return v_min * (v_max / v_min) ** u
+
+
+class RandomSpeedManhattanWaypoint(MobilityModel):
+    """MRWP where each trip draws a fresh speed from ``Uniform[v_min, v_max]``.
+
+    Args:
+        n, side, rng: as usual.
+        v_min, v_max: per-trip speed range (``v_min > 0`` required — see
+            module docstring).
+        init: ``"stationary"`` (perfect simulation: duration-biased speeds,
+            default) or ``"uniform"`` (cold start: uniform speeds — exhibits
+            the speed-decay transient).
+
+    The base-class ``speed`` attribute reports the stationary mean speed.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        side: float,
+        v_min: float,
+        v_max: float,
+        rng: np.random.Generator = None,
+        init: str = "stationary",
+    ):
+        _validate_range(v_min, v_max)
+        super().__init__(n, side, stationary_mean_speed(v_min, v_max), rng)
+        self.v_min = float(v_min)
+        self.v_max = float(v_max)
+        self._eps = 1e-9 * max(self.side, 1.0)
+        if init == "stationary":
+            state = PalmStationarySampler(self.side).sample(self.n, self.rng)
+            self._pos = state.positions
+            self._dest = state.destinations
+            self._target = state.targets
+            self._on_second_leg = state.on_second_leg
+            self._trip_speed = sample_stationary_speeds(
+                self.n, self.v_min, self.v_max, self.rng
+            )
+        elif init == "uniform":
+            self._pos = self.rng.uniform(0.0, self.side, size=(self.n, 2))
+            self._dest = self.rng.uniform(0.0, self.side, size=(self.n, 2))
+            corners, _ = choose_corners(self._pos, self._dest, self.rng)
+            self._target = corners
+            self._on_second_leg = np.zeros(self.n, dtype=bool)
+            self._trip_speed = self.rng.uniform(self.v_min, self.v_max, size=self.n)
+        else:
+            raise ValueError(f"init must be 'stationary' or 'uniform', got {init!r}")
+
+    @property
+    def positions(self) -> np.ndarray:
+        return self._pos.copy()
+
+    @property
+    def trip_speeds(self) -> np.ndarray:
+        """Copy of the per-agent current-trip speeds."""
+        return self._trip_speed.copy()
+
+    @property
+    def mean_current_speed(self) -> float:
+        """Population-average current speed (the speed-decay observable)."""
+        return float(self._trip_speed.mean())
+
+    def step(self, dt: float = 1.0) -> np.ndarray:
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        time_budget = np.full(self.n, float(dt))
+        eps_t = self._eps / self.v_max
+        for _ in range(_MAX_LEGS_PER_STEP):
+            active = time_budget > eps_t
+            idx = np.nonzero(active)[0]
+            if idx.size == 0:
+                break
+            delta = self._target[idx] - self._pos[idx]
+            dist = np.abs(delta).sum(axis=1)
+            can_move = time_budget[idx] * self._trip_speed[idx]
+            move = np.minimum(can_move, dist)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                frac = np.where(dist > self._eps, move / np.where(dist > self._eps, dist, 1.0), 1.0)
+            self._pos[idx] += delta * frac[:, None]
+            time_budget[idx] -= move / self._trip_speed[idx]
+            reached = move >= dist - self._eps
+            if not np.any(reached):
+                break
+            done = idx[reached]
+            self._pos[done] = self._target[done]
+            second = self._on_second_leg[done]
+            corner_done = done[~second]
+            if corner_done.size:
+                self._on_second_leg[corner_done] = True
+                self._target[corner_done] = self._dest[corner_done]
+            trip_done = done[second]
+            if trip_done.size:
+                new_dest = self.rng.uniform(0.0, self.side, size=(trip_done.size, 2))
+                corners, _ = choose_corners(self._pos[trip_done], new_dest, self.rng)
+                self._dest[trip_done] = new_dest
+                self._target[trip_done] = corners
+                self._on_second_leg[trip_done] = False
+                # Fresh trips draw *uniform* speeds — the 1/v bias emerges
+                # from time-averaging, not from the per-trip law.
+                self._trip_speed[trip_done] = self.rng.uniform(
+                    self.v_min, self.v_max, size=trip_done.size
+                )
+        else:  # pragma: no cover - defensive
+            raise RuntimeError("carry-over loop did not converge")
+        self.time += dt
+        return self.positions
+
+
+def cold_start_speed_decay(
+    n: int,
+    side: float,
+    v_min: float,
+    v_max: float,
+    steps: int,
+    rng: np.random.Generator,
+    every: int = 1,
+) -> dict:
+    """Measure the average-speed transient from a cold (uniform-speed) start.
+
+    Returns:
+        dict with ``steps``, ``mean_speed`` (series), ``uniform_mean``
+        (the biased starting value ``(v_min+v_max)/2``) and
+        ``stationary_mean`` (the harmonic-style limit).  The series decays
+        from the former toward the latter — the "considered harmful"
+        transient that perfect simulation eliminates.
+    """
+    model = RandomSpeedManhattanWaypoint(n, side, v_min, v_max, rng=rng, init="uniform")
+    recorded = [0]
+    speeds = [model.mean_current_speed]
+    for t in range(1, steps + 1):
+        model.step()
+        if t % every == 0 or t == steps:
+            recorded.append(t)
+            speeds.append(model.mean_current_speed)
+    return {
+        "steps": np.asarray(recorded),
+        "mean_speed": np.asarray(speeds),
+        "uniform_mean": (v_min + v_max) / 2.0,
+        "stationary_mean": stationary_mean_speed(v_min, v_max),
+    }

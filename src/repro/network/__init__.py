@@ -1,0 +1,51 @@
+"""Network substrate: disk graphs, connectivity, evolving-graph reachability."""
+
+from repro.network.connectivity import (
+    connectivity_profile,
+    estimate_connectivity_threshold,
+    uniform_connectivity_threshold,
+    zone_connectivity,
+)
+from repro.network.contacts import MEETING_RADIUS_FACTOR, ContactTrace, record_contacts
+from repro.network.disk_graph import DiskGraph
+from repro.network.evolving import journey_times, reachability_fraction, temporal_bfs
+from repro.network.journeys import (
+    delay_statistics,
+    delivery_delay_matrix,
+    temporal_diameter,
+    temporal_eccentricities,
+)
+from repro.network.graph_stats import (
+    component_summary,
+    degree_histogram,
+    degree_summary,
+    zone_degree_split,
+)
+from repro.network.snapshots import SnapshotSeries, take_snapshots
+from repro.network.union_find import UnionFind, components_from_edges
+
+__all__ = [
+    "DiskGraph",
+    "UnionFind",
+    "components_from_edges",
+    "SnapshotSeries",
+    "take_snapshots",
+    "temporal_bfs",
+    "journey_times",
+    "reachability_fraction",
+    "delivery_delay_matrix",
+    "temporal_eccentricities",
+    "temporal_diameter",
+    "delay_statistics",
+    "ContactTrace",
+    "record_contacts",
+    "MEETING_RADIUS_FACTOR",
+    "uniform_connectivity_threshold",
+    "estimate_connectivity_threshold",
+    "connectivity_profile",
+    "zone_connectivity",
+    "degree_summary",
+    "degree_histogram",
+    "component_summary",
+    "zone_degree_split",
+]

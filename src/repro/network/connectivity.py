@@ -1,0 +1,168 @@
+"""Connectivity analysis of MANET snapshots.
+
+The paper's motivation hinges on a connectivity gap: under uniform-like
+stationary distributions the connectivity threshold of the disk graph is
+``Theta(sqrt(log n))`` (for ``L = sqrt(n)``; Gupta-Kumar / Penrose, refs
+[18, 27]), whereas under MRWP the corner Suburb is so sparse that the
+threshold is *exponentially* higher — "some root of n" (ref [13]).  The
+flooding theorem operates far below that threshold, which is what makes it
+surprising.
+
+This module provides the empirical machinery: threshold estimation by
+bisection over ``R``, giant-component curves, and zone-restricted
+connectivity checks.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.network.disk_graph import DiskGraph
+
+__all__ = [
+    "uniform_connectivity_threshold",
+    "estimate_connectivity_threshold",
+    "connectivity_profile",
+    "zone_connectivity",
+]
+
+
+def uniform_connectivity_threshold(n: int, side: float) -> float:
+    """Gupta-Kumar threshold ``L * sqrt(log n / (pi n))`` for uniform points.
+
+    The radius at which a disk graph over ``n`` *uniform* points on an
+    ``L x L`` square becomes connected w.h.p.  With ``L = sqrt(n)`` this is
+    ``Theta(sqrt(log n))`` — the benchmark the MRWP threshold is compared
+    against in Section 1.
+    """
+    if n < 2:
+        raise ValueError(f"n must be at least 2, got {n}")
+    if side <= 0:
+        raise ValueError(f"side must be positive, got {side}")
+    return side * math.sqrt(math.log(n) / (math.pi * n))
+
+
+def estimate_connectivity_threshold(
+    positions: np.ndarray,
+    side: float,
+    tol: float = None,
+    mask: np.ndarray = None,
+) -> float:
+    """Smallest radius making the snapshot (or a masked sub-snapshot) connected.
+
+    Connectivity is monotone in ``R``, so bisection applies.  The exact
+    threshold is the largest edge of the graph's minimum spanning tree; the
+    bisection converges to it within ``tol``.
+
+    Args:
+        positions: ``(n, 2)`` snapshot.
+        side: region side length (bisection upper bound is ``side * sqrt2``).
+        tol: absolute tolerance on the radius (default ``side * 1e-3``).
+        mask: optional boolean mask restricting to a sub-population (e.g.
+            only Central-Zone agents).
+
+    Returns:
+        the estimated critical radius (an upper bisection endpoint, i.e. a
+        radius at which the graph *is* connected).
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    if mask is not None:
+        positions = positions[np.asarray(mask, dtype=bool)]
+    n = positions.shape[0]
+    if n <= 1:
+        return 0.0
+    if tol is None:
+        tol = side * 1e-3
+
+    def _connected(radius: float) -> bool:
+        return DiskGraph(positions, radius, side=side).is_connected()
+
+    # Exponential bracketing upward from the uniform-case scale keeps the
+    # probe radii (and hence the edge counts) near the actual threshold —
+    # starting the bisection at side*sqrt(2) would enumerate O(n^2) edges.
+    lo = 0.0
+    try:
+        hi = max(uniform_connectivity_threshold(n, side), tol)
+    except ValueError:  # n < 2 is excluded above; defensive
+        hi = side * 0.01
+    cap = side * math.sqrt(2.0)
+    while hi < cap and not _connected(hi):
+        lo = hi
+        hi = min(hi * 1.5, cap)
+    while hi - lo > tol:
+        mid = 0.5 * (lo + hi)
+        if _connected(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def connectivity_profile(positions: np.ndarray, side: float, radii) -> dict:
+    """Connectivity statistics of one snapshot across a radius sweep.
+
+    Returns:
+        dict of parallel arrays keyed by ``radius``, ``giant_fraction``,
+        ``n_components``, ``isolated_fraction``, ``connected`` — the series
+        plotted by the ``connectivity`` experiment.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    radii = np.asarray(list(radii), dtype=np.float64)
+    giant = np.empty(radii.size)
+    ncomp = np.empty(radii.size, dtype=np.intp)
+    isolated = np.empty(radii.size)
+    connected = np.empty(radii.size, dtype=bool)
+    for k, radius in enumerate(radii):
+        graph = DiskGraph(positions, float(radius), side=side)
+        giant[k] = graph.giant_component_fraction()
+        ncomp[k] = graph.n_components()
+        isolated[k] = float(np.count_nonzero(graph.isolated_mask())) / max(1, graph.n)
+        connected[k] = graph.is_connected()
+    return {
+        "radius": radii,
+        "giant_fraction": giant,
+        "n_components": ncomp,
+        "isolated_fraction": isolated,
+        "connected": connected,
+    }
+
+
+def zone_connectivity(positions: np.ndarray, side: float, radius: float, zone_mask: np.ndarray) -> dict:
+    """Compare connectivity inside vs. outside a zone at a fixed radius.
+
+    Args:
+        zone_mask: True for agents inside the zone (e.g. the Central Zone).
+
+    Returns:
+        dict with ``zone_connected``, ``zone_giant_fraction``,
+        ``outside_isolated_fraction``, ``full_connected`` — the quantities
+        behind the paper's "connected center, disconnected suburb" picture.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    zone_mask = np.asarray(zone_mask, dtype=bool)
+    full = DiskGraph(positions, radius, side=side)
+    zone_positions = positions[zone_mask]
+    outside_positions = positions[~zone_mask]
+    result = {
+        "full_connected": full.is_connected(),
+        "full_giant_fraction": full.giant_component_fraction(),
+    }
+    if zone_positions.shape[0] > 0:
+        zone_graph = DiskGraph(zone_positions, radius, side=side)
+        result["zone_connected"] = zone_graph.is_connected()
+        result["zone_giant_fraction"] = zone_graph.giant_component_fraction()
+    else:
+        result["zone_connected"] = True
+        result["zone_giant_fraction"] = 0.0
+    if outside_positions.shape[0] > 0:
+        out_graph = DiskGraph(outside_positions, radius, side=side)
+        result["outside_isolated_fraction"] = float(
+            np.count_nonzero(out_graph.isolated_mask())
+        ) / out_graph.n
+        result["outside_giant_fraction"] = out_graph.giant_component_fraction()
+    else:
+        result["outside_isolated_fraction"] = 0.0
+        result["outside_giant_fraction"] = 0.0
+    return result

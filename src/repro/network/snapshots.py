@@ -1,0 +1,92 @@
+"""Snapshot sequences: the Markovian evolving graph view of a MANET.
+
+At every time step the MANET induces a disk graph ``G_t``; the flooding
+analysis reasons over the *sequence* ``G_0, G_1, ...`` (a Markovian evolving
+graph, paper refs [2, 9, 10]).  :class:`SnapshotSeries` materializes the
+position frames of a mobility run and hands out per-step
+:class:`~repro.network.disk_graph.DiskGraph` views lazily.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel
+from repro.network.disk_graph import DiskGraph
+
+__all__ = ["SnapshotSeries", "take_snapshots"]
+
+
+def take_snapshots(model: MobilityModel, steps: int, dt: float = 1.0) -> np.ndarray:
+    """Run a mobility model for ``steps`` steps recording every position frame.
+
+    Returns:
+        array of shape ``(steps + 1, n, 2)``; frame 0 is the state before
+        the first step.
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be non-negative, got {steps}")
+    frames = np.empty((steps + 1, model.n, 2), dtype=np.float64)
+    frames[0] = model.positions
+    for t in range(1, steps + 1):
+        frames[t] = model.step(dt)
+    return frames
+
+
+class SnapshotSeries:
+    """A recorded sequence of MANET snapshots with a fixed radius.
+
+    Args:
+        frames: position array of shape ``(T + 1, n, 2)``.
+        radius: transmission radius ``R`` shared by all snapshots.
+        side: region side length.
+    """
+
+    def __init__(self, frames: np.ndarray, radius: float, side: float):
+        frames = np.asarray(frames, dtype=np.float64)
+        if frames.ndim != 3 or frames.shape[2] != 2:
+            raise ValueError(f"frames must have shape (T+1, n, 2), got {frames.shape}")
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        if side <= 0:
+            raise ValueError(f"side must be positive, got {side}")
+        self.frames = frames
+        self.radius = float(radius)
+        self.side = float(side)
+
+    @classmethod
+    def record(cls, model: MobilityModel, steps: int, radius: float, dt: float = 1.0) -> "SnapshotSeries":
+        """Record ``steps`` steps of ``model`` into a series."""
+        return cls(take_snapshots(model, steps, dt), radius, model.side)
+
+    @property
+    def n_steps(self) -> int:
+        """Number of recorded steps (frames minus the initial one)."""
+        return int(self.frames.shape[0]) - 1
+
+    @property
+    def n(self) -> int:
+        """Number of agents."""
+        return int(self.frames.shape[1])
+
+    def positions_at(self, t: int) -> np.ndarray:
+        """Positions at time step ``t`` (0 = initial)."""
+        return self.frames[t]
+
+    def graph_at(self, t: int) -> DiskGraph:
+        """Disk graph of the snapshot at time step ``t``."""
+        return DiskGraph(self.frames[t], self.radius, side=self.side)
+
+    def __iter__(self):
+        for t in range(self.frames.shape[0]):
+            yield self.graph_at(t)
+
+    def displacement_per_step(self) -> np.ndarray:
+        """Euclidean displacement of each agent per step, shape ``(T, n)``.
+
+        Under the paper's slow-mobility assumption (Ineq. 8) every entry is
+        at most ``v <= R / (3 (1 + sqrt 5))``; the tests use this to verify
+        the kinematics.
+        """
+        diffs = np.diff(self.frames, axis=0)
+        return np.sqrt(np.sum(diffs * diffs, axis=2))

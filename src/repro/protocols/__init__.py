@@ -1,0 +1,33 @@
+"""Broadcast protocols: the paper's flooding plus baseline comparators."""
+
+from repro.protocols.base import BroadcastProtocol
+from repro.protocols.epidemic import SIREpidemic
+from repro.protocols.faulty import CrashFaultFlooding
+from repro.protocols.flooding import FloodingProtocol
+from repro.protocols.gossip import GossipProtocol
+from repro.protocols.parsimonious import ParsimoniousFlooding
+from repro.protocols.probabilistic import ProbabilisticFlooding
+from repro.protocols.pushpull import PushPullGossip
+
+PROTOCOL_REGISTRY = {
+    "flooding": FloodingProtocol,
+    "gossip": GossipProtocol,
+    "push-pull": PushPullGossip,
+    "parsimonious": ParsimoniousFlooding,
+    "probabilistic": ProbabilisticFlooding,
+    "sir": SIREpidemic,
+    "crash-flooding": CrashFaultFlooding,
+}
+"""Name -> class mapping used by the CLI and the baselines experiment."""
+
+__all__ = [
+    "BroadcastProtocol",
+    "FloodingProtocol",
+    "GossipProtocol",
+    "PushPullGossip",
+    "ParsimoniousFlooding",
+    "ProbabilisticFlooding",
+    "SIREpidemic",
+    "CrashFaultFlooding",
+    "PROTOCOL_REGISTRY",
+]

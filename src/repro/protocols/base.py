@@ -1,0 +1,121 @@
+"""Broadcast-protocol interface over MANET snapshots.
+
+A protocol owns the per-agent message state and is driven by the simulation
+engine: once per time step it receives the fresh agent positions and decides
+who becomes informed.  All protocols share the paper's synchronous semantics
+— an agent informed during step ``t`` transmits from step ``t + 1`` on —
+and the inclusive distance-``R`` reception rule.
+
+Implementations:
+
+* :class:`~repro.protocols.flooding.FloodingProtocol` — the paper's protocol;
+* :class:`~repro.protocols.gossip.GossipProtocol` — push gossip, fanout k;
+* :class:`~repro.protocols.parsimonious.ParsimoniousFlooding` — informed
+  agents transmit only for a bounded window (Baumann-Crescenzi-Fraigniaud);
+* :class:`~repro.protocols.probabilistic.ProbabilisticFlooding` — each
+  informed agent transmits independently with probability p per step;
+* :class:`~repro.protocols.epidemic.SIREpidemic` — transmitters recover
+  (stop forever) at a geometric rate, so coverage can stall.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.geometry.neighbors import NeighborEngine, make_engine
+
+__all__ = ["BroadcastProtocol"]
+
+
+class BroadcastProtocol(abc.ABC):
+    """Abstract synchronous broadcast protocol.
+
+    Args:
+        n: number of agents.
+        side: region side (for the neighbor engine).
+        radius: transmission radius ``R``.
+        source: index of the initially informed agent.
+        rng: generator for randomized protocols.
+        backend: neighbor-engine backend name (``"auto"`` by default).
+    """
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        n: int,
+        side: float,
+        radius: float,
+        source: int,
+        rng: np.random.Generator = None,
+        backend: str = "auto",
+    ):
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if radius <= 0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        if not 0 <= source < n:
+            raise ValueError(f"source must be in [0, {n}), got {source}")
+        self.n = int(n)
+        self.side = float(side)
+        self.radius = float(radius)
+        self.source = int(source)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.engine: NeighborEngine = make_engine(backend, self.side)
+        self.informed = np.zeros(self.n, dtype=bool)
+        self.informed[self.source] = True
+        self.informed_at = np.full(self.n, np.inf)
+        self.informed_at[self.source] = 0.0
+        self.step_count = 0
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def informed_count(self) -> int:
+        """Number of informed agents."""
+        return int(np.count_nonzero(self.informed))
+
+    def is_complete(self) -> bool:
+        """All agents informed?"""
+        return self.informed_count == self.n
+
+    def can_progress(self) -> bool:
+        """Whether the protocol may still inform new agents in the future.
+
+        Always True for flooding-like protocols; SIR-style protocols return
+        False once no transmitter remains.
+        """
+        return not self.is_complete()
+
+    def _mark_informed(self, idx: np.ndarray) -> np.ndarray:
+        """Record agents ``idx`` as informed at the current step; returns ``idx``."""
+        idx = np.asarray(idx, dtype=np.intp)
+        if idx.size:
+            self.informed[idx] = True
+            self.informed_at[idx] = self.step_count
+        return idx
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    def step(self, positions: np.ndarray) -> np.ndarray:
+        """Run one communication round over the given snapshot.
+
+        Returns:
+            indices of newly informed agents.
+        """
+        self.step_count += 1
+        return self._exchange(positions)
+
+    @abc.abstractmethod
+    def _exchange(self, positions: np.ndarray) -> np.ndarray:
+        """Protocol-specific exchange; must call :meth:`_mark_informed`."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(n={self.n}, radius={self.radius}, "
+            f"informed={self.informed_count}/{self.n})"
+        )

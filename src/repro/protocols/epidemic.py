@@ -1,0 +1,59 @@
+"""SIR epidemic broadcast.
+
+Agents are Susceptible / Infected (transmitting) / Recovered (informed but
+silent).  Each infected agent recovers independently with probability
+``recovery_prob`` per step after transmitting, giving a geometric active
+lifetime of mean ``1 / recovery_prob`` steps.  Unlike flooding, the process
+can *die out* before full coverage — the classic epidemic-threshold
+behaviour that the baselines experiment contrasts with flooding's
+guaranteed completion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.protocols.base import BroadcastProtocol
+
+__all__ = ["SIREpidemic"]
+
+
+class SIREpidemic(BroadcastProtocol):
+    """SIR dynamics over the MANET snapshots."""
+
+    name = "sir"
+
+    def __init__(self, *args, recovery_prob: float = 0.1, **kwargs):
+        super().__init__(*args, **kwargs)
+        if not 0.0 <= recovery_prob <= 1.0:
+            raise ValueError(f"recovery_prob must be in [0, 1], got {recovery_prob}")
+        self.recovery_prob = float(recovery_prob)
+        self.recovered = np.zeros(self.n, dtype=bool)
+
+    @property
+    def infected(self) -> np.ndarray:
+        """Mask of currently transmitting agents."""
+        return self.informed & ~self.recovered
+
+    @property
+    def active_count(self) -> int:
+        return int(np.count_nonzero(self.infected))
+
+    def can_progress(self) -> bool:
+        return not self.is_complete() and self.active_count > 0
+
+    def _exchange(self, positions: np.ndarray) -> np.ndarray:
+        infected = self.infected
+        newly = np.empty(0, dtype=np.intp)
+        if np.any(infected):
+            uninformed = np.nonzero(~self.informed)[0]
+            if uninformed.size:
+                hits = self.engine.any_within(
+                    positions[infected], positions[uninformed], self.radius
+                )
+                newly = self._mark_informed(uninformed[hits])
+            # Recovery happens after this step's transmissions.
+            active_idx = np.nonzero(infected)[0]
+            recover = self.rng.uniform(size=active_idx.size) < self.recovery_prob
+            self.recovered[active_idx[recover]] = True
+        return newly

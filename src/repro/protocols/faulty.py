@@ -1,0 +1,62 @@
+"""Flooding under crash faults.
+
+Robustness probe (an extension beyond the paper): at every step each agent
+independently crashes with probability ``crash_prob``; crashed agents stop
+transmitting and receiving forever but keep moving (a dead radio on a live
+vehicle).  Completion means informing every *surviving* agent.  The paper's
+mechanism predicts graceful degradation: the Central Zone has massive path
+redundancy, while the Suburb depends on individual Lemma-16 emissaries, so
+crashes should hurt the corner tail first — measurable with the zone
+recorders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.protocols.base import BroadcastProtocol
+
+__all__ = ["CrashFaultFlooding"]
+
+
+class CrashFaultFlooding(BroadcastProtocol):
+    """Flooding where agents crash-stop independently each step."""
+
+    name = "crash-flooding"
+
+    def __init__(self, *args, crash_prob: float = 0.001, **kwargs):
+        super().__init__(*args, **kwargs)
+        if not 0.0 <= crash_prob <= 1.0:
+            raise ValueError(f"crash_prob must be in [0, 1], got {crash_prob}")
+        self.crash_prob = float(crash_prob)
+        self.crashed = np.zeros(self.n, dtype=bool)
+
+    @property
+    def alive(self) -> np.ndarray:
+        """Mask of non-crashed agents."""
+        return ~self.crashed
+
+    def is_complete(self) -> bool:
+        """Every surviving agent informed (crashed agents are out of scope)."""
+        return bool(np.all(self.informed[self.alive]))
+
+    def can_progress(self) -> bool:
+        if self.is_complete():
+            return False
+        # Progress requires at least one live transmitter.
+        return bool(np.any(self.informed & self.alive))
+
+    def _exchange(self, positions: np.ndarray) -> np.ndarray:
+        transmitters = self.informed & self.alive
+        newly = np.empty(0, dtype=np.intp)
+        if np.any(transmitters):
+            receivers = np.nonzero(~self.informed & self.alive)[0]
+            if receivers.size:
+                hits = self.engine.any_within(
+                    positions[transmitters], positions[receivers], self.radius
+                )
+                newly = self._mark_informed(receivers[hits])
+        # Crashes strike after the exchange.
+        strikes = self.rng.uniform(size=self.n) < self.crash_prob
+        self.crashed |= strikes
+        return newly

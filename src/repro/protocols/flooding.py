@@ -1,0 +1,54 @@
+"""The flooding protocol (Section 4).
+
+Every informed agent transmits at every time step; a non-informed agent
+becomes informed at step ``t`` iff some informed agent is within distance
+``R`` during ``t``.  Flooding time — the first step at which everyone is
+informed — lower-bounds every broadcast protocol and plays the role of the
+diameter in static networks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.protocols.base import BroadcastProtocol
+
+__all__ = ["FloodingProtocol"]
+
+
+class FloodingProtocol(BroadcastProtocol):
+    """Classic synchronous flooding.
+
+    Args:
+        multi_hop: paper semantics when False (one hop per step: agents
+            informed during this step do not retransmit until the next).
+            When True, the message saturates entire connected components of
+            the current snapshot within the step ("infinite bandwidth"
+            comparison mode).
+    """
+
+    name = "flooding"
+
+    def __init__(self, *args, multi_hop: bool = False, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.multi_hop = bool(multi_hop)
+
+    def _exchange(self, positions: np.ndarray) -> np.ndarray:
+        newly_all = []
+        while True:
+            uninformed = np.nonzero(~self.informed)[0]
+            if uninformed.size == 0:
+                break
+            hits = self.engine.any_within(
+                positions[self.informed], positions[uninformed], self.radius
+            )
+            newly = uninformed[hits]
+            if newly.size == 0:
+                break
+            self._mark_informed(newly)
+            newly_all.append(newly)
+            if not self.multi_hop:
+                break
+        if not newly_all:
+            return np.empty(0, dtype=np.intp)
+        return np.concatenate(newly_all)

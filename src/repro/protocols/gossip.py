@@ -1,0 +1,57 @@
+"""Push gossip with bounded fanout.
+
+Instead of broadcasting to everyone in range (flooding), each informed agent
+pushes the message to at most ``fanout`` uniformly chosen neighbors per
+step.  This is the classic bandwidth-limited baseline: coverage grows more
+slowly than flooding, bounded below by it, and the gap quantifies how much
+the paper's flooding-time bound depends on unlimited local bandwidth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.protocols.base import BroadcastProtocol
+
+__all__ = ["GossipProtocol"]
+
+
+class GossipProtocol(BroadcastProtocol):
+    """Push gossip: ``fanout`` random in-range targets per informed agent per step.
+
+    Targets are drawn among *all* neighbors within ``R`` (informed or not),
+    modelling wasted transmissions as in standard gossip analyses.
+    """
+
+    name = "gossip"
+
+    def __init__(self, *args, fanout: int = 1, **kwargs):
+        super().__init__(*args, **kwargs)
+        if fanout < 1:
+            raise ValueError(f"fanout must be at least 1, got {fanout}")
+        self.fanout = int(fanout)
+
+    def _exchange(self, positions: np.ndarray) -> np.ndarray:
+        pairs = self.engine.pairs_within(positions, self.radius)
+        if pairs.size == 0:
+            return np.empty(0, dtype=np.intp)
+        # Directed contact list, both directions.
+        src = np.concatenate([pairs[:, 0], pairs[:, 1]])
+        dst = np.concatenate([pairs[:, 1], pairs[:, 0]])
+        sending = self.informed[src]
+        src = src[sending]
+        dst = dst[sending]
+        if src.size == 0:
+            return np.empty(0, dtype=np.intp)
+        # Per sender, keep `fanout` uniformly random contacts: shuffle via a
+        # random key, then rank within each sender group.
+        key = self.rng.uniform(size=src.size)
+        order = np.lexsort((key, src))
+        src = src[order]
+        dst = dst[order]
+        group_start = np.searchsorted(src, src, side="left")
+        rank = np.arange(src.size) - group_start
+        chosen = rank < self.fanout
+        targets = dst[chosen]
+        newly = np.unique(targets[~self.informed[targets]])
+        return self._mark_informed(newly)

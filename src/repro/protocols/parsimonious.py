@@ -1,0 +1,52 @@
+"""Parsimonious flooding (Baumann, Crescenzi, Fraigniaud — PODC 2009, ref [3]).
+
+Each agent transmits only during the ``active_window`` steps following the
+step at which it became informed, then falls silent forever.  In static or
+dense networks this saves energy at little cost; over a sparse mobile
+Suburb, silence can strand the message — which is exactly what the
+``protocol_baselines`` experiment measures against the paper's flooding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.protocols.base import BroadcastProtocol
+
+__all__ = ["ParsimoniousFlooding"]
+
+
+class ParsimoniousFlooding(BroadcastProtocol):
+    """Flooding where transmitters stay active only ``active_window`` steps."""
+
+    name = "parsimonious"
+
+    def __init__(self, *args, active_window: int = 1, **kwargs):
+        super().__init__(*args, **kwargs)
+        if active_window < 1:
+            raise ValueError(f"active_window must be at least 1, got {active_window}")
+        self.active_window = int(active_window)
+
+    def _active_mask(self) -> np.ndarray:
+        """Agents still within their transmission window at the current step."""
+        age = self.step_count - self.informed_at
+        return self.informed & (age >= 1) & (age <= self.active_window)
+
+    def can_progress(self) -> bool:
+        if self.is_complete():
+            return False
+        # Progress is impossible once every informed agent's window closes
+        # before the next step (an agent informed at s transmits during
+        # steps s+1 .. s+active_window).
+        informed_times = self.informed_at[self.informed]
+        return bool(np.any(informed_times + self.active_window >= self.step_count + 1))
+
+    def _exchange(self, positions: np.ndarray) -> np.ndarray:
+        active = self._active_mask()
+        if not np.any(active):
+            return np.empty(0, dtype=np.intp)
+        uninformed = np.nonzero(~self.informed)[0]
+        if uninformed.size == 0:
+            return np.empty(0, dtype=np.intp)
+        hits = self.engine.any_within(positions[active], positions[uninformed], self.radius)
+        return self._mark_informed(uninformed[hits])

@@ -1,0 +1,47 @@
+"""Push-pull gossip.
+
+The other classic randomized-broadcast primitive: per step every agent —
+informed or not — contacts one uniform neighbor within range; the message
+crosses the contact in *either* direction (informed pushes, uninformed
+pulls).  Pull makes the endgame exponentially faster than pure push in
+well-mixed graphs; over the Manhattan Suburb both directions still have to
+wait for Lemma-16 meetings, so the gap narrows — one more lens on the
+paper's geometry in the baselines experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.protocols.base import BroadcastProtocol
+
+__all__ = ["PushPullGossip"]
+
+
+class PushPullGossip(BroadcastProtocol):
+    """Push-pull gossip: every agent contacts one random in-range neighbor."""
+
+    name = "push-pull"
+
+    def _exchange(self, positions: np.ndarray) -> np.ndarray:
+        pairs = self.engine.pairs_within(positions, self.radius)
+        if pairs.size == 0:
+            return np.empty(0, dtype=np.intp)
+        # Each agent picks one uniform neighbor: rank directed contacts by a
+        # random key per initiator, keep rank 0.
+        src = np.concatenate([pairs[:, 0], pairs[:, 1]])
+        dst = np.concatenate([pairs[:, 1], pairs[:, 0]])
+        key = self.rng.uniform(size=src.size)
+        order = np.lexsort((key, src))
+        src = src[order]
+        dst = dst[order]
+        first = np.searchsorted(src, src, side="left") == np.arange(src.size)
+        chosen_src = src[first]
+        chosen_dst = dst[first]
+        # The message crosses each chosen contact in either direction.
+        informed_src = self.informed[chosen_src]
+        informed_dst = self.informed[chosen_dst]
+        push_targets = chosen_dst[informed_src & ~informed_dst]
+        pull_targets = chosen_src[~informed_src & informed_dst]
+        newly = np.unique(np.concatenate([push_targets, pull_targets]))
+        return self._mark_informed(newly)

@@ -1,0 +1,36 @@
+"""Simulation engine: configs, seeded runs, multi-trial aggregation."""
+
+from repro.simulation.config import FloodingConfig, standard_config
+from repro.simulation.engine import Simulation
+from repro.simulation.metrics import InformedRecorder, ZoneRecorder
+from repro.simulation.parallel import run_trials_parallel, sweep_parallel
+from repro.simulation.results import FloodingResult, TrialSummary, summarize
+from repro.simulation.rng import make_rng, spawn_rngs, spawn_seeds
+from repro.simulation.runner import (
+    build_model,
+    build_protocol,
+    run_flooding,
+    run_trials,
+    sweep,
+)
+
+__all__ = [
+    "FloodingConfig",
+    "standard_config",
+    "Simulation",
+    "InformedRecorder",
+    "ZoneRecorder",
+    "FloodingResult",
+    "TrialSummary",
+    "summarize",
+    "make_rng",
+    "spawn_rngs",
+    "spawn_seeds",
+    "run_flooding",
+    "run_trials",
+    "run_trials_parallel",
+    "sweep",
+    "sweep_parallel",
+    "build_model",
+    "build_protocol",
+]

@@ -1,0 +1,134 @@
+"""Experiment configuration.
+
+:class:`FloodingConfig` gathers every knob of a flooding run — network
+parameters (``n``, ``L``, ``R``, ``v``), mobility model, protocol, source
+placement, zone-partition constants — validates them once, and reports how
+they relate to the paper's assumptions (Ineqs. 7-9).
+
+The helper :func:`standard_config` builds the paper's canonical scaling
+``L = sqrt(n)``, ``R = radius_factor * sqrt(log n)``,
+``v = speed_fraction * R``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.core import theory
+
+__all__ = ["FloodingConfig", "standard_config"]
+
+_SOURCE_MODES = ("uniform", "central", "suburb")
+
+
+@dataclass(frozen=True)
+class FloodingConfig:
+    """Parameters of one flooding experiment.
+
+    Attributes:
+        n: number of agents.
+        side: square side ``L``.
+        radius: transmission radius ``R``.
+        speed: agent speed ``v``.
+        max_steps: simulation horizon (flooding may finish earlier).
+        source: ``"uniform"`` (random agent), ``"central"`` (agent closest
+            to the center), ``"suburb"`` (agent closest to a corner), or an
+            explicit agent index.
+        mobility: mobility model name from
+            :data:`repro.mobility.MODEL_REGISTRY`.
+        mobility_options: extra keyword arguments for the mobility model
+            constructor (e.g. ``{"pause_time": 10.0}`` for ``mrwp-pause``).
+        protocol: protocol name from
+            :data:`repro.protocols.PROTOCOL_REGISTRY`.
+        protocol_options: extra keyword arguments for the protocol
+            constructor (e.g. ``{"fanout": 2}``).
+        init: mobility initialization mode (``"stationary"`` etc.).
+        backend: neighbor-engine backend.
+        seed: root seed for all randomness of the run.
+        threshold_factor: Definition 4's Central-Zone constant (3/8 paper).
+        multi_hop: flooding semantics (see
+            :class:`~repro.protocols.flooding.FloodingProtocol`).
+        track_zones: record per-zone completion metrics (requires a cell
+            grid satisfying Ineq. 6 — disabled automatically when the radius
+            admits no grid).
+    """
+
+    n: int
+    side: float
+    radius: float
+    speed: float
+    max_steps: int = 10_000
+    source: object = "uniform"
+    mobility: str = "mrwp"
+    mobility_options: dict = field(default_factory=dict)
+    protocol: str = "flooding"
+    protocol_options: dict = field(default_factory=dict)
+    init: str = "stationary"
+    backend: str = "auto"
+    seed: int = 0
+    threshold_factor: float = 3.0 / 8.0
+    multi_hop: bool = False
+    track_zones: bool = True
+
+    def __post_init__(self):
+        if self.n < 2:
+            raise ValueError(f"n must be at least 2, got {self.n}")
+        if self.side <= 0:
+            raise ValueError(f"side must be positive, got {self.side}")
+        if self.radius <= 0:
+            raise ValueError(f"radius must be positive, got {self.radius}")
+        if self.speed < 0:
+            raise ValueError(f"speed must be non-negative, got {self.speed}")
+        if self.max_steps < 1:
+            raise ValueError(f"max_steps must be positive, got {self.max_steps}")
+        if isinstance(self.source, str) and self.source not in _SOURCE_MODES:
+            raise ValueError(
+                f"source must be an index or one of {_SOURCE_MODES}, got {self.source!r}"
+            )
+        if isinstance(self.source, int) and not 0 <= self.source < self.n:
+            raise ValueError(f"source index must be in [0, {self.n}), got {self.source}")
+
+    def with_options(self, **changes) -> "FloodingConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def assumptions(self, c1: float = theory.PAPER_C1) -> theory.Assumptions:
+        """Check this configuration against the paper's hypotheses."""
+        return theory.check_assumptions(self.n, self.side, self.radius, self.speed, c1=c1)
+
+    def upper_bound(self) -> float:
+        """Theorem 3's bound evaluated at this configuration."""
+        return theory.flooding_upper_bound(self.n, self.side, self.radius, self.speed)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"n={self.n} L={self.side:.4g} R={self.radius:.4g} v={self.speed:.4g} "
+            f"model={self.mobility} protocol={self.protocol} source={self.source} seed={self.seed}"
+        )
+
+
+def standard_config(
+    n: int,
+    radius_factor: float = 2.0,
+    speed_fraction: float = 0.25,
+    **overrides,
+) -> FloodingConfig:
+    """The paper's canonical scaling: ``L = sqrt n``, ``R = c sqrt(log n)``.
+
+    Args:
+        n: number of agents.
+        radius_factor: ``c`` in ``R = c * sqrt(log n)`` — the paper's regime
+            just above the Central-Zone density threshold (its own constant
+            is un-optimized; see DESIGN.md).
+        speed_fraction: ``v = speed_fraction * R``; 0.25 keeps the
+            slow-mobility assumption comfortably satisfied.
+        overrides: any other :class:`FloodingConfig` field.
+    """
+    if n < 2:
+        raise ValueError(f"n must be at least 2, got {n}")
+    side = math.sqrt(n)
+    radius = radius_factor * math.sqrt(math.log(n))
+    speed = speed_fraction * radius
+    return FloodingConfig(n=n, side=side, radius=radius, speed=speed, **overrides)

@@ -1,0 +1,71 @@
+"""The step engine coupling mobility, protocol, and observers.
+
+One simulated time step is: **move** every agent (mobility model), then run
+one **communication round** (protocol) over the fresh snapshot — exactly
+the paper's semantics, where an agent informed during step ``t`` transmits
+from step ``t + 1``.  Observers are notified after each step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel
+from repro.protocols.base import BroadcastProtocol
+
+__all__ = ["Simulation"]
+
+
+class Simulation:
+    """Drive a protocol over a mobility process.
+
+    Args:
+        model: mobility model (owns agent positions).
+        protocol: broadcast protocol (owns informed state); must have been
+            constructed for the same number of agents.
+        observers: objects with optional ``start(positions, protocol)`` and
+            ``observe(t, positions, protocol, newly)`` methods.
+    """
+
+    def __init__(self, model: MobilityModel, protocol: BroadcastProtocol, observers=()):
+        if protocol.n != model.n:
+            raise ValueError(
+                f"protocol is sized for {protocol.n} agents but the model has {model.n}"
+            )
+        self.model = model
+        self.protocol = protocol
+        self.observers = list(observers)
+        self.steps_run = 0
+
+    def run(self, max_steps: int, stop_when_complete: bool = True, dt: float = 1.0) -> int:
+        """Simulate up to ``max_steps`` steps.
+
+        Stops early when the protocol completes (all informed) or reports it
+        can no longer progress.
+
+        Returns:
+            the number of steps actually simulated.
+        """
+        if max_steps < 0:
+            raise ValueError(f"max_steps must be non-negative, got {max_steps}")
+        positions = self.model.positions
+        for observer in self.observers:
+            start = getattr(observer, "start", None)
+            if start is not None:
+                start(positions, self.protocol)
+        for _ in range(max_steps):
+            if stop_when_complete and (
+                self.protocol.is_complete() or not self.protocol.can_progress()
+            ):
+                break
+            positions = self.model.step(dt)
+            newly = self.protocol.step(positions)
+            self.steps_run += 1
+            for observer in self.observers:
+                observer.observe(self.steps_run, positions, self.protocol, newly)
+        return self.steps_run
+
+    @property
+    def informed(self) -> np.ndarray:
+        """Copy of the protocol's informed mask."""
+        return self.protocol.informed.copy()

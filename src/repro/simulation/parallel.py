@@ -1,0 +1,93 @@
+"""Parallel trial execution.
+
+The full-scale sweeps (EXPERIMENTS.md ``--scale full``) run dozens of
+independent trials; this module fans them out over processes.  Trials stay
+bit-reproducible: the seed schedule is identical to
+:func:`repro.simulation.runner.run_trials`, so serial and parallel
+execution produce the same results (asserted in the tests).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.simulation.config import FloodingConfig
+from repro.simulation.results import summarize
+from repro.simulation.runner import run_flooding
+
+__all__ = ["run_trials_parallel", "sweep_parallel"]
+
+
+def _run_one(args):
+    config, entropy = args
+    # SeedSequence doesn't pickle portably across numpy versions; rebuild
+    # the child from its entropy/spawn-key state.
+    seed_seq = np.random.SeedSequence(
+        entropy=entropy["entropy"], spawn_key=entropy["spawn_key"]
+    )
+    return run_flooding(config, seed_seq=seed_seq)
+
+
+def _child_states(config: FloodingConfig, n_trials: int) -> list:
+    root = np.random.SeedSequence(config.seed)
+    return [
+        {"entropy": child.entropy, "spawn_key": child.spawn_key}
+        for child in root.spawn(n_trials)
+    ]
+
+
+def run_trials_parallel(
+    config: FloodingConfig, n_trials: int, max_workers: int = None
+) -> list:
+    """Parallel version of :func:`repro.simulation.runner.run_trials`.
+
+    Results are returned in trial order and match the serial runner exactly
+    (same seed schedule).
+
+    Args:
+        max_workers: process count (default: executor's choice).
+    """
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be positive, got {n_trials}")
+    jobs = [(config, state) for state in _child_states(config, n_trials)]
+    if n_trials == 1 or max_workers == 1:
+        return [_run_one(job) for job in jobs]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(_run_one, jobs))
+
+
+def sweep_parallel(
+    config: FloodingConfig,
+    parameter: str,
+    values,
+    n_trials: int = 5,
+    max_workers: int = None,
+) -> list:
+    """Parallel version of :func:`repro.simulation.runner.sweep`.
+
+    All (value, trial) jobs share one process pool.
+
+    Returns:
+        list of ``(value, TrialSummary, results)`` tuples, in input order.
+    """
+    values = list(values)
+    jobs = []
+    bounds = []
+    for value in values:
+        variant = config.with_options(**{parameter: value})
+        states = _child_states(variant, n_trials)
+        start = len(jobs)
+        jobs.extend((variant, state) for state in states)
+        bounds.append((value, start, start + n_trials))
+    if max_workers == 1:
+        results = [_run_one(job) for job in jobs]
+    else:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            results = list(pool.map(_run_one, jobs))
+    out = []
+    for value, start, end in bounds:
+        chunk = results[start:end]
+        out.append((value, summarize(r.flooding_time for r in chunk), chunk))
+    return out

@@ -1,0 +1,155 @@
+"""Single-run and multi-trial flooding drivers.
+
+:func:`run_flooding` executes one fully-specified
+:class:`~repro.simulation.config.FloodingConfig` and returns a
+:class:`~repro.simulation.results.FloodingResult`.  :func:`run_trials`
+repeats it over independent seeds; :func:`sweep` varies one parameter and
+aggregates — the workhorse behind every flooding experiment and benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.flooding import build_zone_partition, select_source
+from repro.mobility import (
+    ManhattanRandomWaypoint,
+    ManhattanRandomWaypointWithPause,
+    RandomDirection,
+    RandomWalk,
+    RandomWaypoint,
+)
+from repro.protocols import PROTOCOL_REGISTRY, FloodingProtocol
+from repro.simulation.config import FloodingConfig
+from repro.simulation.engine import Simulation
+from repro.simulation.metrics import InformedRecorder, ZoneRecorder
+from repro.simulation.results import FloodingResult, TrialSummary, summarize
+
+__all__ = ["run_flooding", "run_trials", "sweep", "build_model", "build_protocol"]
+
+
+def build_model(config: FloodingConfig, rng: np.random.Generator):
+    """Instantiate the mobility model named by the configuration."""
+    name = config.mobility
+    options = dict(config.mobility_options)
+    if name == "mrwp":
+        return ManhattanRandomWaypoint(
+            config.n, config.side, config.speed, rng=rng, init=config.init, **options
+        )
+    if name == "mrwp-pause":
+        init = config.init if config.init in ("stationary", "uniform") else "stationary"
+        options.setdefault("pause_time", 0.0)
+        return ManhattanRandomWaypointWithPause(
+            config.n, config.side, config.speed, rng=rng, init=init, **options
+        )
+    if name == "rwp":
+        init = config.init if config.init in ("stationary", "uniform") else "stationary"
+        return RandomWaypoint(config.n, config.side, config.speed, rng=rng, init=init, **options)
+    if name == "random-walk":
+        return RandomWalk(config.n, config.side, move_radius=config.speed, rng=rng, **options)
+    if name == "random-direction":
+        return RandomDirection(config.n, config.side, config.speed, rng=rng, **options)
+    raise ValueError(f"unknown mobility model {name!r}")
+
+
+def build_protocol(config: FloodingConfig, source: int, rng: np.random.Generator):
+    """Instantiate the protocol named by the configuration."""
+    if config.protocol not in PROTOCOL_REGISTRY:
+        raise ValueError(f"unknown protocol {config.protocol!r}")
+    cls = PROTOCOL_REGISTRY[config.protocol]
+    options = dict(config.protocol_options)
+    if cls is FloodingProtocol:
+        options.setdefault("multi_hop", config.multi_hop)
+    return cls(
+        config.n,
+        config.side,
+        config.radius,
+        source,
+        rng=rng,
+        backend=config.backend,
+        **options,
+    )
+
+
+def run_flooding(config: FloodingConfig, seed_seq: np.random.SeedSequence = None) -> FloodingResult:
+    """Execute one flooding run.
+
+    Args:
+        config: the experiment parameters.
+        seed_seq: optional externally supplied seed sequence (used by
+            :func:`run_trials`); defaults to ``SeedSequence(config.seed)``.
+    """
+    root = seed_seq if seed_seq is not None else np.random.SeedSequence(config.seed)
+    mobility_ss, protocol_ss, source_ss = root.spawn(3)
+    model = build_model(config, np.random.default_rng(mobility_ss))
+    positions = model.positions
+    source = select_source(positions, config.side, config.source, np.random.default_rng(source_ss))
+    protocol = build_protocol(config, source, np.random.default_rng(protocol_ss))
+
+    observers = [InformedRecorder()]
+    zones = None
+    if config.track_zones:
+        zones = build_zone_partition(
+            config.n, config.side, config.radius, config.threshold_factor
+        )
+        if zones is not None:
+            observers.append(ZoneRecorder(zones))
+
+    simulation = Simulation(model, protocol, observers)
+    n_steps = simulation.run(config.max_steps)
+
+    informed_recorder = observers[0]
+    history = informed_recorder.informed_history()
+    completed = protocol.is_complete()
+    if completed:
+        flooding_time = float(np.nonzero(history >= config.n)[0][0])
+    else:
+        flooding_time = math.inf
+    stalled = not completed and not protocol.can_progress()
+
+    result = FloodingResult(
+        flooding_time=flooding_time,
+        completed=completed,
+        stalled=stalled,
+        n_steps=n_steps,
+        informed_history=history,
+        source=source,
+        final_coverage=protocol.informed_count / config.n,
+        extras={"n_agents": config.n, "config": config},
+    )
+    if zones is not None:
+        zone_recorder = observers[1]
+        result.cz_completion_time = zone_recorder.cz_completion_time
+        result.suburb_completion_time = zone_recorder.suburb_completion_time
+        result.source_in_central_zone = bool(zones.in_central_zone(positions[source:source + 1])[0])
+    return result
+
+
+def run_trials(config: FloodingConfig, n_trials: int) -> list:
+    """Run ``n_trials`` independent repetitions of a configuration.
+
+    Trials derive their randomness from ``SeedSequence(config.seed)``; two
+    calls with the same configuration produce identical results.
+    """
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be positive, got {n_trials}")
+    root = np.random.SeedSequence(config.seed)
+    return [run_flooding(config, seed_seq=child) for child in root.spawn(n_trials)]
+
+
+def sweep(config: FloodingConfig, parameter: str, values, n_trials: int = 5) -> list:
+    """Vary one configuration field, running ``n_trials`` repetitions per value.
+
+    Returns:
+        list of ``(value, TrialSummary, results)`` tuples, in input order,
+        where the summary aggregates flooding times.
+    """
+    out = []
+    for value in values:
+        variant = config.with_options(**{parameter: value})
+        results = run_trials(variant, n_trials)
+        summary: TrialSummary = summarize(r.flooding_time for r in results)
+        out.append((value, summary, results))
+    return out

@@ -1,0 +1,21 @@
+"""Terminal visualization: ASCII heatmaps, tables, CSV export."""
+
+from repro.viz.animation import record_flooding_frames, render_agents_frame
+from repro.viz.ascii import render_heatmap, render_sparkline, render_zone_map
+from repro.viz.csvout import rows_to_csv_string, write_csv
+from repro.viz.report import generate_report, write_report
+from repro.viz.tables import format_markdown_table, format_table
+
+__all__ = [
+    "render_heatmap",
+    "render_zone_map",
+    "render_sparkline",
+    "render_agents_frame",
+    "record_flooding_frames",
+    "format_table",
+    "format_markdown_table",
+    "write_csv",
+    "rows_to_csv_string",
+    "generate_report",
+    "write_report",
+]

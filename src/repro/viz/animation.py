@@ -1,0 +1,95 @@
+"""ASCII animation of a flooding run.
+
+Renders snapshots of the informed/uninformed agent population as character
+frames — the moving-picture version of Fig. 1's density plot, showing the
+wave crossing the Central Zone and the stragglers in the corners.  Used by
+the ``flooding_frames`` example and handy in notebooks/terminals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_agents_frame", "record_flooding_frames"]
+
+
+def render_agents_frame(
+    positions: np.ndarray,
+    informed: np.ndarray,
+    side: float,
+    width: int = 40,
+    legend: bool = True,
+) -> str:
+    """One frame: ``#`` cells contain informed agents, ``o`` only uninformed.
+
+    Cells holding both kinds render as ``#`` (the informed dominate
+    visually, matching how the flooding wavefront reads).  Empty cells are
+    blank.  ``y`` grows upward.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    informed = np.asarray(informed, dtype=bool)
+    if informed.shape != (positions.shape[0],):
+        raise ValueError("informed mask must match positions")
+    if width < 2:
+        raise ValueError(f"width must be at least 2, got {width}")
+    cell = side / width
+    ij = np.floor(positions / cell).astype(int)
+    np.clip(ij, 0, width - 1, out=ij)
+    has_informed = np.zeros((width, width), dtype=bool)
+    has_uninformed = np.zeros((width, width), dtype=bool)
+    has_informed[ij[informed, 0], ij[informed, 1]] = True
+    has_uninformed[ij[~informed, 0], ij[~informed, 1]] = True
+    lines = []
+    for j in range(width - 1, -1, -1):
+        row = []
+        for i in range(width):
+            if has_informed[i, j]:
+                row.append("#")
+            elif has_uninformed[i, j]:
+                row.append("o")
+            else:
+                row.append(" ")
+        lines.append("".join(row))
+    if legend:
+        count = int(np.count_nonzero(informed))
+        lines.append(f"[# informed ({count}/{positions.shape[0]}), o uninformed]")
+    return "\n".join(lines)
+
+
+def record_flooding_frames(
+    model,
+    protocol,
+    at_steps,
+    width: int = 40,
+) -> dict:
+    """Run a flooding simulation capturing frames at chosen steps.
+
+    Args:
+        model: mobility model.
+        protocol: broadcast protocol sized for the model.
+        at_steps: iterable of step indices to capture (0 = initial state).
+        width: frame resolution.
+
+    Returns:
+        dict step -> rendered frame.  The simulation stops after the largest
+        requested step or on completion, whichever is later -- frames after
+        completion show the fully informed population.
+    """
+    wanted = sorted(set(int(s) for s in at_steps))
+    if wanted and wanted[0] < 0:
+        raise ValueError("step indices must be non-negative")
+    frames = {}
+    positions = model.positions
+    if wanted and wanted[0] == 0:
+        frames[0] = render_agents_frame(positions, protocol.informed, model.side, width)
+        wanted = wanted[1:]
+    last = wanted[-1] if wanted else 0
+    for step in range(1, last + 1):
+        positions = model.step()
+        protocol.step(positions)
+        if wanted and step == wanted[0]:
+            frames[step] = render_agents_frame(
+                positions, protocol.informed, model.side, width
+            )
+            wanted = wanted[1:]
+    return frames

@@ -1,0 +1,78 @@
+"""ASCII rendering of densities and zone maps.
+
+Figure 1 of the paper is a grayscale density gradient; without a plotting
+dependency we render the same information as character shades in the
+terminal.  ``y`` grows upward (row 0 of the output is the top of the
+square), matching the paper's figure orientation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_heatmap", "render_zone_map", "render_sparkline"]
+
+#: Shade ramp from empty to dense.
+_SHADES = " .:-=+*#%@"
+
+
+def render_heatmap(values: np.ndarray, width: int = None, legend: bool = True) -> str:
+    """Render a 2-D array as an ASCII shade map.
+
+    Args:
+        values: ``(nx, ny)`` array; index ``[i, j]`` is column ``i`` (x),
+            row ``j`` (y).
+        width: optional downsample target for the x dimension.
+        legend: append a min/max legend line.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise ValueError(f"values must be 2-D, got shape {values.shape}")
+    if width is not None and width < values.shape[0]:
+        factor = int(np.ceil(values.shape[0] / width))
+        nx = values.shape[0] // factor
+        ny = values.shape[1] // factor
+        values = values[: nx * factor, : ny * factor]
+        values = values.reshape(nx, factor, ny, factor).mean(axis=(1, 3))
+    lo = float(values.min())
+    hi = float(values.max())
+    span = hi - lo if hi > lo else 1.0
+    scaled = ((values - lo) / span * (len(_SHADES) - 1)).astype(int)
+    lines = []
+    for j in range(values.shape[1] - 1, -1, -1):  # top row first
+        # Double each character horizontally: terminal cells are ~2x taller
+        # than wide, so doubling keeps the square visually square.
+        lines.append("".join(_SHADES[scaled[i, j]] * 2 for i in range(values.shape[0])))
+    if legend:
+        lines.append(f"[min={lo:.4g} max={hi:.4g}; shades '{_SHADES}']")
+    return "\n".join(lines)
+
+
+def render_zone_map(cz_mask: np.ndarray, legend: bool = True) -> str:
+    """Render a Central-Zone mask: ``#`` CZ cells, ``.`` Suburb cells."""
+    cz_mask = np.asarray(cz_mask, dtype=bool)
+    if cz_mask.ndim != 2:
+        raise ValueError(f"cz_mask must be 2-D, got shape {cz_mask.shape}")
+    lines = []
+    for j in range(cz_mask.shape[1] - 1, -1, -1):
+        lines.append("".join(("##" if cz_mask[i, j] else "..") for i in range(cz_mask.shape[0])))
+    if legend:
+        lines.append("[## = Central Zone, .. = Suburb]")
+    return "\n".join(lines)
+
+
+def render_sparkline(values, width: int = 60) -> str:
+    """One-line sparkline of a series (coverage curves in experiment logs)."""
+    ramp = "▁▂▃▄▅▆▇█"
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        return ""
+    if values.size > width:
+        # Downsample by averaging consecutive chunks.
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.array([values[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a])
+    lo = values.min()
+    hi = values.max()
+    span = hi - lo if hi > lo else 1.0
+    idx = ((values - lo) / span * (len(ramp) - 1)).astype(int)
+    return "".join(ramp[i] for i in idx)

@@ -1,0 +1,32 @@
+"""CSV export of experiment tables and series."""
+
+from __future__ import annotations
+
+import csv
+import os
+
+__all__ = ["write_csv", "rows_to_csv_string"]
+
+
+def write_csv(path: str, headers, rows) -> str:
+    """Write a table to ``path`` (creating parent directories); returns the path."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+    return path
+
+
+def rows_to_csv_string(headers, rows) -> str:
+    """Render a table as a CSV string (used by the CLI's ``--csv`` flag)."""
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()

@@ -1,0 +1,59 @@
+"""Fixed-width and markdown table rendering for experiment reports."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_markdown_table"]
+
+
+def _stringify(cell) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "nan"
+        if cell in (float("inf"), float("-inf")):
+            return "inf" if cell > 0 else "-inf"
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1e5 or abs(cell) < 1e-3:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def format_table(headers, rows, title: str = None) -> str:
+    """Render rows as an aligned fixed-width text table.
+
+    Args:
+        headers: column names.
+        rows: iterable of row iterables (cells are stringified; floats get
+            compact formatting).
+        title: optional title line above the table.
+    """
+    headers = [str(h) for h in headers]
+    str_rows = [[_stringify(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers, rows) -> str:
+    """Render rows as a GitHub-flavored markdown table."""
+    headers = [str(h) for h in headers]
+    str_rows = [[_stringify(cell) for cell in row] for row in rows]
+    lines = ["| " + " | ".join(headers) + " |", "|" + "|".join("---" for _ in headers) + "|"]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

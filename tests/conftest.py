@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_square():
+    """A convenient side length used across geometry tests."""
+    return 10.0
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running statistical test")

@@ -1,0 +1,162 @@
+"""Tests of the analysis toolkit (stats, empirical distances, scaling fits)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.empirical import (
+    analytic_cell_probabilities,
+    chi_square_statistic,
+    histogram_density,
+    ks_critical_value,
+    ks_statistic,
+    total_variation,
+)
+from repro.analysis.scaling import fit_affine_inverse, fit_power_law, r_squared
+from repro.analysis.stats import (
+    bootstrap_ci,
+    empirical_quantiles,
+    fraction_satisfying,
+    geometric_mean,
+)
+
+
+class TestStats:
+    def test_bootstrap_ci_contains_mean(self, rng):
+        data = rng.normal(10.0, 1.0, size=200)
+        low, high = bootstrap_ci(data, rng=rng)
+        assert low < data.mean() < high
+        assert high - low < 1.0
+
+    def test_bootstrap_ci_validation(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_ci([], rng=rng)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.5, rng=rng)
+
+    def test_bootstrap_deterministic_default(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert bootstrap_ci(data) == bootstrap_ci(data)
+
+    def test_quantiles(self):
+        q = empirical_quantiles(range(101), qs=(0.5,))
+        assert q[0.5] == pytest.approx(50.0)
+
+    def test_quantiles_ignore_inf(self):
+        q = empirical_quantiles([1.0, 2.0, 3.0, math.inf], qs=(0.5,))
+        assert q[0.5] == pytest.approx(2.0)
+
+    def test_fraction_satisfying(self):
+        assert fraction_satisfying([1, 2, 3, 4], lambda v: v <= 2) == 0.5
+        with pytest.raises(ValueError):
+            fraction_satisfying([], lambda v: True)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+
+class TestEmpiricalDistances:
+    def test_histogram_density_integrates_to_one(self, rng):
+        points = rng.uniform(0, 5, (1000, 2))
+        density = histogram_density(points, 5.0, bins=4)
+        cell_area = (5.0 / 4) ** 2
+        assert density.sum() * cell_area == pytest.approx(1.0)
+
+    def test_histogram_requires_points(self):
+        with pytest.raises(ValueError):
+            histogram_density(np.array([[10.0, 10.0]]) + 100, 5.0, 4)
+
+    def test_analytic_cells_sum_to_one(self):
+        cells = analytic_cell_probabilities(
+            lambda x, y: np.full(np.broadcast(x, y).shape, 1.0 / 25.0), 5.0, bins=5
+        )
+        assert cells.sum() == pytest.approx(1.0)
+
+    def test_tv_identical_zero(self):
+        p = np.array([0.25, 0.25, 0.5])
+        assert total_variation(p, p) == 0.0
+
+    def test_tv_disjoint_one(self):
+        assert total_variation([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)
+
+    def test_tv_symmetry_and_range(self, rng):
+        p = rng.uniform(0, 1, 10)
+        q = rng.uniform(0, 1, 10)
+        tv = total_variation(p, q)
+        assert tv == pytest.approx(total_variation(q, p))
+        assert 0 <= tv <= 1
+
+    def test_tv_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            total_variation([1.0], [0.5, 0.5])
+
+    def test_ks_uniform_sample(self, rng):
+        sample = rng.uniform(0, 1, 5000)
+        stat = ks_statistic(sample, lambda x: np.clip(x, 0, 1))
+        assert stat < ks_critical_value(5000, alpha=1e-3)
+
+    def test_ks_detects_wrong_cdf(self, rng):
+        sample = rng.uniform(0, 1, 5000) ** 2  # not uniform
+        stat = ks_statistic(sample, lambda x: np.clip(x, 0, 1))
+        assert stat > ks_critical_value(5000, alpha=1e-3)
+
+    def test_chi_square_uniform_ok(self, rng):
+        counts = rng.multinomial(10_000, [0.25] * 4)
+        stat, dof = chi_square_statistic(counts, [0.25] * 4)
+        assert dof == 3
+        assert stat < 20  # chi2(3) 99.99th pct ~ 21
+
+    def test_chi_square_merges_small_bins(self):
+        observed = np.array([1000.0, 1.0, 1.0, 1.0])
+        probs = np.array([0.997, 0.001, 0.001, 0.001])
+        _stat, dof = chi_square_statistic(observed, probs)
+        assert dof == 1  # tiny bins merged
+
+
+class TestScalingFits:
+    def test_power_law_exact(self):
+        x = np.array([1.0, 2.0, 4.0, 8.0])
+        y = 3.0 * x**1.7
+        fit = fit_power_law(x, y)
+        assert fit.exponent == pytest.approx(1.7)
+        assert fit.amplitude == pytest.approx(3.0)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_power_law_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, -2.0], [1.0, 2.0])
+
+    def test_affine_inverse_exact(self):
+        x = np.array([0.5, 1.0, 2.0, 4.0])
+        y = 7.0 + 3.0 / x
+        fit = fit_affine_inverse(x, y)
+        assert fit.constant == pytest.approx(7.0)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_affine_inverse_predict(self):
+        fit = fit_affine_inverse([1.0, 2.0], [5.0, 4.0])
+        assert fit.predict(1.0) == pytest.approx(5.0)
+
+    def test_r_squared_bounds(self, rng):
+        y = rng.normal(size=50)
+        assert r_squared(y, y) == pytest.approx(1.0)
+        assert r_squared(y, np.full(50, y.mean())) == pytest.approx(0.0)
+
+    @given(
+        exponent=st.floats(min_value=-2.0, max_value=2.0),
+        amplitude=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=30)
+    def test_power_law_recovers_parameters(self, exponent, amplitude):
+        x = np.array([1.0, 3.0, 9.0, 27.0])
+        fit = fit_power_law(x, amplitude * x**exponent)
+        assert fit.exponent == pytest.approx(exponent, abs=1e-9)
+        assert fit.amplitude == pytest.approx(amplitude, rel=1e-9)

@@ -1,0 +1,114 @@
+"""Tests of the trip-length closed forms and process-level collection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.empirical import ks_critical_value, ks_statistic
+from repro.analysis.trips import (
+    axis_gap_cdf,
+    axis_gap_pdf,
+    collect_trip_lengths,
+    collect_trip_lengths_with_stats,
+    mean_axis_gap,
+    trip_length_cdf,
+    trip_length_pdf,
+)
+
+SIDE = 10.0
+
+
+class TestAxisGap:
+    def test_pdf_integrates_to_one(self):
+        g = np.linspace(0, SIDE, 100_001)
+        assert np.trapezoid(axis_gap_pdf(g, SIDE), g) == pytest.approx(1.0, abs=1e-6)
+
+    def test_pdf_matches_sample(self, rng):
+        u = rng.uniform(0, SIDE, 100_000)
+        v = rng.uniform(0, SIDE, 100_000)
+        gaps = np.abs(u - v)
+        stat = ks_statistic(gaps, lambda g: axis_gap_cdf(g, SIDE))
+        assert stat < ks_critical_value(100_000, alpha=1e-3)
+
+    def test_cdf_endpoints(self):
+        assert axis_gap_cdf(0.0, SIDE) == 0.0
+        assert axis_gap_cdf(SIDE, SIDE) == pytest.approx(1.0)
+
+    def test_mean(self, rng):
+        u = rng.uniform(0, SIDE, 200_000)
+        v = rng.uniform(0, SIDE, 200_000)
+        assert np.abs(u - v).mean() == pytest.approx(mean_axis_gap(SIDE), rel=0.01)
+
+
+class TestTripLength:
+    def test_pdf_integrates_to_one(self):
+        d = np.linspace(0, 2 * SIDE, 200_001)
+        assert np.trapezoid(trip_length_pdf(d, SIDE), d) == pytest.approx(1.0, abs=1e-6)
+
+    def test_pdf_is_convolution(self):
+        """The closed form equals the numeric convolution of two gap pdfs."""
+        u = np.linspace(0, SIDE, 2001)
+        du = u[1] - u[0]
+        gap = axis_gap_pdf(u, SIDE)
+        for d in (0.3 * SIDE, 0.9 * SIDE, 1.4 * SIDE):
+            other = trip_length_pdf(d, SIDE)
+            numeric = np.sum(gap * axis_gap_pdf(d - u, SIDE)) * du
+            assert float(other) == pytest.approx(numeric, rel=2e-3, abs=1e-6)
+
+    def test_cdf_derivative_matches_pdf(self):
+        d = np.linspace(0.01, 2 * SIDE - 0.01, 50)
+        h = 1e-5
+        numeric = (trip_length_cdf(d + h, SIDE) - trip_length_cdf(d - h, SIDE)) / (2 * h)
+        assert np.allclose(numeric, trip_length_pdf(d, SIDE), rtol=1e-4, atol=1e-8)
+
+    def test_cdf_endpoints_and_continuity(self):
+        assert trip_length_cdf(0.0, SIDE) == 0.0
+        assert trip_length_cdf(2 * SIDE, SIDE) == pytest.approx(1.0)
+        # The two polynomial pieces agree at d = L.
+        assert trip_length_cdf(SIDE - 1e-9, SIDE) == pytest.approx(
+            trip_length_cdf(SIDE + 1e-9, SIDE), abs=1e-6
+        )
+
+    def test_matches_monte_carlo(self, rng):
+        starts = rng.uniform(0, SIDE, (200_000, 2))
+        ends = rng.uniform(0, SIDE, (200_000, 2))
+        lengths = np.abs(starts - ends).sum(axis=1)
+        stat = ks_statistic(lengths, lambda d: trip_length_cdf(d, SIDE))
+        assert stat < ks_critical_value(200_000, alpha=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            trip_length_pdf(1.0, 0.0)
+
+
+class TestCollectTripLengths:
+    def test_collects_from_process(self, rng):
+        lengths = collect_trip_lengths(500, SIDE, speed=2.0, steps=60, rng=rng)
+        assert lengths.size > 200
+        assert np.all(lengths >= 0)
+        assert np.all(lengths <= 2 * SIDE + 1e-9)
+
+    def test_mean_near_two_thirds_l(self, rng):
+        lengths = collect_trip_lengths(2000, SIDE, speed=2.0, steps=100, rng=rng)
+        assert lengths.mean() == pytest.approx(2 * SIDE / 3, rel=0.05)
+
+    def test_no_arrivals_empty(self, rng):
+        lengths = collect_trip_lengths(50, SIDE, speed=1e-6, steps=3, rng=rng)
+        assert lengths.size == 0
+
+    def test_stats_accounting(self, rng):
+        lengths, stats = collect_trip_lengths_with_stats(
+            500, SIDE, speed=2.0, steps=60, rng=rng
+        )
+        assert stats["recorded"] == lengths.size
+        assert (
+            stats["recorded"] + stats["skipped_first"] + stats["dropped_multi"]
+            == stats["total_arrivals"]
+        )
+        assert 0.0 <= stats["dropped_fraction"] < 0.2
+        # Every agent's first trip is skipped exactly once (if it arrived).
+        assert stats["skipped_first"] <= 500
+
+    def test_fast_agents_censor_more(self, rng):
+        _l1, slow = collect_trip_lengths_with_stats(300, SIDE, 1.0, 60, np.random.default_rng(0))
+        _l2, fast = collect_trip_lengths_with_stats(300, SIDE, 6.0, 60, np.random.default_rng(0))
+        assert fast["dropped_fraction"] >= slow["dropped_fraction"]

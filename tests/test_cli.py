@@ -1,0 +1,65 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_parses(self):
+        args = build_parser().parse_args(["run", "lemma15_suburb", "--scale", "full"])
+        assert args.experiment == "lemma15_suburb"
+        assert args.scale == "full"
+
+    def test_run_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "bogus"])
+
+    def test_flood_parses(self):
+        args = build_parser().parse_args(["flood", "--n", "500", "--seed", "3"])
+        assert args.n == 500
+        assert args.seed == 3
+
+
+class TestCommands:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1_spatial" in out
+        assert "thm18_lower" in out
+
+    def test_run_deterministic_experiment(self, capsys):
+        code = main(["run", "lemma15_suburb"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Lemma 15" in out
+        assert "PASS" in out
+
+    def test_run_with_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "out.csv"
+        code = main(["run", "lemma15_suburb", "--csv", str(csv_path)])
+        capsys.readouterr()
+        assert code == 0
+        assert csv_path.exists()
+
+    def test_flood_command(self, capsys):
+        code = main(
+            ["flood", "--n", "400", "--radius-factor", "2.0", "--max-steps", "2000"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "flooding time" in out
+        assert "Theorem 3 bound" in out
+
+    def test_flood_with_source_index(self, capsys):
+        code = main(["flood", "--n", "400", "--source", "7", "--max-steps", "2000"])
+        capsys.readouterr()
+        assert code == 0

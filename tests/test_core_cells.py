@@ -1,0 +1,122 @@
+"""Tests of the cell partition (Inequality 6)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cells import CellGrid, cell_side_bounds
+
+SIDE = 10.0
+SQRT5 = math.sqrt(5.0)
+
+
+class TestCellSideBounds:
+    def test_interval(self):
+        lo, hi = cell_side_bounds(2.0)
+        assert lo == pytest.approx(2.0 / (1 + SQRT5))
+        assert hi == pytest.approx(2.0 / SQRT5)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            cell_side_bounds(0.0)
+
+
+class TestForRadius:
+    @given(radius=st.floats(min_value=0.05, max_value=9.0))
+    @settings(max_examples=60)
+    def test_inequality6_satisfied(self, radius):
+        """For any reasonable radius the chosen cell side obeys Ineq. 6."""
+        grid = CellGrid.for_radius(SIDE, radius)
+        lo, hi = cell_side_bounds(radius)
+        assert lo - 1e-9 <= grid.ell <= hi + 1e-9
+
+    def test_adjacency_transmission_guarantee(self):
+        """sqrt5 * l <= R: opposite corners of adjacent cells are in range."""
+        grid = CellGrid.for_radius(SIDE, 1.7)
+        worst = math.sqrt((2 * grid.ell) ** 2 + grid.ell**2)
+        assert worst <= 1.7 + 1e-9
+
+    def test_single_cell_grid_when_radius_huge(self):
+        """R up to (1+sqrt5) L still admits the m=1 grid."""
+        grid = CellGrid.for_radius(SIDE, 3.0 * SIDE)
+        assert grid.m == 1
+
+    def test_too_large_radius_raises(self):
+        """Beyond (1+sqrt5) L even one cell violates Ineq. 6's lower bound."""
+        with pytest.raises(ValueError):
+            CellGrid.for_radius(SIDE, 4.0 * SIDE)
+
+
+class TestIndexing:
+    def test_cell_indices_basics(self):
+        grid = CellGrid(SIDE, 5)  # ell = 2
+        points = np.array([[0.1, 0.1], [3.9, 8.1], [10.0, 10.0]])
+        idx = grid.cell_indices(points)
+        assert idx[0].tolist() == [0, 0]
+        assert idx[1].tolist() == [1, 4]
+        assert idx[2].tolist() == [4, 4]  # far boundary clamps to last cell
+
+    def test_flat_indices_roundtrip(self):
+        grid = CellGrid(SIDE, 4)
+        points = np.random.default_rng(0).uniform(0, SIDE, (100, 2))
+        flat = grid.flat_indices(points)
+        ij = grid.cell_indices(points)
+        assert np.array_equal(flat, ij[:, 0] * 4 + ij[:, 1])
+
+    def test_corners_and_centers(self):
+        grid = CellGrid(SIDE, 5)
+        corner = grid.cell_sw_corner(1, 2)
+        assert corner.tolist() == [2.0, 4.0]
+        center = grid.cell_center(1, 2)
+        assert center.tolist() == [3.0, 5.0]
+
+    def test_in_core(self):
+        grid = CellGrid(SIDE, 5)  # ell=2, core = [2/3, 4/3] within cell
+        inside = np.array([[1.0, 1.0]])  # offset (1,1) in cell 0 — core
+        edge = np.array([[0.1, 1.0]])  # offset (0.1, 1) — outside core
+        assert grid.in_core(inside)[0]
+        assert not grid.in_core(edge)[0]
+
+    def test_occupancy_counts(self):
+        grid = CellGrid(SIDE, 2)  # 4 cells of side 5
+        points = np.array([[1.0, 1.0], [1.5, 1.5], [7.0, 7.0]])
+        occ = grid.occupancy(points)
+        assert occ[0, 0] == 2
+        assert occ[1, 1] == 1
+        assert occ.sum() == 3
+
+    def test_occupancy_core_only(self):
+        grid = CellGrid(SIDE, 2)
+        core_point = np.array([[2.5, 2.5]])  # center of cell (0,0)
+        edge_point = np.array([[0.2, 0.2]])
+        occ = grid.occupancy(np.vstack([core_point, edge_point]), core_only=True)
+        assert occ[0, 0] == 1
+
+
+class TestMassesAndAdjacency:
+    def test_all_cell_masses_sum_to_one(self):
+        grid = CellGrid(SIDE, 7)
+        assert grid.all_cell_masses().sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_center_cells_denser(self):
+        grid = CellGrid(SIDE, 5)
+        masses = grid.all_cell_masses()
+        assert masses[2, 2] > masses[0, 0]
+        # Symmetry of Thm 1's pdf.
+        assert masses[0, 0] == pytest.approx(masses[4, 4])
+        assert masses[0, 2] == pytest.approx(masses[4, 2])
+
+    def test_adjacent_pairs_count(self):
+        grid = CellGrid(SIDE, 4)
+        pairs = grid.adjacent_pairs()
+        # 2 * m * (m-1) adjacent pairs in an m x m grid.
+        assert pairs.shape == (2 * 4 * 3, 2)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            CellGrid(0.0, 3)
+        with pytest.raises(ValueError):
+            CellGrid(SIDE, 0)

@@ -1,0 +1,154 @@
+"""Tests of the Theorem-10 spread machinery and the regime classifier."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import theory
+from repro.core.cells import CellGrid
+from repro.core.regimes import REGIME_SYMBOLS, REGIMES, classify_regime, regime_map
+from repro.core.spread import (
+    InformedCellTracker,
+    claim11_completion_steps,
+    growth_deficits,
+)
+from repro.core.zones import ZonePartition
+from repro.mobility.mrwp import ManhattanRandomWaypoint
+from repro.protocols.flooding import FloodingProtocol
+from repro.simulation.engine import Simulation
+
+SIDE = 40.0
+N = 1500
+
+
+class TestInformedCellTracker:
+    def make(self, radius=7.0):
+        grid = CellGrid.for_radius(SIDE, radius)
+        zones = ZonePartition(grid, N)
+        return grid, zones, InformedCellTracker(grid, zones)
+
+    def test_counts_informed_cells(self, rng):
+        grid, zones, tracker = self.make()
+        positions = rng.uniform(0, SIDE, (N, 2))
+        nobody = np.zeros(N, dtype=bool)
+        everybody = np.ones(N, dtype=bool)
+        # With everyone informed, every CZ cell is informed.
+        assert tracker.informed_cell_count(positions, everybody) == zones.n_central_cells
+        # With nobody informed, only CZ cells empty of agents count.
+        count_empty = tracker.informed_cell_count(positions, nobody)
+        occupied = grid.occupancy(positions).ravel()[zones.central_cell_ids()]
+        assert count_empty == int(np.count_nonzero(occupied == 0))
+
+    def test_observer_records_series(self):
+        grid, zones, tracker = self.make()
+        model = ManhattanRandomWaypoint(N, SIDE, 0.7, rng=np.random.default_rng(0))
+        protocol = FloodingProtocol(N, SIDE, 7.0, 0)
+        simulation = Simulation(model, protocol, observers=[tracker])
+        steps = simulation.run(500)
+        q = tracker.q_series()
+        assert q.shape == (steps + 1,)
+        assert q[-1] == zones.n_central_cells  # complete run saturates Q
+
+
+class TestGrowthDeficits:
+    def test_positive_when_recurrence_holds(self):
+        q = np.array([1, 3, 6, 10, 16, 16])
+        deficits = growth_deficits(q, total_cells=16)
+        assert np.all(deficits >= 0)
+
+    def test_detects_violation(self):
+        q = np.array([4, 4])  # no growth at an interior point
+        deficits = growth_deficits(q, total_cells=16)
+        assert deficits.size == 1
+        assert deficits[0] < 0
+
+    def test_skips_empty_and_complete(self):
+        q = np.array([0, 0, 16, 16])
+        assert growth_deficits(q, total_cells=16).size == 0
+
+    def test_short_series(self):
+        assert growth_deficits(np.array([1]), 16).size == 0
+
+
+class TestClaim11:
+    def test_bound_formula(self):
+        assert claim11_completion_steps(100) == 50
+
+    def test_recurrence_completes_within_bound(self):
+        """Iterating the worst-case recurrence from q=1 hits the target
+        within 5 sqrt(q_bar) — Claim 11 verified computationally."""
+        for total in (4, 25, 100, 1234):
+            q = 1
+            steps = 0
+            while q < total:
+                q = q + math.ceil(math.sqrt(min(q, total - q)))
+                steps += 1
+                assert steps <= claim11_completion_steps(total)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            claim11_completion_steps(0)
+
+
+class TestClassifyRegime:
+    N_BIG = 10**14
+
+    def side(self):
+        return math.sqrt(self.N_BIG)
+
+    def test_trivial(self):
+        side = self.side()
+        assert classify_regime(self.N_BIG, side, 1.5 * side, 0.0) == "trivial"
+
+    def test_no_suburb(self):
+        side = self.side()
+        radius = 1.01 * theory.large_radius_threshold(self.N_BIG, side)
+        assert classify_regime(self.N_BIG, side, radius, 0.0) == "no-suburb"
+
+    def test_below_assumption(self):
+        side = self.side()
+        assert classify_regime(self.N_BIG, side, 1e-3, 1e-4) == "below-assumption"
+
+    def test_fast_mobility(self):
+        side = self.side()
+        base = math.sqrt(math.log(self.N_BIG))
+        radius = 3.0 * base
+        assert classify_regime(self.N_BIG, side, radius, radius) == "fast-mobility"
+
+    def test_cz_vs_suburb_split(self):
+        """With a large enough radius factor the paper-constant optimal
+        window opens: fast v -> cz-dominated, very slow v -> suburb-dominated.
+
+        Asymptotically the window condition ``S R / L <= R / 9.7`` needs the
+        radius factor c (R = c sqrt(log n)) to satisfy c^2 >= ~73 / ...;
+        c = 10 suffices.
+        """
+        side = self.side()
+        base = math.sqrt(math.log(self.N_BIG))
+        radius = 10.0 * base
+        v_max = theory.speed_assumption_max(radius)
+        assert classify_regime(self.N_BIG, side, radius, v_max) == "cz-dominated"
+        assert classify_regime(self.N_BIG, side, radius, 1e-9) == "suburb-dominated"
+
+    def test_all_labels_known(self):
+        assert set(REGIME_SYMBOLS) == set(REGIMES)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            classify_regime(1000, 10.0, 0.0, 0.1)
+
+
+class TestRegimeMap:
+    def test_map_shape_and_symbols(self):
+        n = 10**14
+        side = math.sqrt(n)
+        base = math.sqrt(math.log(n))
+        grid = regime_map(n, side, (0.5 * base, side), (0.01, 0.3), resolution=8)
+        assert grid["labels"].shape == (8, 8)
+        assert all(label in REGIMES for label in grid["labels"].ravel())
+        assert grid["ascii"].count("\n") >= 8
+
+    def test_resolution_validation(self):
+        with pytest.raises(ValueError):
+            regime_map(1000, 31.6, (1.0, 2.0), (0.01, 0.3), resolution=1)

@@ -1,0 +1,128 @@
+"""Tests of the closed-form bounds in repro.core.theory."""
+
+import math
+
+import pytest
+
+from repro.core import theory
+
+
+class TestAssumptionThresholds:
+    def test_radius_assumption_paper_constant(self):
+        n, side = 10_000, 100.0
+        expected = 200 * side * math.sqrt(math.log(n) / n)
+        assert theory.radius_assumption_threshold(n, side) == pytest.approx(expected)
+
+    def test_speed_assumption(self):
+        assert theory.speed_assumption_max(9.7) == pytest.approx(
+            9.7 / (3 * (1 + math.sqrt(5)))
+        )
+
+    def test_large_radius_threshold(self):
+        n, side = 1000, 31.6
+        expected = (1 + math.sqrt(5)) / 2 * side * (3 * math.log(n) / n) ** (1 / 3)
+        assert theory.large_radius_threshold(n, side) == pytest.approx(expected)
+
+    def test_check_assumptions_paper_regime(self):
+        """At huge n with the paper's constants, everything checks out."""
+        n = 10**12
+        side = math.sqrt(n)
+        radius = 1.01 * theory.radius_assumption_threshold(n, side)
+        speed = 0.99 * theory.speed_assumption_max(radius)
+        result = theory.check_assumptions(n, side, radius, speed)
+        assert result.radius_ok
+        assert result.speed_ok
+        assert result.radius_not_trivial
+        assert result.all_ok
+
+    def test_check_assumptions_violations(self):
+        result = theory.check_assumptions(1000, 31.6, radius=0.5, speed=10.0)
+        assert not result.radius_ok
+        assert not result.speed_ok
+        assert not result.all_ok
+
+
+class TestBounds:
+    def test_suburb_diameter_scaling(self):
+        """S ~ L^3 log n / (R^2 n): doubling R quarters S."""
+        s1 = theory.suburb_diameter(1000, 31.6, 2.0)
+        s2 = theory.suburb_diameter(1000, 31.6, 4.0)
+        assert s1 / s2 == pytest.approx(4.0)
+
+    def test_cz_flooding_bound(self):
+        assert theory.cz_flooding_bound(100.0, 5.0) == pytest.approx(360.0)
+
+    def test_upper_bound_terms(self):
+        n, side, radius, speed = 1000, 31.6, 3.0, 0.5
+        bound = theory.flooding_upper_bound(n, side, radius, speed)
+        cz = 18 * side / radius
+        suburb = 594 * theory.suburb_diameter(n, side, radius) / speed
+        assert bound == pytest.approx(cz + suburb)
+
+    def test_upper_bound_zero_speed_infinite(self):
+        assert math.isinf(theory.flooding_upper_bound(1000, 31.6, 3.0, 0.0))
+
+    def test_lower_bound_active_regime(self):
+        n, side = 1000, 31.6
+        d = side / n ** (1 / 3)
+        radius = 0.5 * d
+        speed = 0.1
+        expected = (2 * d - radius) / (2 * speed)
+        assert theory.flooding_lower_bound(n, side, radius, speed) == pytest.approx(expected)
+
+    def test_lower_bound_inactive_when_radius_large(self):
+        assert theory.flooding_lower_bound(1000, 31.6, 20.0, 0.1) == 0.0
+
+    def test_geometric_lower_bound(self):
+        assert theory.geometric_lower_bound(10.0, 2.0, 0.5) == pytest.approx(10.0 / 3.0)
+        assert theory.geometric_lower_bound(0.0, 0.0, 0.0) == 0.0
+        assert math.isinf(theory.geometric_lower_bound(1.0, 0.0, 0.0))
+
+
+class TestLemmaQuantities:
+    def test_turn_bound_matches_formula(self):
+        n, side, speed = 1000, 31.6, 0.5
+        tau = side / (8 * speed)
+        expected = 4 * math.log(n) / math.log(side / (speed * tau))
+        assert theory.turn_count_bound(n, side, speed, tau) == pytest.approx(expected)
+
+    def test_turn_bound_range_validation(self):
+        n, side, speed = 1000, 31.6, 0.5
+        with pytest.raises(ValueError):
+            theory.turn_count_bound(n, side, speed, side / speed)  # tau > L/(4v)
+        with pytest.raises(ValueError):
+            theory.turn_count_bound(n, side, speed, side / (10 * n * speed))
+
+    def test_good_segment_bound(self):
+        n, side, speed = 1000, 31.6, 0.5
+        tau = side / (8 * speed)
+        expected = speed * tau * math.log(side / (speed * tau)) / (40 * math.log(n))
+        assert theory.good_segment_bound(n, side, speed, tau) == pytest.approx(expected)
+
+    def test_meeting_window(self):
+        n, side, radius, speed = 1000, 31.6, 3.0, 0.5
+        expected = 590 * theory.suburb_diameter(n, side, radius) / speed
+        assert theory.meeting_window(n, side, radius, speed) == pytest.approx(expected)
+        assert math.isinf(theory.meeting_window(n, side, radius, 0.0))
+
+    def test_optimal_speed_range(self):
+        n, side, radius = 10**10, 10**5, 50.0
+        v_min, v_max = theory.optimal_speed_range(n, side, radius)
+        assert v_max == radius
+        assert v_min == pytest.approx(
+            theory.suburb_diameter(n, side, radius) * radius / side
+        )
+
+
+class TestValidation:
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            theory.radius_assumption_threshold(1, 10.0)
+        with pytest.raises(ValueError):
+            theory.speed_assumption_max(0.0)
+        with pytest.raises(ValueError):
+            theory.suburb_diameter(100, 10.0, 0.0)
+        with pytest.raises(ValueError):
+            theory.cz_flooding_bound(10.0, 0.0)
+        with pytest.raises(ValueError):
+            theory.good_segment_bound(100, 10.0, 0.0, 1.0)

@@ -1,0 +1,134 @@
+"""Tests of the Central Zone / Suburb partition (Definition 4, Lemmas 6, 15)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cells import CellGrid
+from repro.core.zones import ZonePartition, density_threshold, suburb_diameter_bound
+
+
+def make_zones(n=10_000, radius_factor=1.5, threshold_factor=3.0 / 8.0):
+    side = math.sqrt(n)
+    radius = radius_factor * math.sqrt(math.log(n))
+    grid = CellGrid.for_radius(side, radius)
+    return ZonePartition(grid, n, threshold_factor=threshold_factor)
+
+
+class TestThresholds:
+    def test_density_threshold_formula(self):
+        assert density_threshold(1000) == pytest.approx(3 / 8 * math.log(1000) / 1000)
+
+    def test_density_threshold_factor(self):
+        assert density_threshold(1000, factor=1.0) == pytest.approx(math.log(1000) / 1000)
+
+    def test_suburb_diameter_formula(self):
+        s = suburb_diameter_bound(1000, 10.0, 0.5)
+        assert s == pytest.approx(3 * 1000.0 * math.log(1000) / (2 * 0.25 * 1000))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            density_threshold(1)
+        with pytest.raises(ValueError):
+            suburb_diameter_bound(100, -1.0, 0.5)
+
+
+class TestPartitionStructure:
+    def test_masks_partition_cells(self):
+        zones = make_zones()
+        assert zones.n_central_cells + zones.n_suburb_cells == zones.grid.n_cells
+
+    def test_cz_mask_matches_definition4(self):
+        zones = make_zones()
+        masses = zones.grid.all_cell_masses()
+        assert np.array_equal(zones.cz_mask, masses >= zones.threshold)
+
+    def test_suburb_in_corners(self):
+        """Suburb cells hug the corners: every suburb cell's corner distance
+        is below every CZ cell's corner distance along the diagonal."""
+        zones = make_zones()
+        m = zones.grid.m
+        # The four corner cells are suburb; the center cell is CZ.
+        assert zones.suburb_mask[0, 0]
+        assert zones.suburb_mask[m - 1, m - 1]
+        assert zones.cz_mask[m // 2, m // 2]
+
+    def test_symmetry(self):
+        zones = make_zones()
+        mask = zones.cz_mask
+        assert np.array_equal(mask, mask[::-1, :])
+        assert np.array_equal(mask, mask[:, ::-1])
+        assert np.array_equal(mask, mask.T)
+
+    def test_large_radius_all_central(self):
+        zones = make_zones(n=1000, radius_factor=6.0)
+        assert zones.central_zone_is_everything()
+        assert zones.suburb_corner_extent() == 0.0
+
+
+class TestPointClassification:
+    def test_in_central_zone_matches_cells(self):
+        zones = make_zones()
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, zones.grid.side, (500, 2))
+        mask = zones.in_central_zone(points)
+        ij = zones.grid.cell_indices(points)
+        assert np.array_equal(mask, zones.cz_mask[ij[:, 0], ij[:, 1]])
+        assert np.array_equal(zones.in_suburb(points), ~mask)
+
+    def test_center_point_is_central(self):
+        zones = make_zones()
+        center = np.array([[zones.grid.side / 2, zones.grid.side / 2]])
+        assert zones.in_central_zone(center)[0]
+
+    def test_corner_point_is_suburb(self):
+        zones = make_zones()
+        corner = np.array([[0.01, 0.01]])
+        assert zones.in_suburb(corner)[0]
+
+
+class TestLemma15AndExtendedSuburb:
+    def test_extent_below_bound(self):
+        zones = make_zones()
+        assert zones.suburb_corner_extent() <= zones.suburb_bound
+
+    def test_extended_suburb_contains_suburb(self):
+        zones = make_zones()
+        rng = np.random.default_rng(1)
+        points = rng.uniform(0, zones.grid.side, (300, 2))
+        suburb = zones.in_suburb(points)
+        extended = zones.in_extended_suburb(points)
+        assert np.all(extended[suburb])
+
+    def test_extended_suburb_margin_zero(self):
+        """With margin 0 the extended suburb equals the suburb cells."""
+        zones = make_zones()
+        rng = np.random.default_rng(2)
+        points = rng.uniform(0, zones.grid.side, (300, 2))
+        extended = zones.in_extended_suburb(points, margin=0.0)
+        assert np.array_equal(extended, zones.in_suburb(points))
+
+    def test_center_not_in_extended_suburb_with_small_margin(self):
+        zones = make_zones()
+        center = np.array([[zones.grid.side / 2, zones.grid.side / 2]])
+        assert not zones.in_extended_suburb(center, margin=zones.grid.ell)[0]
+
+
+class TestLemma6:
+    def test_full_rows_bound_above_critical_factor(self):
+        """Above the calibrated critical factor (~sqrt5) Lemma 6 holds."""
+        zones = make_zones(n=10_000, radius_factor=2.5)
+        full_rows, full_cols = zones.count_full_rows_cols()
+        assert min(full_rows, full_cols) >= zones.lemma6_bound()
+
+    def test_full_rows_symmetric(self):
+        zones = make_zones(n=10_000, radius_factor=2.5)
+        full_rows, full_cols = zones.count_full_rows_cols()
+        assert full_rows == full_cols
+
+    def test_central_cell_ids_match_mask(self):
+        zones = make_zones()
+        ids = zones.central_cell_ids()
+        assert len(ids) == zones.n_central_cells
+        assert np.all(zones.cz_mask.ravel()[ids])

@@ -1,0 +1,81 @@
+"""Cross-validation of the neighbor-engine backends."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.neighbors import (
+    BruteForceNeighborEngine,
+    GridNeighborEngine,
+    available_backends,
+    make_engine,
+)
+
+BACKENDS = available_backends()
+
+
+class TestFactory:
+    def test_known_backends(self):
+        for name in BACKENDS:
+            engine = make_engine(name, 10.0)
+            assert engine.name == name
+
+    def test_auto_resolves(self):
+        engine = make_engine("auto", 10.0)
+        assert engine.name in BACKENDS
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            make_engine("quantum", 10.0)
+
+    def test_bad_side_rejected(self):
+        with pytest.raises(ValueError):
+            GridNeighborEngine(-1.0)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBackendAgreement:
+    def test_any_within_agrees_with_brute(self, backend, rng):
+        sources = rng.uniform(0, 10, (70, 2))
+        queries = rng.uniform(0, 10, (50, 2))
+        engine = make_engine(backend, 10.0)
+        brute = BruteForceNeighborEngine(10.0)
+        for radius in (0.3, 1.0, 4.0):
+            assert np.array_equal(
+                engine.any_within(sources, queries, radius),
+                brute.any_within(sources, queries, radius),
+            )
+
+    def test_count_within_agrees(self, backend, rng):
+        sources = rng.uniform(0, 10, (70, 2))
+        queries = rng.uniform(0, 10, (30, 2))
+        engine = make_engine(backend, 10.0)
+        brute = BruteForceNeighborEngine(10.0)
+        assert np.array_equal(
+            engine.count_within(sources, queries, 1.5),
+            brute.count_within(sources, queries, 1.5),
+        )
+
+    def test_pairs_within_agrees(self, backend, rng):
+        points = rng.uniform(0, 10, (80, 2))
+        engine = make_engine(backend, 10.0)
+        brute = BruteForceNeighborEngine(10.0)
+        got = {tuple(sorted(p)) for p in engine.pairs_within(points, 1.1).tolist()}
+        expected = {tuple(sorted(p)) for p in brute.pairs_within(points, 1.1).tolist()}
+        assert got == expected
+
+    def test_empty_sources(self, backend):
+        engine = make_engine(backend, 10.0)
+        queries = np.array([[5.0, 5.0]])
+        assert not engine.any_within(np.empty((0, 2)), queries, 1.0)[0]
+        assert engine.count_within(np.empty((0, 2)), queries, 1.0)[0] == 0
+
+    def test_empty_points_pairs(self, backend):
+        engine = make_engine(backend, 10.0)
+        assert engine.pairs_within(np.empty((0, 2)), 1.0).shape == (0, 2)
+
+    def test_coincident_points(self, backend):
+        """Duplicate positions (possible under MRWP corners) are handled."""
+        engine = make_engine(backend, 10.0)
+        points = np.array([[5.0, 5.0], [5.0, 5.0], [9.0, 9.0]])
+        pairs = engine.pairs_within(points, 0.5)
+        assert {tuple(sorted(p)) for p in pairs.tolist()} == {(0, 1)}

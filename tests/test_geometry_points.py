@@ -1,0 +1,139 @@
+"""Unit tests for repro.geometry.points."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.points import (
+    as_points,
+    chebyshev_distance,
+    clamp_to_square,
+    corner_distance,
+    euclidean_distance,
+    in_square,
+    manhattan_distance,
+    manhattan_distance_to_box,
+    pairwise_euclidean,
+    pairwise_manhattan,
+)
+
+coord = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+class TestAsPoints:
+    def test_single_point_promoted(self):
+        points = as_points((1.0, 2.0))
+        assert points.shape == (1, 2)
+
+    def test_array_passthrough(self):
+        arr = np.zeros((5, 2))
+        assert as_points(arr).shape == (5, 2)
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            as_points(np.zeros((5, 3)))
+
+    def test_rejects_wrong_single(self):
+        with pytest.raises(ValueError):
+            as_points((1.0, 2.0, 3.0))
+
+    def test_converts_to_float64(self):
+        points = as_points(np.array([[1, 2]], dtype=np.int32))
+        assert points.dtype == np.float64
+
+
+class TestDistances:
+    def test_euclidean_simple(self):
+        assert euclidean_distance([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_manhattan_simple(self):
+        assert manhattan_distance([0.0, 0.0], [3.0, 4.0]) == pytest.approx(7.0)
+
+    def test_chebyshev_simple(self):
+        assert chebyshev_distance([0.0, 0.0], [3.0, 4.0]) == pytest.approx(4.0)
+
+    def test_vectorized_shapes(self):
+        a = np.zeros((7, 2))
+        b = np.ones((7, 2))
+        assert euclidean_distance(a, b).shape == (7,)
+        assert manhattan_distance(a, b).shape == (7,)
+
+    @given(
+        x1=coord, y1=coord, x2=coord, y2=coord
+    )
+    @settings(max_examples=50)
+    def test_metric_ordering(self, x1, y1, x2, y2):
+        """Chebyshev <= Euclidean <= Manhattan <= 2 * Chebyshev."""
+        a = np.array([x1, y1])
+        b = np.array([x2, y2])
+        che = float(chebyshev_distance(a, b))
+        euc = float(euclidean_distance(a, b))
+        man = float(manhattan_distance(a, b))
+        assert che <= euc + 1e-9
+        assert euc <= man + 1e-9
+        assert man <= 2.0 * che + 1e-9
+
+    @given(x1=coord, y1=coord, x2=coord, y2=coord)
+    @settings(max_examples=50)
+    def test_symmetry(self, x1, y1, x2, y2):
+        a = np.array([x1, y1])
+        b = np.array([x2, y2])
+        assert euclidean_distance(a, b) == pytest.approx(euclidean_distance(b, a))
+        assert manhattan_distance(a, b) == pytest.approx(manhattan_distance(b, a))
+
+
+class TestPairwise:
+    def test_pairwise_euclidean_matches_scalar(self, rng):
+        a = rng.uniform(0, 10, size=(6, 2))
+        b = rng.uniform(0, 10, size=(4, 2))
+        matrix = pairwise_euclidean(a, b)
+        assert matrix.shape == (6, 4)
+        for i in range(6):
+            for j in range(4):
+                assert matrix[i, j] == pytest.approx(float(euclidean_distance(a[i], b[j])))
+
+    def test_pairwise_manhattan_self(self, rng):
+        a = rng.uniform(0, 10, size=(5, 2))
+        matrix = pairwise_manhattan(a)
+        assert matrix.shape == (5, 5)
+        assert np.allclose(np.diag(matrix), 0.0)
+        assert np.allclose(matrix, matrix.T)
+
+
+class TestSquarePredicates:
+    def test_clamp(self):
+        points = np.array([[-1.0, 5.0], [11.0, 0.5]])
+        clamped = clamp_to_square(points, 10.0)
+        assert clamped.min() >= 0.0
+        assert clamped.max() <= 10.0
+
+    def test_clamp_rejects_bad_side(self):
+        with pytest.raises(ValueError):
+            clamp_to_square(np.zeros((1, 2)), 0.0)
+
+    def test_in_square(self):
+        points = np.array([[5.0, 5.0], [-0.1, 5.0], [10.1, 5.0]])
+        mask = in_square(points, 10.0)
+        assert mask.tolist() == [True, False, False]
+
+    def test_in_square_tolerance(self):
+        points = np.array([[10.05, 5.0]])
+        assert not in_square(points, 10.0)[0]
+        assert in_square(points, 10.0, tol=0.1)[0]
+
+    def test_corner_distance(self):
+        points = np.array([[0.0, 0.0], [10.0, 10.0], [5.0, 5.0], [1.0, 10.0]])
+        dist = corner_distance(points, 10.0)
+        assert dist[0] == pytest.approx(0.0)
+        assert dist[1] == pytest.approx(0.0)
+        assert dist[2] == pytest.approx(10.0)
+        assert dist[3] == pytest.approx(1.0)
+
+    def test_box_distance_inside_zero(self):
+        points = np.array([[2.0, 3.0]])
+        assert manhattan_distance_to_box(points, 0, 0, 5, 5)[0] == pytest.approx(0.0)
+
+    def test_box_distance_outside(self):
+        points = np.array([[7.0, 8.0]])
+        assert manhattan_distance_to_box(points, 0, 0, 5, 5)[0] == pytest.approx(2.0 + 3.0)

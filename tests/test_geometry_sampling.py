@@ -1,0 +1,89 @@
+"""Statistical tests of the low-level samplers."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.sampling import (
+    sample_beta22,
+    sample_length_biased_pair,
+    sample_uniform_disk,
+    sample_uniform_square,
+)
+
+
+class TestUniformSquare:
+    def test_shape_and_range(self, rng):
+        points = sample_uniform_square(500, 7.0, rng)
+        assert points.shape == (500, 2)
+        assert points.min() >= 0.0
+        assert points.max() <= 7.0
+
+    def test_zero_samples(self, rng):
+        assert sample_uniform_square(0, 7.0, rng).shape == (0, 2)
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_uniform_square(-1, 7.0, rng)
+
+    def test_mean_near_center(self, rng):
+        points = sample_uniform_square(20_000, 10.0, rng)
+        assert np.allclose(points.mean(axis=0), [5.0, 5.0], atol=0.15)
+
+
+class TestBeta22:
+    def test_range(self, rng):
+        values = sample_beta22(1000, 4.0, rng)
+        assert values.min() >= 0.0
+        assert values.max() <= 4.0
+
+    def test_moments(self, rng):
+        """Beta(2,2) scaled to [0, L]: mean L/2, variance L^2/20."""
+        side = 10.0
+        values = sample_beta22(100_000, side, rng)
+        assert values.mean() == pytest.approx(side / 2, abs=0.05)
+        assert values.var() == pytest.approx(side * side / 20.0, rel=0.05)
+
+
+class TestLengthBiasedPair:
+    def test_shape(self, rng):
+        pairs = sample_length_biased_pair(300, 5.0, rng)
+        assert pairs.shape == (300, 2)
+        assert pairs.min() >= 0.0
+        assert pairs.max() <= 5.0
+
+    def test_mean_gap(self, rng):
+        """E|a-b| under density ∝ |a-b| is L/2 (vs L/3 for uniform pairs)."""
+        side = 6.0
+        pairs = sample_length_biased_pair(100_000, side, rng)
+        gap = np.abs(pairs[:, 0] - pairs[:, 1])
+        assert gap.mean() == pytest.approx(side / 2.0, rel=0.02)
+
+    def test_no_zero_gaps_dominate(self, rng):
+        """The density vanishes at a == b: tiny gaps must be rare."""
+        side = 1.0
+        pairs = sample_length_biased_pair(50_000, side, rng)
+        gap = np.abs(pairs[:, 0] - pairs[:, 1])
+        # P(gap < 0.05) = integral of 2|d|(1-...)~ = about (0.05)^2 * 3 ~ 0.0075/noise
+        assert np.mean(gap < 0.05) < 0.02
+
+    def test_bad_args_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_length_biased_pair(-1, 5.0, rng)
+        with pytest.raises(ValueError):
+            sample_length_biased_pair(5, 0.0, rng)
+
+
+class TestUniformDisk:
+    def test_radius_bound(self, rng):
+        points = sample_uniform_disk(2000, 3.0, rng)
+        assert np.all(np.sqrt((points**2).sum(axis=1)) <= 3.0 + 1e-12)
+
+    def test_mean_at_origin(self, rng):
+        points = sample_uniform_disk(50_000, 2.0, rng)
+        assert np.allclose(points.mean(axis=0), [0.0, 0.0], atol=0.03)
+
+    def test_uniform_area_density(self, rng):
+        """Half the area (r <= R/sqrt2) holds half the points."""
+        points = sample_uniform_disk(50_000, 1.0, rng)
+        r = np.sqrt((points**2).sum(axis=1))
+        assert np.mean(r <= 1.0 / np.sqrt(2.0)) == pytest.approx(0.5, abs=0.01)

@@ -1,0 +1,196 @@
+"""Tests of the closed-form distributions (Theorems 1-2, Eqs. 4-5, Obs. 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.distributions import (
+    cell_mass,
+    cross_probability,
+    cross_probability_total,
+    destination_pdf,
+    mean_trip_length,
+    quadrant_masses,
+    region_mass,
+    spatial_marginal_cdf,
+    spatial_marginal_pdf,
+    spatial_pdf,
+    spatial_pdf_max,
+    spatial_pdf_min,
+)
+
+SIDE = 10.0
+interior = st.floats(min_value=0.5, max_value=9.5, allow_nan=False)
+
+
+class TestSpatialPdf:
+    def test_nonnegative_inside(self, rng):
+        x = rng.uniform(0, SIDE, 200)
+        y = rng.uniform(0, SIDE, 200)
+        assert np.all(spatial_pdf(x, y, SIDE) >= 0)
+
+    def test_zero_outside(self):
+        assert spatial_pdf(-1.0, 5.0, SIDE) == 0.0
+        assert spatial_pdf(5.0, SIDE + 1.0, SIDE) == 0.0
+
+    def test_zero_at_corners(self):
+        for corner in [(0, 0), (0, SIDE), (SIDE, 0), (SIDE, SIDE)]:
+            assert spatial_pdf(*corner, SIDE) == pytest.approx(0.0)
+
+    def test_max_at_center(self):
+        assert spatial_pdf(SIDE / 2, SIDE / 2, SIDE) == pytest.approx(spatial_pdf_max(SIDE))
+        assert spatial_pdf_max(SIDE) == pytest.approx(1.5 / SIDE**2)
+        assert spatial_pdf_min(SIDE) == 0.0
+
+    def test_integrates_to_one(self):
+        grid = np.linspace(0, SIDE, 401)
+        centers = 0.5 * (grid[:-1] + grid[1:])
+        xg, yg = np.meshgrid(centers, centers, indexing="ij")
+        h = grid[1] - grid[0]
+        total = np.sum(spatial_pdf(xg, yg, SIDE)) * h * h
+        assert total == pytest.approx(1.0, abs=1e-3)
+
+    def test_symmetry(self):
+        """f is symmetric under x<->y and under reflection x -> L - x."""
+        assert spatial_pdf(2.0, 7.0, SIDE) == pytest.approx(spatial_pdf(7.0, 2.0, SIDE))
+        assert spatial_pdf(2.0, 7.0, SIDE) == pytest.approx(spatial_pdf(8.0, 7.0, SIDE))
+
+    def test_paper_form_equivalence(self):
+        """3/L^3 (x+y) - 3/L^4 (x^2+y^2) == 3/L^4 (x(L-x) + y(L-y))."""
+        x, y = 3.3, 6.1
+        paper = 3.0 / SIDE**3 * (x + y) - 3.0 / SIDE**4 * (x * x + y * y)
+        assert spatial_pdf(x, y, SIDE) == pytest.approx(paper)
+
+
+class TestMarginal:
+    def test_marginal_integrates_to_one(self):
+        x = np.linspace(0, SIDE, 100_001)
+        total = np.trapezoid(spatial_marginal_pdf(x, SIDE), x)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_marginal_from_joint(self):
+        """f_X(x) equals the numeric y-integral of the joint pdf."""
+        y = np.linspace(0, SIDE, 20_001)
+        for x in (1.0, 4.2, 8.8):
+            numeric = np.trapezoid(spatial_pdf(x, y, SIDE), y)
+            assert spatial_marginal_pdf(x, SIDE) == pytest.approx(numeric, rel=1e-6)
+
+    def test_cdf_matches_pdf(self):
+        xs = np.linspace(0.01, SIDE, 25)
+        grid = np.linspace(0, SIDE, 50_001)
+        pdf = spatial_marginal_pdf(grid, SIDE)
+        for x in xs:
+            numeric = np.trapezoid(pdf[grid <= x], grid[grid <= x])
+            assert spatial_marginal_cdf(x, SIDE) == pytest.approx(numeric, abs=1e-4)
+
+    def test_cdf_endpoints(self):
+        assert spatial_marginal_cdf(0.0, SIDE) == pytest.approx(0.0)
+        assert spatial_marginal_cdf(SIDE, SIDE) == pytest.approx(1.0)
+
+
+class TestCellMass:
+    def test_observation5_matches_numeric_integral(self):
+        """Obs. 5's closed form equals numeric integration of Thm 1's pdf."""
+        ell = 1.7
+        for x0, y0 in [(0.0, 0.0), (2.0, 5.0), (SIDE - ell, SIDE - ell)]:
+            grid = np.linspace(0, ell, 201)
+            centers = 0.5 * (grid[:-1] + grid[1:])
+            xg, yg = np.meshgrid(x0 + centers, y0 + centers, indexing="ij")
+            h = grid[1] - grid[0]
+            numeric = float(np.sum(spatial_pdf(xg, yg, SIDE)) * h * h)
+            assert cell_mass(x0, y0, ell, SIDE) == pytest.approx(numeric, rel=1e-4)
+
+    def test_all_cells_sum_to_one(self):
+        m = 8
+        ell = SIDE / m
+        idx = np.arange(m) * ell
+        masses = cell_mass(idx[:, None], idx[None, :], ell, SIDE)
+        assert masses.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_observation5_lower_bound(self):
+        """Obs. 5: every cell mass >= l^3 (3L - 2l) / L^4."""
+        ell = 1.25
+        bound = ell**3 * (3 * SIDE - 2 * ell) / SIDE**4
+        idx = np.arange(8) * ell
+        masses = cell_mass(idx[:, None], idx[None, :], ell, SIDE)
+        assert np.all(masses >= bound - 1e-12)
+
+    def test_region_mass_matches_cell_mass(self):
+        ell = 2.0
+        assert region_mass(1.0, 3.0, 1.0 + ell, 3.0 + ell, SIDE) == pytest.approx(
+            float(cell_mass(1.0, 3.0, ell, SIDE))
+        )
+
+    def test_region_mass_whole_square(self):
+        assert region_mass(0.0, 0.0, SIDE, SIDE, SIDE) == pytest.approx(1.0)
+
+
+class TestDestinationLaw:
+    @given(x0=interior, y0=interior)
+    @settings(max_examples=50)
+    def test_cross_total_is_half(self, x0, y0):
+        assert float(cross_probability_total(x0, y0, SIDE)) == pytest.approx(0.5)
+
+    @given(x0=interior, y0=interior)
+    @settings(max_examples=50)
+    def test_quadrants_total_is_half(self, x0, y0):
+        assert float(np.sum(quadrant_masses(x0, y0, SIDE))) == pytest.approx(0.5)
+
+    @given(x0=interior, y0=interior)
+    @settings(max_examples=30)
+    def test_quadrant_masses_match_pdf_times_area(self, x0, y0):
+        """Each quadrant's mass = constant density x quadrant area."""
+        masses = quadrant_masses(x0, y0, SIDE)
+        areas = np.array(
+            [
+                x0 * y0,  # SW
+                (SIDE - x0) * y0,  # SE
+                x0 * (SIDE - y0),  # NW
+                (SIDE - x0) * (SIDE - y0),  # NE
+            ]
+        )
+        probes = np.array(
+            [
+                [x0 / 2, y0 / 2],
+                [(x0 + SIDE) / 2, y0 / 2],
+                [x0 / 2, (y0 + SIDE) / 2],
+                [(x0 + SIDE) / 2, (y0 + SIDE) / 2],
+            ]
+        )
+        densities = destination_pdf(x0, y0, probes[:, 0], probes[:, 1], SIDE)
+        assert np.allclose(masses, densities * areas, rtol=1e-9)
+
+    def test_pdf_infinite_on_cross(self):
+        assert np.isinf(destination_pdf(3.0, 4.0, 3.0, 8.0, SIDE))
+        assert np.isinf(destination_pdf(3.0, 4.0, 1.0, 4.0, SIDE))
+
+    def test_paper_quadrant_constants(self):
+        """Spot-check Theorem 2's numerators at a fixed position."""
+        x0, y0 = 3.0, 4.0
+        denom = 4 * SIDE * (x0 + y0) - 4 * (x0**2 + y0**2)
+        sw = destination_pdf(x0, y0, 1.0, 1.0, SIDE)
+        ne = destination_pdf(x0, y0, 8.0, 8.0, SIDE)
+        nw = destination_pdf(x0, y0, 1.0, 8.0, SIDE)
+        se = destination_pdf(x0, y0, 8.0, 1.0, SIDE)
+        assert float(sw) == pytest.approx((2 * SIDE - x0 - y0) / (4 * SIDE * denom / 4))
+        assert float(ne) == pytest.approx((x0 + y0) / (SIDE * denom))
+        assert float(nw) == pytest.approx((SIDE - x0 + y0) / (SIDE * denom))
+        assert float(se) == pytest.approx((SIDE + x0 - y0) / (SIDE * denom))
+
+    def test_paper_phi_formulas(self):
+        """Eqs. 4-5 verbatim."""
+        x0, y0 = 3.0, 4.0
+        denom = 4 * SIDE * (x0 + y0) - 4 * (x0**2 + y0**2)
+        phi = cross_probability(x0, y0, SIDE)
+        assert float(phi[0]) == pytest.approx(y0 * (SIDE - y0) / denom)  # S
+        assert float(phi[1]) == pytest.approx(y0 * (SIDE - y0) / denom)  # N
+        assert float(phi[2]) == pytest.approx(x0 * (SIDE - x0) / denom)  # W
+        assert float(phi[3]) == pytest.approx(x0 * (SIDE - x0) / denom)  # E
+
+    def test_mean_trip_length(self):
+        assert mean_trip_length(SIDE) == pytest.approx(2 * SIDE / 3)
+
+    def test_bad_side_rejected(self):
+        with pytest.raises(ValueError):
+            spatial_pdf(1.0, 1.0, -1.0)

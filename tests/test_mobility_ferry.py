@@ -1,0 +1,109 @@
+"""Tests of ferry-patrol mobility and model composition."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.points import in_square
+from repro.mobility.ferry import CompositeMobility, FerryPatrol, rectangle_route
+from repro.mobility.random_walk import RandomWalk
+
+SIDE = 10.0
+
+
+class TestRectangleRoute:
+    def test_route_shape(self):
+        route = rectangle_route(SIDE, 1.0)
+        assert route.shape == (4, 2)
+        assert route.min() == pytest.approx(1.0)
+        assert route.max() == pytest.approx(SIDE - 1.0)
+
+    def test_invalid_inset(self):
+        with pytest.raises(ValueError):
+            rectangle_route(SIDE, SIDE)
+
+
+class TestFerryPatrol:
+    def test_positions_on_route(self):
+        route = rectangle_route(SIDE, 2.0)
+        ferry = FerryPatrol(3, SIDE, speed=0.5, route=route)
+        for _ in range(50):
+            positions = ferry.step()
+            # Every ferry sits on the rectangle's perimeter.
+            on_edge = (
+                np.isclose(positions[:, 0], 2.0)
+                | np.isclose(positions[:, 0], SIDE - 2.0)
+                | np.isclose(positions[:, 1], 2.0)
+                | np.isclose(positions[:, 1], SIDE - 2.0)
+            )
+            assert on_edge.all()
+
+    def test_even_spacing_preserved(self):
+        route = rectangle_route(SIDE, 1.0)
+        ferry = FerryPatrol(4, SIDE, speed=0.7, route=route)
+        length = ferry.route_length
+        for _ in range(20):
+            ferry.step()
+        arcs = np.sort(np.mod(ferry._arc, length))
+        gaps = np.diff(np.concatenate([arcs, [arcs[0] + length]]))
+        assert np.allclose(gaps, length / 4)
+
+    def test_loop_closure(self):
+        """After travelling exactly one loop, a ferry returns to its start."""
+        route = rectangle_route(SIDE, 1.0)
+        ferry = FerryPatrol(1, SIDE, speed=1.0, route=route)
+        start = ferry.positions.copy()
+        steps = int(round(ferry.route_length))
+        for _ in range(steps):
+            ferry.step()
+        assert np.allclose(ferry.positions, start, atol=1e-9)
+
+    def test_deterministic(self):
+        route = rectangle_route(SIDE, 1.0)
+        a = FerryPatrol(2, SIDE, speed=0.3, route=route)
+        b = FerryPatrol(2, SIDE, speed=0.3, route=route)
+        for _ in range(10):
+            assert np.allclose(a.step(), b.step())
+
+    def test_invalid_route(self):
+        with pytest.raises(ValueError):
+            FerryPatrol(1, SIDE, 1.0, route=np.array([[1.0, 1.0]]))
+        with pytest.raises(ValueError):
+            FerryPatrol(1, SIDE, 1.0, route=np.array([[1.0, 1.0], [SIDE + 1, 1.0]]))
+        with pytest.raises(ValueError):
+            FerryPatrol(1, SIDE, 1.0, route=np.array([[1.0, 1.0], [1.0, 1.0]]))
+
+
+class TestCompositeMobility:
+    def test_concatenates_populations(self, rng):
+        walk = RandomWalk(30, SIDE, 0.5, rng=rng)
+        ferry = FerryPatrol(2, SIDE, 0.5, route=rectangle_route(SIDE, 1.0))
+        combo = CompositeMobility([walk, ferry])
+        assert combo.n == 32
+        assert combo.positions.shape == (32, 2)
+
+    def test_step_advances_all(self, rng):
+        walk = RandomWalk(10, SIDE, 0.5, rng=rng)
+        ferry = FerryPatrol(1, SIDE, 0.5, route=rectangle_route(SIDE, 1.0))
+        combo = CompositeMobility([walk, ferry])
+        before = combo.positions
+        after = combo.step()
+        assert not np.allclose(before, after)
+        assert in_square(after, SIDE).all()
+
+    def test_block_slices(self, rng):
+        walk = RandomWalk(10, SIDE, 0.5, rng=rng)
+        ferry = FerryPatrol(3, SIDE, 0.5, route=rectangle_route(SIDE, 1.0))
+        combo = CompositeMobility([walk, ferry])
+        slices = combo.block_slices()
+        assert slices[0] == slice(0, 10)
+        assert slices[1] == slice(10, 13)
+
+    def test_side_mismatch_rejected(self, rng):
+        walk = RandomWalk(10, SIDE, 0.5, rng=rng)
+        other = RandomWalk(10, SIDE + 1, 0.5, rng=rng)
+        with pytest.raises(ValueError):
+            CompositeMobility([walk, other])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeMobility([])

@@ -1,0 +1,89 @@
+"""Tests of contact traces and meeting statistics."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.mrwp import ManhattanRandomWaypoint
+from repro.network.contacts import MEETING_RADIUS_FACTOR, ContactTrace, record_contacts
+from repro.network.snapshots import SnapshotSeries
+
+SIDE = 10.0
+
+
+def make_trace(n=40, steps=15, radius=2.0, seed=0):
+    model = ManhattanRandomWaypoint(n, SIDE, 0.2, rng=np.random.default_rng(seed))
+    series = SnapshotSeries.record(model, steps, radius)
+    return record_contacts(series), series
+
+
+class TestRecordContacts:
+    def test_default_radius_is_three_quarters(self):
+        _trace, series = make_trace()
+        trace = record_contacts(series)
+        explicit = record_contacts(series, radius=MEETING_RADIUS_FACTOR * series.radius)
+        for a, b in zip(trace.step_pairs, explicit.step_pairs):
+            assert np.array_equal(a, b)
+
+    def test_trace_covers_all_steps(self):
+        trace, series = make_trace(steps=12)
+        assert len(trace.step_pairs) == 13
+        assert trace.contact_counts().shape == (13,)
+
+    def test_contacts_are_within_radius(self):
+        trace, series = make_trace()
+        r = MEETING_RADIUS_FACTOR * series.radius
+        for t, pairs in enumerate(trace.step_pairs):
+            positions = series.positions_at(t)
+            for i, j in pairs.tolist():
+                assert np.linalg.norm(positions[i] - positions[j]) <= r + 1e-9
+
+
+class TestTraceStatistics:
+    def test_first_meeting_times(self):
+        trace, _ = make_trace()
+        agents = list(range(10))
+        meetings = trace.first_meeting_times(agents)
+        for agent, t in meetings.items():
+            # The first contact of this agent anywhere in the trace is t.
+            earlier = [
+                s
+                for s, pairs in enumerate(trace.step_pairs)
+                if pairs.size and agent in np.unique(pairs)
+            ]
+            assert min(earlier) == t
+
+    def test_pair_contact_steps_sorted(self):
+        trace, _ = make_trace()
+        for steps in trace.pair_contact_steps().values():
+            assert steps == sorted(steps)
+
+    def test_durations_and_gaps_consistent(self):
+        """Durations of a pair's runs sum to its total contact steps."""
+        trace, _ = make_trace(steps=25)
+        pair_steps = trace.pair_contact_steps()
+        total_steps = sum(len(s) for s in pair_steps.values())
+        assert trace.contact_durations().sum() == total_steps
+
+    def test_inter_contact_gaps_exceed_one(self):
+        trace, _ = make_trace(steps=25)
+        gaps = trace.inter_contact_times()
+        if gaps.size:
+            assert gaps.min() > 1
+
+    def test_synthetic_trace(self):
+        """Hand-built trace: pair (0,1) touches at steps 0,1,2 and 5."""
+        trace = ContactTrace(n=3, n_steps=6)
+        pairs = [
+            np.array([[0, 1]]),
+            np.array([[0, 1]]),
+            np.array([[0, 1]]),
+            np.empty((0, 2), dtype=int),
+            np.empty((0, 2), dtype=int),
+            np.array([[0, 1]]),
+            np.empty((0, 2), dtype=int),
+        ]
+        trace.step_pairs = pairs
+        assert trace.pair_contact_steps() == {(0, 1): [0, 1, 2, 5]}
+        assert sorted(trace.contact_durations().tolist()) == [1.0, 3.0]
+        assert trace.inter_contact_times().tolist() == [3.0]
+        assert trace.first_meeting_times([0, 1, 2]) == {0: 0, 1: 0}

@@ -1,0 +1,72 @@
+"""Tests of the unicast journey metrics."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.mrwp import ManhattanRandomWaypoint
+from repro.network.evolving import temporal_bfs
+from repro.network.journeys import (
+    delay_statistics,
+    delivery_delay_matrix,
+    temporal_diameter,
+    temporal_eccentricities,
+)
+from repro.network.snapshots import SnapshotSeries
+
+SIDE = 15.0
+
+
+@pytest.fixture(scope="module")
+def series():
+    model = ManhattanRandomWaypoint(60, SIDE, 0.4, rng=np.random.default_rng(0))
+    return SnapshotSeries.record(model, 40, radius=2.2)
+
+
+class TestDelayMatrix:
+    def test_matches_temporal_bfs(self, series):
+        matrix = delivery_delay_matrix(series, [0, 5])
+        assert np.allclose(matrix[0], temporal_bfs(series, 0))
+        assert np.allclose(matrix[1], temporal_bfs(series, 5))
+
+    def test_diagonal_zero(self, series):
+        matrix = delivery_delay_matrix(series, [3])
+        assert matrix[0, 3] == 0.0
+
+
+class TestEccentricities:
+    def test_eccentricity_is_flooding_time(self, series):
+        ecc = temporal_eccentricities(series, sources=[7])
+        times = temporal_bfs(series, 7)
+        assert ecc[0] == times.max()
+
+    def test_default_all_sources(self, series):
+        ecc = temporal_eccentricities(series)
+        assert ecc.shape == (series.n,)
+
+    def test_diameter_is_max_eccentricity(self, series):
+        sources = [0, 1, 2, 3]
+        assert temporal_diameter(series, sources) == temporal_eccentricities(
+            series, sources
+        ).max()
+
+
+class TestDelayStatistics:
+    def test_structure(self, series, rng):
+        stats = delay_statistics(series, n_pairs=30, rng=rng)
+        assert 0.0 <= stats["delivered_fraction"] <= 1.0
+        if stats["delays"].size:
+            assert stats["median"] <= stats["p95"]
+            assert np.all(stats["delays"] >= 0)
+
+    def test_self_pairs_have_zero_delay(self, series):
+        class FixedRng:
+            def integers(self, lo, hi, size):
+                return np.zeros(size, dtype=int)  # all pairs are (0, 0)
+
+        stats = delay_statistics(series, n_pairs=5, rng=FixedRng())
+        assert stats["delivered_fraction"] == 1.0
+        assert stats["mean"] == 0.0
+
+    def test_validation(self, series, rng):
+        with pytest.raises(ValueError):
+            delay_statistics(series, n_pairs=0, rng=rng)

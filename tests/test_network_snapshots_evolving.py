@@ -1,0 +1,110 @@
+"""Tests of snapshot series and temporal (evolving-graph) reachability."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.mrwp import ManhattanRandomWaypoint
+from repro.network.evolving import journey_times, reachability_fraction, temporal_bfs
+from repro.network.snapshots import SnapshotSeries, take_snapshots
+
+SIDE = 10.0
+
+
+def make_series(n=60, steps=20, radius=1.5, speed=0.2, seed=0):
+    model = ManhattanRandomWaypoint(n, SIDE, speed, rng=np.random.default_rng(seed))
+    return SnapshotSeries.record(model, steps, radius)
+
+
+class TestSnapshotSeries:
+    def test_record_shape(self):
+        series = make_series(n=30, steps=10)
+        assert series.frames.shape == (11, 30, 2)
+        assert series.n_steps == 10
+        assert series.n == 30
+
+    def test_graph_at(self):
+        series = make_series(n=30, steps=5)
+        graph = series.graph_at(3)
+        assert graph.n == 30
+        assert np.allclose(graph.positions, series.positions_at(3))
+
+    def test_iteration_yields_all_graphs(self):
+        series = make_series(n=10, steps=4)
+        graphs = list(series)
+        assert len(graphs) == 5
+
+    def test_displacement_bounded_by_speed(self):
+        series = make_series(n=40, steps=15, speed=0.3)
+        disp = series.displacement_per_step()
+        assert disp.shape == (15, 40)
+        assert disp.max() <= 0.3 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SnapshotSeries(np.zeros((5, 10, 3)), 1.0, SIDE)
+        with pytest.raises(ValueError):
+            SnapshotSeries(np.zeros((5, 10, 2)), -1.0, SIDE)
+        with pytest.raises(ValueError):
+            take_snapshots(
+                ManhattanRandomWaypoint(5, SIDE, 0.1, rng=np.random.default_rng(0)), -1
+            )
+
+
+class TestTemporalBfs:
+    def test_source_at_time_zero(self):
+        series = make_series()
+        times = temporal_bfs(series, source=0)
+        assert times[0] == 0.0
+
+    def test_times_monotone_meaning(self):
+        """Informed times are >= 1 for everyone but the source."""
+        series = make_series()
+        times = temporal_bfs(series, source=0)
+        others = np.delete(times, 0)
+        assert np.all(others >= 1.0)
+
+    def test_one_hop_per_step_cap(self):
+        """Single-hop semantics: at most (informed set grows by neighbors)
+        — an agent informed at step t must be within R of an agent informed
+        at some earlier step, at frame t."""
+        series = make_series(n=40, steps=25, radius=2.0)
+        times = temporal_bfs(series, source=0)
+        for t in range(1, series.n_steps + 1):
+            newly = np.nonzero(times == t)[0]
+            if newly.size == 0:
+                continue
+            earlier = np.nonzero(times < t)[0]
+            positions = series.positions_at(t)
+            dists = np.sqrt(
+                ((positions[newly][:, None] - positions[earlier][None, :]) ** 2).sum(-1)
+            )
+            assert np.all(dists.min(axis=1) <= series.radius + 1e-9)
+
+    def test_multi_hop_dominates_single_hop(self):
+        series = make_series(n=50, steps=15, radius=1.8)
+        single = temporal_bfs(series, source=3, multi_hop=False)
+        multi = temporal_bfs(series, source=3, multi_hop=True)
+        assert np.all(multi <= single)
+
+    def test_journey_times_shape(self):
+        series = make_series(n=20, steps=8)
+        times = journey_times(series, sources=[0, 5, 7])
+        assert times.shape == (3, 20)
+
+    def test_reachability_fraction_monotone(self):
+        series = make_series()
+        frac = reachability_fraction(series, source=0)
+        assert frac[0] == pytest.approx(1.0 / series.n)
+        assert np.all(np.diff(frac) >= -1e-12)
+
+    def test_invalid_source(self):
+        series = make_series(n=10, steps=2)
+        with pytest.raises(ValueError):
+            temporal_bfs(series, source=10)
+
+    def test_unreachable_is_inf(self):
+        """With radius 0 nobody is ever informed except the source."""
+        model = ManhattanRandomWaypoint(5, SIDE, 0.1, rng=np.random.default_rng(0))
+        series = SnapshotSeries.record(model, 5, radius=1e-12)
+        times = temporal_bfs(series, source=0)
+        assert np.isinf(times[1:]).all()

@@ -1,0 +1,96 @@
+"""Tests of the union-find structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.union_find import UnionFind, components_from_edges
+
+
+class TestUnionFind:
+    def test_initial_components(self):
+        uf = UnionFind(5)
+        assert uf.n_components == 5
+        assert all(uf.find(i) == i for i in range(5))
+
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert not uf.connected(0, 2)
+        assert uf.n_components == 3
+
+    def test_union_idempotent(self):
+        uf = UnionFind(3)
+        assert uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.n_components == 2
+
+    def test_component_size(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.component_size(2) == 3
+        assert uf.component_size(5) == 1
+
+    def test_add_edges(self):
+        uf = UnionFind(5)
+        uf.add_edges(np.array([[0, 1], [2, 3], [3, 4]]))
+        assert uf.n_components == 2
+
+    def test_add_edges_validates_shape(self):
+        uf = UnionFind(5)
+        with pytest.raises(ValueError):
+            uf.add_edges(np.array([0, 1, 2]))
+
+    def test_add_empty_edges(self):
+        uf = UnionFind(3)
+        uf.add_edges(np.empty((0, 2), dtype=int))
+        assert uf.n_components == 3
+
+    def test_labels_consistency(self):
+        uf = UnionFind(6)
+        uf.add_edges(np.array([[0, 1], [1, 2], [4, 5]]))
+        labels = uf.labels()
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[4] == labels[5]
+        assert labels[3] not in (labels[0], labels[4])
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    @given(
+        n=st.integers(min_value=1, max_value=30),
+        edges=st.lists(
+            st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=60
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_networkx(self, n, edges):
+        """Component structure agrees with networkx on random graphs."""
+        import networkx as nx
+
+        edges = [(a % n, b % n) for a, b in edges]
+        uf = UnionFind(n)
+        for a, b in edges:
+            uf.union(a, b)
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        graph.add_edges_from(edges)
+        assert uf.n_components == nx.number_connected_components(graph)
+
+
+class TestComponentsFromEdges:
+    def test_labels_are_canonical(self):
+        labels = components_from_edges(5, np.array([[0, 4], [1, 2]]))
+        assert labels[0] == labels[4]
+        assert labels[1] == labels[2]
+        assert len({labels[0], labels[1], labels[3]}) == 3
+        # Labels are dense 0..k-1.
+        assert set(labels.tolist()) == set(range(labels.max() + 1))
+
+    def test_no_edges(self):
+        labels = components_from_edges(3, np.empty((0, 2), dtype=int))
+        assert sorted(labels.tolist()) == [0, 1, 2]

@@ -1,0 +1,105 @@
+"""Tests of the push-pull and crash-fault protocols."""
+
+import numpy as np
+import pytest
+
+from repro.protocols.faulty import CrashFaultFlooding
+from repro.protocols.flooding import FloodingProtocol
+from repro.protocols.pushpull import PushPullGossip
+
+SIDE = 10.0
+N = 40
+
+
+def cluster_positions(n=N):
+    rng = np.random.default_rng(0)
+    return 5.0 + rng.uniform(-0.1, 0.1, size=(n, 2))
+
+
+class TestPushPull:
+    def test_pull_works_without_informed_contactor(self):
+        """Two agents: uninformed one pulls from the informed one."""
+        positions = np.array([[0.0, 0.0], [0.5, 0.0]])
+        protocol = PushPullGossip(2, SIDE, 1.0, 0, rng=np.random.default_rng(1))
+        newly = protocol.step(positions)
+        assert newly.tolist() == [1]
+
+    def test_completes_in_clique(self):
+        protocol = PushPullGossip(N, SIDE, 1.0, 0, rng=np.random.default_rng(2))
+        positions = cluster_positions()
+        for _ in range(100):
+            protocol.step(positions)
+            if protocol.is_complete():
+                break
+        assert protocol.is_complete()
+
+    def test_no_contacts_no_spread(self):
+        positions = np.array([[0.0, 0.0], [9.0, 9.0]])
+        protocol = PushPullGossip(2, SIDE, 1.0, 0, rng=np.random.default_rng(3))
+        assert protocol.step(positions).size == 0
+
+    def test_faster_than_push_only_gossip(self):
+        """Push-pull beats fanout-1 push gossip in a clique on average."""
+        from repro.protocols.gossip import GossipProtocol
+
+        positions = cluster_positions()
+        pp_steps = []
+        push_steps = []
+        for seed in range(5):
+            pp = PushPullGossip(N, SIDE, 1.0, 0, rng=np.random.default_rng(seed))
+            push = GossipProtocol(N, SIDE, 1.0, 0, rng=np.random.default_rng(seed), fanout=1)
+            count = 0
+            while not pp.is_complete() and count < 500:
+                pp.step(positions)
+                count += 1
+            pp_steps.append(count)
+            count = 0
+            while not push.is_complete() and count < 500:
+                push.step(positions)
+                count += 1
+            push_steps.append(count)
+        assert np.mean(pp_steps) <= np.mean(push_steps)
+
+
+class TestCrashFaultFlooding:
+    def test_zero_crash_equals_flooding(self, rng):
+        positions = rng.uniform(0, SIDE, (N, 2))
+        flood = FloodingProtocol(N, SIDE, 1.5, 0)
+        crash = CrashFaultFlooding(N, SIDE, 1.5, 0, rng=np.random.default_rng(4), crash_prob=0.0)
+        for _ in range(5):
+            flood.step(positions)
+            crash.step(positions)
+            assert np.array_equal(flood.informed, crash.informed)
+
+    def test_crashed_agents_stop_relaying(self):
+        """With certain crash after the first step, the chain stops."""
+        positions = np.stack([np.arange(4, dtype=float), np.zeros(4)], axis=1)
+        protocol = CrashFaultFlooding(4, SIDE, 1.0, 0, rng=np.random.default_rng(5), crash_prob=1.0)
+        protocol.step(positions)  # agent 1 informed; then everyone crashes
+        assert protocol.informed[1]
+        newly = protocol.step(positions)
+        assert newly.size == 0
+        assert not protocol.can_progress()
+
+    def test_completion_over_survivors(self):
+        positions = np.array([[0.0, 0.0], [0.5, 0.0], [9.0, 9.0]])
+        protocol = CrashFaultFlooding(3, SIDE, 1.0, 0, rng=np.random.default_rng(6), crash_prob=0.0)
+        protocol.step(positions)
+        assert not protocol.is_complete()  # agent 2 unreachable and alive
+        protocol.crashed[2] = True
+        assert protocol.is_complete()  # crashed agents leave the requirement
+
+    def test_crash_monotone(self):
+        protocol = CrashFaultFlooding(N, SIDE, 1.0, 0, rng=np.random.default_rng(7), crash_prob=0.3)
+        positions = cluster_positions()
+        prev = protocol.crashed.copy()
+        for _ in range(10):
+            protocol.step(positions)
+            assert np.all(protocol.crashed[prev])
+            prev = protocol.crashed.copy()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrashFaultFlooding(N, SIDE, 1.0, 0, crash_prob=1.5)
+        with pytest.raises(ValueError):
+            CrashFaultFlooding(N, SIDE, 1.0, 0, crash_prob=-0.1)

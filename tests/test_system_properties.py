@@ -1,0 +1,142 @@
+"""System-level property tests (hypothesis over whole-stack invariants).
+
+These generate random small networks and assert invariants that must hold
+for *any* parameters — the structural facts the paper's analysis relies on,
+checked end-to-end through the public API.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import theory
+from repro.core.cells import CellGrid
+from repro.core.zones import ZonePartition
+from repro.geometry.points import in_square
+from repro.mobility.mrwp import ManhattanRandomWaypoint
+from repro.simulation.config import FloodingConfig
+from repro.simulation.runner import run_flooding
+
+network = st.fixed_dictionaries(
+    {
+        "n": st.integers(min_value=50, max_value=300),
+        "radius": st.floats(min_value=1.5, max_value=6.0),
+        "speed": st.floats(min_value=0.0, max_value=2.0),
+        "seed": st.integers(min_value=0, max_value=10_000),
+    }
+)
+
+SIDE = 18.0
+
+
+class TestFloodingInvariants:
+    @given(params=network)
+    @settings(max_examples=15, deadline=None)
+    def test_history_monotone_and_bounded(self, params):
+        config = FloodingConfig(side=SIDE, max_steps=200, track_zones=False, **params)
+        result = run_flooding(config)
+        history = result.informed_history
+        assert history[0] == 1
+        assert np.all(np.diff(history) >= 0)
+        assert history[-1] <= params["n"]
+        assert result.final_coverage == history[-1] / params["n"]
+
+    @given(params=network)
+    @settings(max_examples=10, deadline=None)
+    def test_flooding_time_consistent_with_history(self, params):
+        config = FloodingConfig(side=SIDE, max_steps=200, track_zones=False, **params)
+        result = run_flooding(config)
+        if result.completed:
+            t = int(result.flooding_time)
+            assert result.informed_history[t] == params["n"]
+            if t > 0:
+                assert result.informed_history[t - 1] < params["n"]
+        else:
+            assert math.isinf(result.flooding_time)
+
+    @given(params=network)
+    @settings(max_examples=8, deadline=None)
+    def test_multi_hop_dominates(self, params):
+        base = FloodingConfig(side=SIDE, max_steps=200, track_zones=False, **params)
+        single = run_flooding(base)
+        multi = run_flooding(base.with_options(multi_hop=True))
+        assert multi.flooding_time <= single.flooding_time
+
+    @given(
+        params=network,
+        extra=st.floats(min_value=0.5, max_value=3.0),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_radius_monotonicity(self, params, extra):
+        """Same trajectories, larger radius: never slower."""
+        base = FloodingConfig(side=SIDE, max_steps=200, track_zones=False, **params)
+        bigger = base.with_options(radius=params["radius"] + extra)
+        assert run_flooding(bigger).flooding_time <= run_flooding(base).flooding_time
+
+
+class TestMobilityInvariants:
+    @given(
+        n=st.integers(min_value=10, max_value=200),
+        speed=st.floats(min_value=0.0, max_value=40.0),
+        seed=st.integers(min_value=0, max_value=1000),
+        init=st.sampled_from(["stationary", "closed-form", "uniform"]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_agents_never_escape(self, n, speed, seed, init):
+        model = ManhattanRandomWaypoint(
+            n, SIDE, speed, rng=np.random.default_rng(seed), init=init
+        )
+        for _ in range(5):
+            assert in_square(model.step(), SIDE, tol=1e-9).all()
+
+    @given(
+        n=st.integers(min_value=10, max_value=100),
+        speed=st.floats(min_value=0.01, max_value=5.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_step_displacement_bounded(self, n, speed, seed):
+        model = ManhattanRandomWaypoint(n, SIDE, speed, rng=np.random.default_rng(seed))
+        before = model.positions
+        after = model.step()
+        assert np.all(np.abs(after - before).sum(axis=1) <= speed + 1e-9)
+
+
+class TestZoneInvariants:
+    @given(
+        n=st.integers(min_value=100, max_value=100_000),
+        radius=st.floats(min_value=1.0, max_value=7.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_partition_consistency(self, n, radius):
+        try:
+            grid = CellGrid.for_radius(SIDE, radius)
+        except ValueError:
+            return
+        zones = ZonePartition(grid, n)
+        assert zones.n_central_cells + zones.n_suburb_cells == grid.n_cells
+        # Monotone in the threshold: a stricter factor shrinks the CZ.
+        stricter = ZonePartition(grid, n, threshold_factor=2 * zones.threshold_factor)
+        assert stricter.n_central_cells <= zones.n_central_cells
+        # Suburb extent within the Lemma-15 bound, always.
+        assert zones.suburb_corner_extent() <= zones.suburb_bound + 1e-9
+
+    @given(
+        n=st.integers(min_value=100, max_value=10_000),
+        radius=st.floats(min_value=0.5, max_value=5.0),
+        speed_frac=st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=30)
+    def test_bounds_are_ordered(self, n, radius, speed_frac):
+        """Upper bounds exceed lower bounds wherever both apply."""
+        side = math.sqrt(n)
+        speed = speed_frac * radius
+        upper = theory.flooding_upper_bound(n, side, radius, speed)
+        lower = theory.flooding_lower_bound(n, side, radius, speed)
+        trivial = theory.geometric_lower_bound(side, radius, speed)
+        assert upper >= trivial * 0.999 or math.isinf(upper)
+        if lower > 0:
+            assert upper >= lower * 0.999 or math.isinf(upper)

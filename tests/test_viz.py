@@ -1,0 +1,109 @@
+"""Tests of the terminal visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.viz.ascii import render_heatmap, render_sparkline, render_zone_map
+from repro.viz.csvout import rows_to_csv_string, write_csv
+from repro.viz.tables import format_markdown_table, format_table
+
+
+class TestHeatmap:
+    def test_renders_rows(self):
+        values = np.arange(12, dtype=float).reshape(3, 4)
+        text = render_heatmap(values)
+        lines = text.splitlines()
+        assert len(lines) == 4 + 1  # 4 y-rows + legend
+
+    def test_top_row_is_high_y(self):
+        values = np.zeros((2, 2))
+        values[0, 1] = 10.0  # x=0, y=1 (top-left in render)
+        text = render_heatmap(values, legend=False)
+        lines = text.splitlines()
+        assert lines[0][0] == "@"
+
+    def test_constant_field_no_crash(self):
+        text = render_heatmap(np.ones((3, 3)), legend=False)
+        assert len(text.splitlines()) == 3
+
+    def test_downsampling(self):
+        values = np.random.default_rng(0).uniform(size=(40, 40))
+        text = render_heatmap(values, width=10, legend=False)
+        assert len(text.splitlines()) <= 20
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            render_heatmap(np.zeros(5))
+
+
+class TestZoneMap:
+    def test_symbols(self):
+        mask = np.array([[True, False], [False, True]])
+        text = render_zone_map(mask, legend=False)
+        assert "##" in text
+        assert ".." in text
+
+    def test_legend_present(self):
+        text = render_zone_map(np.ones((2, 2), dtype=bool))
+        assert "Central Zone" in text
+
+
+class TestSparkline:
+    def test_length_capped(self):
+        line = render_sparkline(np.linspace(0, 1, 500), width=40)
+        assert len(line) <= 40
+
+    def test_monotone_ramp(self):
+        line = render_sparkline([0.0, 0.5, 1.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_empty(self):
+        assert render_sparkline([]) == ""
+
+
+class TestTables:
+    def test_alignment(self):
+        text = format_table(["a", "bee"], [[1, 2.5], [100, 0.333333]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # all same width
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="hello")
+        assert text.splitlines()[0] == "hello"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[float("inf")], [float("nan")], [1e-9], [123456.0]])
+        assert "inf" in text
+        assert "nan" in text
+        assert "1e-09" in text
+
+    def test_markdown(self):
+        text = format_markdown_table(["a", "b"], [[1, 2]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1].startswith("|---")
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_markdown_mismatch(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(["a"], [[1, 2]])
+
+
+class TestCsv:
+    def test_roundtrip_string(self):
+        text = rows_to_csv_string(["a", "b"], [[1, "x"], [2, "y"]])
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,x"
+
+    def test_write_csv_creates_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "out.csv"
+        result = write_csv(str(path), ["h"], [[1], [2]])
+        assert result == str(path)
+        assert path.read_text().startswith("h")

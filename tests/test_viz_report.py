@@ -1,0 +1,27 @@
+"""Tests of the report generator (on cheap deterministic experiments)."""
+
+from repro.viz.report import generate_report, write_report
+
+
+class TestGenerateReport:
+    def test_report_structure(self):
+        report = generate_report(scale="quick", seed=0, experiment_ids=["lemma15_suburb"])
+        assert "# EXPERIMENTS" in report
+        assert "lemma15_suburb" in report
+        assert "Lemma 15" in report
+        assert "PASS" in report
+        assert "|" in report  # markdown tables present
+
+    def test_multiple_experiments_indexed(self):
+        report = generate_report(
+            scale="quick", seed=0, experiment_ids=["lemma15_suburb", "lemma6_rows"]
+        )
+        index_section = report.split("##")[0]
+        assert "`lemma15_suburb`" in index_section
+        assert "`lemma6_rows`" in index_section
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "report.md"
+        out = write_report(str(path), scale="quick", seed=0, experiment_ids=["lemma6_rows"])
+        assert out == str(path)
+        assert path.read_text().startswith("# EXPERIMENTS")
