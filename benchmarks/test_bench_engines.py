@@ -58,3 +58,19 @@ def test_bench_count_within(benchmark, snapshot, backend):
     engine = make_engine(backend, SIDE)
     counts = benchmark(engine.count_within, positions[informed], positions[~informed], RADIUS)
     assert counts.shape == (int(np.count_nonzero(~informed)),)
+
+
+@pytest.mark.parametrize("backend", ["cells", "kdtree", "grid"])
+def test_bench_batch_any_within(benchmark, backend):
+    """The batch engine's per-replica infection test, one call for B trials."""
+    from repro.geometry.neighbors import BatchNeighborQuery
+
+    if backend not in available_backends() + ["cells"]:
+        pytest.skip(f"backend {backend} unavailable")
+    rng = np.random.default_rng(1)
+    batch, n, side, radius = 16, 2_000, 44.7, 2.8
+    positions = rng.uniform(0, side, size=(batch, n, 2))
+    informed = rng.uniform(size=(batch, n)) < 0.3
+    query = BatchNeighborQuery(side, batch, backend=backend)
+    hits = benchmark(query.any_within, positions, informed, ~informed, radius)
+    assert hits.shape == (batch, n)

@@ -6,15 +6,27 @@ simulation, the paper's closed-form distributions and bounds, the flooding
 protocol and baselines, and the experiment harness regenerating the paper's
 figure and validating every lemma and theorem empirically.
 
+Two execution engines share one seed schedule: the scalar
+:class:`~repro.simulation.engine.Simulation` (the reference, one trial at a
+time) and the vectorized :class:`~repro.simulation.batch.BatchSimulation`
+(``engine="batch"``), which advances every trial of a multi-trial run in
+lock-step over a ``(B, n, 2)`` position tensor and reproduces the scalar
+results trial-for-trial at fixed seeds.
+
 Quickstart::
 
-    from repro import standard_config, run_flooding
+    from repro import standard_config, run_flooding, run_trials
 
     config = standard_config(n=2000, seed=7)
     result = run_flooding(config)
     print(result.flooding_time, "steps; bound", config.upper_bound())
 
-See README.md for the full tour and DESIGN.md for the paper -> code map.
+    # Many trials, one vectorized pass (same results as engine="scalar"):
+    results = run_trials(config.with_options(engine="batch"), 32)
+
+See README.md for the full tour, DESIGN.md for the paper -> code map and
+the batch-engine design, and EXPERIMENTS.md for the per-experiment
+reproduction recipes.
 """
 
 from repro.core import theory
@@ -37,9 +49,11 @@ from repro.protocols import (
     SIREpidemic,
 )
 from repro.simulation import (
+    BatchSimulation,
     FloodingConfig,
     FloodingResult,
     run_flooding,
+    run_flooding_batch,
     run_trials,
     standard_config,
     summarize,
@@ -69,8 +83,10 @@ __all__ = [
     "SIREpidemic",
     "FloodingConfig",
     "FloodingResult",
+    "BatchSimulation",
     "standard_config",
     "run_flooding",
+    "run_flooding_batch",
     "run_trials",
     "sweep",
     "summarize",

@@ -6,8 +6,11 @@ Subcommands:
 * ``run <id> [--scale quick|full] [--seed N] [--csv PATH]`` — run one
   experiment and print its report;
 * ``all [--scale ...] [--seed N]`` — run the whole suite;
-* ``flood --n N [--radius-factor C] [--speed-fraction F] ...`` — one ad-hoc
-  flooding run with the canonical ``L = sqrt n`` scaling.
+* ``flood --n N [--trials T] [--engine scalar|batch] [--batch-size B]
+  [--radius-factor C] [--speed-fraction F] ...`` — ad-hoc flooding runs with
+  the canonical ``L = sqrt n`` scaling; ``--engine batch`` advances all
+  trials in lock-step through the vectorized batch engine (same results,
+  faster).
 """
 
 from __future__ import annotations
@@ -17,10 +20,18 @@ import sys
 
 from repro.experiments.registry import all_ids, get_spec, run_experiment
 from repro.simulation.config import standard_config
-from repro.simulation.runner import run_flooding
+from repro.simulation.results import summarize
+from repro.simulation.runner import run_flooding, run_trials
 from repro.viz.csvout import write_csv
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return number
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,18 +53,38 @@ def build_parser() -> argparse.ArgumentParser:
     all_p.add_argument("--scale", choices=("quick", "full"), default="quick")
     all_p.add_argument("--seed", type=int, default=0)
 
-    flood_p = sub.add_parser("flood", help="one ad-hoc flooding run (L = sqrt n)")
+    flood_p = sub.add_parser("flood", help="ad-hoc flooding runs (L = sqrt n)")
     flood_p.add_argument("--n", type=int, required=True)
     flood_p.add_argument("--radius-factor", type=float, default=2.0)
     flood_p.add_argument("--speed-fraction", type=float, default=0.25)
     flood_p.add_argument("--source", default="uniform")
     flood_p.add_argument("--seed", type=int, default=0)
     flood_p.add_argument("--max-steps", type=int, default=20_000)
+    flood_p.add_argument(
+        "--trials",
+        type=_positive_int,
+        default=1,
+        help="independent trials to run (default 1)",
+    )
+    flood_p.add_argument(
+        "--engine",
+        choices=("scalar", "batch"),
+        default="scalar",
+        help="trial execution engine: 'scalar' (reference, one trial at a time) "
+        "or 'batch' (vectorized lock-step over all trials; same results)",
+    )
+    flood_p.add_argument(
+        "--batch-size",
+        type=int,
+        default=0,
+        help="trials per batch with --engine batch (0 = all in one batch)",
+    )
 
     report_p = sub.add_parser(
         "report", help="run experiments and write a markdown reproduction report"
     )
-    report_p.add_argument("--out", default="EXPERIMENTS.md")
+    # Default kept distinct from the curated EXPERIMENTS.md documentation.
+    report_p.add_argument("--out", default="EXPERIMENTS_RUN.md")
     report_p.add_argument("--scale", choices=("quick", "full"), default="quick")
     report_p.add_argument("--seed", type=int, default=0)
     report_p.add_argument(
@@ -101,8 +132,19 @@ def _cmd_flood(args) -> int:
         source=source,
         seed=args.seed,
         max_steps=args.max_steps,
+        engine=args.engine,
+        batch_size=args.batch_size,
     )
     print(config.describe())
+    if args.trials > 1 or config.engine == "batch":
+        results = run_trials(config, args.trials)
+        summary = summarize(r.flooding_time for r in results)
+        completed = sum(r.completed for r in results)
+        print(f"engine: {config.engine} ({args.trials} trials)")
+        print(f"flooding time: {summary.format('steps')}")
+        print(f"completed: {completed}/{args.trials}")
+        print(f"Theorem 3 bound: {config.upper_bound():.1f}")
+        return 0 if completed == args.trials else 1
     result = run_flooding(config)
     print(f"flooding time: {result.flooding_time}")
     print(f"completed: {result.completed} (coverage {result.final_coverage:.3f})")

@@ -16,9 +16,18 @@ Two interchangeable backends implement them:
 
 Use :func:`make_engine` to construct one by name; ``"auto"`` picks the
 KD-tree when scipy is importable and falls back to the grid otherwise.
+
+The batch simulation engine (DESIGN.md, "Batched execution") answers the
+per-replica queries of **B independent trials with one engine call** through
+:class:`BatchNeighborQuery`: each replica's points are translated into a
+disjoint tile of a larger virtual square, tiles separated by more than the
+query radius, so a single spatial index over the union can never report a
+cross-replica hit.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
@@ -30,6 +39,7 @@ __all__ = [
     "GridNeighborEngine",
     "KDTreeNeighborEngine",
     "BruteForceNeighborEngine",
+    "BatchNeighborQuery",
     "make_engine",
     "available_backends",
 ]
@@ -169,6 +179,243 @@ class BruteForceNeighborEngine(NeighborEngine):
         dist2 = np.sum(diff * diff, axis=-1)
         i, j = np.nonzero(np.triu(dist2 <= radius * radius, k=1))
         return np.stack([i, j], axis=1).astype(np.intp)
+
+
+def _box_filter(values: np.ndarray, reach: int, axis: int) -> np.ndarray:
+    """Sliding-window sum of width ``2*reach+1`` (clipped) along one axis.
+
+    Implemented as a cumulative sum plus two ``take`` calls (contiguous
+    row/column copies — no per-element fancy indexing), so a 2-D box query
+    over a ``(B, m, m)`` stack costs a handful of vectorized passes
+    independent of ``reach``.
+    """
+    m = values.shape[axis]
+    summed = np.cumsum(values, axis=axis)
+    idx = np.arange(m)
+    upper = np.take(summed, np.minimum(idx + reach, m - 1), axis=axis)
+    lower = np.take(summed, np.maximum(idx - reach - 1, 0), axis=axis)
+    edge_shape = [1, 1, 1]
+    edge_shape[axis] = m
+    at_edge = (idx - reach - 1 < 0).reshape(edge_shape)
+    return upper - np.where(at_edge, 0, lower)
+
+
+def _box_any(counts: np.ndarray, reach: int) -> np.ndarray:
+    """Per-cell: does the ``(2*reach+1)^2`` window hold any count? (clipped)."""
+    return _box_filter(_box_filter(counts, reach, 1), reach, 2) > 0
+
+
+class BatchNeighborQuery:
+    """Per-replica radius queries over a ``(B, n, 2)`` position tensor.
+
+    Two strategies, both exact:
+
+    * **tiling** (explicit ``grid``/``kdtree``/``brute`` backends): replica
+      ``b``'s points are shifted into tile ``b`` of a virtual
+      ``rows x cols`` tile sheet (``cols = ceil(sqrt(B))``, keeping the grid
+      backend's cell count ``O(B)``).  Adjacent tiles are separated by
+      ``2 * radius``, strictly more than the query radius, hence one engine
+      call over the shifted union answers all replicas at once and
+      cross-replica pairs can never be within range.
+
+    * **cell cover** (``"cells"``, the ``"auto"`` default for
+      :meth:`any_within`): per-replica occupancy grids with bucket side
+      ``radius / sqrt(5)`` resolve most queries by occupancy logic alone —
+      a source in the query's own or edge-adjacent cell is *certainly*
+      within ``radius`` (the diameter of that cross neighborhood is
+      ``sqrt(5)`` buckets), while no source within Chebyshev distance 3
+      *certainly* means no hit (the gap is at least 3 buckets
+      ``> radius``).  Only queries in the thin shell between the two
+      certainties fall through to an exact tiled query against the nearby
+      sources.  This turns the flooding infection test from per-point tree
+      traversals into a handful of vectorized passes over the batch.
+
+    Strategies agree except possibly at distances within floating-point
+    rounding of ``radius`` itself — the same ulp-level boundary slack the
+    scalar backends already have among themselves (the KD-tree engine
+    applies a ``1e-12`` relative tolerance where grid and brute use exact
+    ``<=``), and a measure-zero event for simulation-driven positions.
+
+    Args:
+        side: side length of each replica's square region.
+        batch_size: number of replicas ``B``.
+        backend: ``"grid"``, ``"kdtree"``, ``"brute"``, ``"cells"``, or
+            ``"auto"`` (cell cover for ``any_within``, best tiled engine
+            otherwise).
+    """
+
+    def __init__(self, side: float, batch_size: int, backend: str = "auto"):
+        if side <= 0:
+            raise ValueError(f"side must be positive, got {side}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.side = float(side)
+        self.batch_size = int(batch_size)
+        if backend not in ("auto", "cells") and backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown neighbor backend {backend!r}; expected one of "
+                f"{sorted(_BACKENDS) + ['cells']} or 'auto'"
+            )
+        self.backend = backend
+        self._tiled_backend = backend
+        if backend in ("auto", "cells"):
+            self._tiled_backend = "kdtree" if "kdtree" in available_backends() else "grid"
+        self._cols = int(math.ceil(math.sqrt(self.batch_size)))
+        self._rows = int(math.ceil(self.batch_size / self._cols))
+
+    #: Above this many occupancy-grid cells the cell cover falls back to
+    #: tiling (tiny radii would make the per-replica grids enormous).
+    _MAX_COVER_CELLS = 4_000_000
+
+    def _shift(self, positions: np.ndarray, radius: float) -> tuple:
+        """Translate each replica into its tile; returns ``(flat, big_side)``."""
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.ndim != 3 or positions.shape[2] != 2:
+            raise ValueError(f"positions must have shape (B, n, 2), got {positions.shape}")
+        batch = positions.shape[0]
+        if batch != self.batch_size:
+            raise ValueError(f"expected {self.batch_size} replicas, got {batch}")
+        stride = self.side + 2.0 * radius
+        replica = np.arange(batch)
+        offsets = np.stack(
+            [(replica % self._cols) * stride, (replica // self._cols) * stride], axis=1
+        )
+        shifted = positions + offsets[:, None, :]
+        big_side = max(self._cols, self._rows) * stride
+        return shifted.reshape(-1, 2), big_side
+
+    def _masked_query(self, method, positions, source_mask, query_mask, radius):
+        if radius <= 0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        flat, big_side = self._shift(positions, radius)
+        source_mask = np.asarray(source_mask, dtype=bool).reshape(-1)
+        query_mask = np.asarray(query_mask, dtype=bool).reshape(-1)
+        if source_mask.shape != (flat.shape[0],) or query_mask.shape != (flat.shape[0],):
+            raise ValueError("masks must have shape (B, n) matching the positions")
+        engine = _BACKENDS[self._tiled_backend](big_side)
+        out = getattr(engine, method)(flat[source_mask], flat[query_mask], radius)
+        result_dtype = bool if method == "any_within" else np.intp
+        full = np.zeros(flat.shape[0], dtype=result_dtype)
+        full[query_mask] = out
+        batch = np.asarray(positions).shape[0]
+        return full.reshape(batch, -1)
+
+    #: Occupancy-grid resolution: bucket side = radius / _COVER_DIVISOR.
+    #: Finer grids narrow the indeterminate shell (width ``O(bucket)``)
+    #: that needs exact distance checks, at ``O(B * m^2)`` occupancy cost.
+    _COVER_DIVISOR = math.sqrt(5.0)
+
+    def _cells_any_within(self, positions, source_mask, query_mask, radius):
+        """Cell-cover ``any_within`` (see class docstring); None on fallback."""
+        divisor = self._COVER_DIVISOR
+        cell = radius / divisor
+        m = max(1, int(math.ceil(self.side / cell)))
+        batch, n, _ = positions.shape
+        if batch * m * m > self._MAX_COVER_CELLS:
+            return None
+        # A source within Chebyshev cell distance reach_sure is certainly a
+        # hit: the farthest pair of points in such cells is
+        # (reach_sure + 1) * sqrt(2) buckets < radius apart.
+        reach_sure = int(divisor / math.sqrt(2.0)) - 1
+        # No source within Chebyshev distance reach_possible certainly
+        # means no hit: cells further apart leave a gap > divisor buckets
+        # == radius.
+        reach_possible = int(divisor) + 1
+        source_mask = np.asarray(source_mask, dtype=bool)
+        query_mask = np.asarray(query_mask, dtype=bool)
+        if source_mask.shape != (batch, n) or query_mask.shape != (batch, n):
+            raise ValueError("masks must have shape (B, n) matching the positions")
+        ij = (positions * (1.0 / cell)).astype(np.int64)
+        np.clip(ij, 0, m - 1, out=ij)
+        cid = ij[..., 0] * m + ij[..., 1]
+        gid = cid + np.arange(batch, dtype=np.int64)[:, None] * (m * m)
+        src_counts = np.bincount(
+            gid[source_mask], minlength=batch * m * m
+        ).reshape(batch, m, m)
+        if reach_sure >= 1:
+            sure = _box_any(src_counts, reach_sure)
+        else:
+            # Coarse grids (divisor in [sqrt(5), 2*sqrt(2))): the cross
+            # neighborhood (own + edge-adjacent cells, diameter
+            # sqrt(5) buckets <= radius) beats the bare own-cell box.
+            occ = src_counts > 0
+            sure = occ.copy()
+            sure[:, 1:, :] |= occ[:, :-1, :]
+            sure[:, :-1, :] |= occ[:, 1:, :]
+            sure[:, :, 1:] |= occ[:, :, :-1]
+            sure[:, :, :-1] |= occ[:, :, 1:]
+        possible = _box_any(src_counts, reach_possible)
+        rows = np.arange(batch)[:, None]
+        sure_at = sure.reshape(batch, m * m)[rows, cid]
+        hits = query_mask & sure_at
+        unresolved = query_mask & ~sure_at & possible.reshape(batch, m * m)[rows, cid]
+        if unresolved.any():
+            # Exact distances for the thin shell between the certainties,
+            # against the sources near the shell's cells only.
+            u_counts = np.bincount(
+                gid[unresolved], minlength=batch * m * m
+            ).reshape(batch, m, m)
+            near = _box_any(u_counts, reach_possible).reshape(batch, m * m)
+            near_sources = source_mask & near[rows, cid]
+            hits |= self._subset_any_within(positions, near_sources, unresolved, radius)
+        return hits
+
+    def _subset_any_within(self, positions, source_mask, query_mask, radius):
+        """Tiled exact ``any_within`` gathering only the masked points."""
+        out = np.zeros(query_mask.shape, dtype=bool)
+        src_b, src_i = np.nonzero(source_mask)
+        q_b, q_i = np.nonzero(query_mask)
+        if q_b.size == 0 or src_b.size == 0:
+            return out
+        stride = self.side + 2.0 * radius
+
+        def shift(replica, points):
+            points = points.copy()
+            points[:, 0] += (replica % self._cols) * stride
+            points[:, 1] += (replica // self._cols) * stride
+            return points
+
+        big_side = max(self._cols, self._rows) * stride
+        engine = _BACKENDS[self._tiled_backend](big_side)
+        hit = engine.any_within(
+            shift(src_b, positions[src_b, src_i]),
+            shift(q_b, positions[q_b, q_i]),
+            radius,
+        )
+        out[q_b[hit], q_i[hit]] = True
+        return out
+
+    def any_within(self, positions, source_mask, query_mask, radius: float) -> np.ndarray:
+        """Per-replica infection test.
+
+        Args:
+            positions: ``(B, n, 2)`` replica position tensor.
+            source_mask: ``(B, n)`` bool — transmitting points, per replica.
+            query_mask: ``(B, n)`` bool — listening points, per replica.
+            radius: query radius.
+
+        Returns:
+            ``(B, n)`` bool mask — True where a query point of replica ``b``
+            has a source point *of the same replica* within ``radius``
+            (always False outside ``query_mask``).
+        """
+        if self.backend in ("auto", "cells"):
+            if radius <= 0:
+                raise ValueError(f"radius must be positive, got {radius}")
+            positions = np.asarray(positions, dtype=np.float64)
+            if positions.ndim != 3 or positions.shape[2] != 2:
+                raise ValueError(f"positions must have shape (B, n, 2), got {positions.shape}")
+            if positions.shape[0] != self.batch_size:
+                raise ValueError(f"expected {self.batch_size} replicas, got {positions.shape[0]}")
+            result = self._cells_any_within(positions, source_mask, query_mask, radius)
+            if result is not None:
+                return result
+        return self._masked_query("any_within", positions, source_mask, query_mask, radius)
+
+    def count_within(self, positions, source_mask, query_mask, radius: float) -> np.ndarray:
+        """Per-replica occupancy counts; same contract as :meth:`any_within`
+        with an ``(B, n)`` intp result (0 outside ``query_mask``)."""
+        return self._masked_query("count_within", positions, source_mask, query_mask, radius)
 
 
 _BACKENDS = {

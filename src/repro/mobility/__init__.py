@@ -1,6 +1,11 @@
 """Mobility substrate: the MRWP model, baselines, and stationary samplers."""
 
-from repro.mobility.base import MobilityModel, record_trajectory
+from repro.mobility.base import (
+    BatchMobilityModel,
+    MobilityModel,
+    ReplicatedBatchMobility,
+    record_trajectory,
+)
 from repro.mobility.distributions import (
     QUADRANTS,
     SEGMENTS,
@@ -18,15 +23,15 @@ from repro.mobility.distributions import (
     spatial_pdf_min,
 )
 from repro.mobility.ferry import CompositeMobility, FerryPatrol, rectangle_route
-from repro.mobility.mrwp import ManhattanRandomWaypoint
+from repro.mobility.mrwp import BatchManhattanRandomWaypoint, ManhattanRandomWaypoint
 from repro.mobility.pause import (
     ManhattanRandomWaypointWithPause,
     moving_probability,
     spatial_pdf_with_pause,
 )
 from repro.mobility.random_direction import RandomDirection
-from repro.mobility.random_walk import RandomWalk
-from repro.mobility.rwp import RandomWaypoint
+from repro.mobility.random_walk import BatchRandomWalk, RandomWalk
+from repro.mobility.rwp import BatchRandomWaypoint, RandomWaypoint
 from repro.mobility.speed_range import (
     RandomSpeedManhattanWaypoint,
     cold_start_speed_decay,
@@ -52,6 +57,11 @@ MODEL_REGISTRY = {
 
 __all__ = [
     "MobilityModel",
+    "BatchMobilityModel",
+    "ReplicatedBatchMobility",
+    "BatchManhattanRandomWaypoint",
+    "BatchRandomWaypoint",
+    "BatchRandomWalk",
     "record_trajectory",
     "ManhattanRandomWaypoint",
     "ManhattanRandomWaypointWithPause",

@@ -13,6 +13,14 @@ Concrete models:
   the authors' earlier papers (refs [10, 11]);
 * :class:`repro.mobility.random_direction.RandomDirection` — a billiard-style
   model with a uniform stationary distribution (useful as a contrast).
+
+The batch engine (DESIGN.md, "Batched execution") additionally needs
+**multi-replica** stepping: :class:`BatchMobilityModel` advances ``B``
+independent trials in lock-step over a ``(B, n, 2)`` tensor.  Replica ``b``
+draws randomness only from its own generator, in exactly the order the
+scalar model would, so a batch run reproduces ``B`` scalar runs
+seed-for-seed.  Models without a native vectorized batch implementation are
+adapted through :class:`ReplicatedBatchMobility`.
 """
 
 from __future__ import annotations
@@ -21,7 +29,12 @@ import abc
 
 import numpy as np
 
-__all__ = ["MobilityModel", "record_trajectory"]
+__all__ = [
+    "MobilityModel",
+    "BatchMobilityModel",
+    "ReplicatedBatchMobility",
+    "record_trajectory",
+]
 
 
 class MobilityModel(abc.ABC):
@@ -73,6 +86,114 @@ class MobilityModel(abc.ABC):
             f"{type(self).__name__}(n={self.n}, side={self.side}, "
             f"speed={self.speed}, time={self.time})"
         )
+
+
+class BatchMobilityModel(abc.ABC):
+    """Abstract base for lock-step mobility over ``B`` independent replicas.
+
+    The contract mirrors :class:`MobilityModel` with a leading batch axis,
+    plus one reproducibility guarantee: replica ``b`` consumes randomness
+    exclusively from ``rngs[b]`` and in the same call order as the scalar
+    model seeded identically, so per-trial streams stay bit-reproducible
+    under batching (asserted by the parity tests).
+
+    Args:
+        n: number of agents per replica.
+        side: side length of each replica's square.
+        speed: agent speed (same interpretation as the scalar model).
+        rngs: one seeded generator per replica; the sequence length defines
+            the batch size ``B``.
+    """
+
+    def __init__(self, n: int, side: float, speed: float, rngs):
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if side <= 0:
+            raise ValueError(f"side must be positive, got {side}")
+        if speed < 0:
+            raise ValueError(f"speed must be non-negative, got {speed}")
+        self.rngs = list(rngs)
+        if not self.rngs:
+            raise ValueError("rngs must contain at least one generator")
+        self.n = int(n)
+        self.side = float(side)
+        self.speed = float(speed)
+        self.time = 0.0
+
+    @property
+    def batch_size(self) -> int:
+        """Number of replicas ``B``."""
+        return len(self.rngs)
+
+    @property
+    @abc.abstractmethod
+    def positions(self) -> np.ndarray:
+        """Copy of the current positions, shape ``(B, n, 2)``."""
+
+    @abc.abstractmethod
+    def step(self, dt: float = 1.0, active=None) -> np.ndarray:
+        """Advance replicas by ``dt`` time units; returns the new positions.
+
+        Args:
+            active: optional ``(B,)`` bool mask — replicas to advance.
+                Frozen replicas keep their state *and their generators
+                untouched* (a scalar trial that already stopped would not
+                have stepped either).
+        """
+
+    def _active_mask(self, active) -> np.ndarray:
+        if active is None:
+            return np.ones(self.batch_size, dtype=bool)
+        active = np.asarray(active, dtype=bool)
+        if active.shape != (self.batch_size,):
+            raise ValueError(
+                f"active must have shape ({self.batch_size},), got {active.shape}"
+            )
+        return active
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(B={self.batch_size}, n={self.n}, "
+            f"side={self.side}, speed={self.speed}, time={self.time})"
+        )
+
+
+class ReplicatedBatchMobility(BatchMobilityModel):
+    """Batch adapter over ``B`` independent scalar models.
+
+    The fallback path of the batch engine: stepping is a Python loop, so
+    there is no vectorization win, but behaviour is bit-identical to the
+    scalar models by construction — any :class:`MobilityModel` becomes
+    batchable without a native implementation.
+
+    Args:
+        models: scalar mobility models, one per replica, all with the same
+            ``(n, side)`` geometry (each owning its per-trial generator).
+    """
+
+    def __init__(self, models):
+        models = list(models)
+        if not models:
+            raise ValueError("models must contain at least one mobility model")
+        first = models[0]
+        for model in models[1:]:
+            if model.n != first.n or model.side != first.side:
+                raise ValueError("all replica models must share n and side")
+        super().__init__(first.n, first.side, first.speed, [m.rng for m in models])
+        self.models = models
+
+    @property
+    def positions(self) -> np.ndarray:
+        return np.stack([model.positions for model in self.models], axis=0)
+
+    def step(self, dt: float = 1.0, active=None) -> np.ndarray:
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        active = self._active_mask(active)
+        for b in np.nonzero(active)[0]:
+            self.models[b].step(dt)
+        self.time += dt
+        return self.positions
 
 
 def record_trajectory(model: MobilityModel, steps: int, dt: float = 1.0) -> np.ndarray:

@@ -17,15 +17,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.geometry.paths import choose_corners
-from repro.mobility.base import MobilityModel
+from repro.geometry.paths import choose_corners, path_corner
+from repro.mobility.base import BatchMobilityModel, MobilityModel
 from repro.mobility.stationary import (
     ClosedFormStationarySampler,
     KinematicState,
     PalmStationarySampler,
 )
 
-__all__ = ["ManhattanRandomWaypoint"]
+__all__ = ["ManhattanRandomWaypoint", "BatchManhattanRandomWaypoint"]
 
 #: Safety cap on legs completed by one agent within a single step.
 _MAX_LEGS_PER_STEP = 100_000
@@ -81,23 +81,7 @@ class ManhattanRandomWaypoint(MobilityModel):
     # Initialization
     # ------------------------------------------------------------------
     def _make_initial_state(self, init) -> KinematicState:
-        if isinstance(init, KinematicState):
-            if init.n != self.n:
-                raise ValueError(f"state has {init.n} agents, model expects {self.n}")
-            return init.copy()
-        if init == "stationary":
-            return PalmStationarySampler(self.side).sample(self.n, self.rng)
-        if init == "closed-form":
-            return ClosedFormStationarySampler(self.side).sample(self.n, self.rng)
-        if init == "uniform":
-            positions = self.rng.uniform(0.0, self.side, size=(self.n, 2))
-            dests = self.rng.uniform(0.0, self.side, size=(self.n, 2))
-            corners, _choice = choose_corners(positions, dests, self.rng)
-            on_second_leg = np.zeros(self.n, dtype=bool)
-            return KinematicState(positions, dests, corners, on_second_leg)
-        raise ValueError(
-            f"init must be 'stationary', 'closed-form', 'uniform' or a KinematicState, got {init!r}"
-        )
+        return _initial_state(self.n, self.side, init, self.rng)
 
     # ------------------------------------------------------------------
     # State access
@@ -195,3 +179,147 @@ class ManhattanRandomWaypoint(MobilityModel):
         self.turn_counts[:] = 0
         self.arrival_counts[:] = 0
         self.time = 0.0
+
+
+class BatchManhattanRandomWaypoint(BatchMobilityModel):
+    """MRWP mobility for ``B`` independent replicas, advanced in lock-step.
+
+    Kinematic state lives in flat ``(B * n, 2)`` tensors so one carry-over
+    iteration updates every agent of every replica with single vectorized
+    operations.  Randomness stays per-replica: initial states are sampled
+    with each replica's own generator, and within a carry-over iteration the
+    trip-completion redraws are grouped by replica (ascending replica order,
+    ascending agent order within a replica) — the exact draw sequence of the
+    scalar :class:`ManhattanRandomWaypoint`, because an agent completes a
+    trip in batch iteration ``k`` iff it does so in scalar iteration ``k``
+    (kinematics are deterministic given the state).
+
+    Args:
+        n, side, speed, rngs: see :class:`~repro.mobility.base.BatchMobilityModel`.
+        init: scalar ``init`` spec (``"stationary"``, ``"closed-form"``,
+            ``"uniform"``) applied per replica, or a sequence of ``B``
+            :class:`~repro.mobility.stationary.KinematicState` objects.
+    """
+
+    def __init__(self, n: int, side: float, speed: float, rngs, init="stationary"):
+        super().__init__(n, side, speed, rngs)
+        states = []
+        for b, rng in enumerate(self.rngs):
+            spec = init[b] if isinstance(init, (list, tuple)) else init
+            states.append(_initial_state(self.n, self.side, spec, rng))
+        self._pos = np.concatenate([s.positions for s in states], axis=0)
+        self._dest = np.concatenate([s.destinations for s in states], axis=0)
+        self._target = np.concatenate([s.targets for s in states], axis=0)
+        self._on_second_leg = np.concatenate([s.on_second_leg for s in states], axis=0)
+        self.turn_counts = np.zeros(self.batch_size * self.n, dtype=np.int64)
+        self.arrival_counts = np.zeros(self.batch_size * self.n, dtype=np.int64)
+        self._eps = 1e-9 * max(self.side, 1.0)
+
+    @property
+    def positions(self) -> np.ndarray:
+        return self._pos.reshape(self.batch_size, self.n, 2).copy()
+
+    def _resample_trips(self, trip_done: np.ndarray) -> None:
+        """Draw new trips for completed agents, replica by replica.
+
+        ``trip_done`` is ascending over the flat index, so slicing by
+        replica preserves the scalar model's per-replica draw order
+        (destination uniforms, then the path coin flips, per replica); the
+        corner arithmetic itself is batched across replicas afterwards.
+        """
+        replicas = trip_done // self.n
+        starts = np.searchsorted(replicas, np.arange(self.batch_size + 1))
+        dests = np.empty((trip_done.size, 2), dtype=np.float64)
+        choices = np.empty(trip_done.size, dtype=np.int64)
+        for b in np.unique(replicas):
+            lo, hi = starts[b], starts[b + 1]
+            rng = self.rngs[b]
+            dests[lo:hi] = rng.uniform(0.0, self.side, size=(hi - lo, 2))
+            choices[lo:hi] = rng.integers(0, 2, size=hi - lo)
+        self._dest[trip_done] = dests
+        self._target[trip_done] = path_corner(self._pos[trip_done], dests, choices)
+
+    def step(self, dt: float = 1.0, active=None) -> np.ndarray:
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        active = self._active_mask(active)
+        total = self.batch_size * self.n
+        if active.all():
+            budget = np.full(total, self.speed * dt, dtype=np.float64)
+        else:
+            budget = np.where(np.repeat(active, self.n), self.speed * dt, 0.0)
+        eps = self._eps
+        with np.errstate(invalid="ignore", divide="ignore"):
+            for _ in range(_MAX_LEGS_PER_STEP):
+                moving = budget > eps
+                n_moving = int(np.count_nonzero(moving))
+                if n_moving == 0:
+                    break
+                if 2 * n_moving >= total:
+                    # Dense pass (typically the first carry-over iteration,
+                    # where every unfrozen agent moves): full-array
+                    # arithmetic avoids the gather/scatter of a
+                    # fancy-indexed pass.  Masked rows see exact no-ops
+                    # (frac and move forced to 0), so the per-agent
+                    # arithmetic is identical to the sparse pass.
+                    delta = self._target - self._pos
+                    dist = np.abs(delta).sum(axis=1)  # legs are axis-aligned
+                    move = np.minimum(budget, dist)
+                    frac = np.where(dist > eps, move / np.where(dist > eps, dist, 1.0), 1.0)
+                    frac = np.where(moving, frac, 0.0)
+                    self._pos += delta * frac[:, None]
+                    budget = budget - np.where(moving, move, 0.0)
+                    done = np.nonzero(moving & (move >= dist - eps))[0]
+                else:
+                    idx = np.nonzero(moving)[0]
+                    delta = self._target[idx] - self._pos[idx]
+                    dist = np.abs(delta).sum(axis=1)  # legs are axis-aligned
+                    b = budget[idx]
+                    move = np.minimum(b, dist)
+                    frac = np.where(dist > eps, move / np.where(dist > eps, dist, 1.0), 1.0)
+                    self._pos[idx] += delta * frac[:, None]
+                    budget[idx] = b - move
+                    done = idx[move >= dist - eps]
+                if done.size == 0:
+                    break
+                self._pos[done] = self._target[done]
+                second = self._on_second_leg[done]
+                corner_done = done[~second]
+                if corner_done.size:
+                    self._on_second_leg[corner_done] = True
+                    self._target[corner_done] = self._dest[corner_done]
+                    self.turn_counts[corner_done] += 1
+                trip_done = done[second]
+                if trip_done.size:
+                    self._resample_trips(trip_done)
+                    self._on_second_leg[trip_done] = False
+                    self.turn_counts[trip_done] += 1
+                    self.arrival_counts[trip_done] += 1
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    "carry-over loop did not converge; speed is implausibly large "
+                    f"relative to the square (speed={self.speed}, side={self.side})"
+                )
+        self.time += dt
+        return self.positions
+
+
+def _initial_state(n: int, side: float, init, rng: np.random.Generator) -> KinematicState:
+    """One replica's initial kinematic state — the scalar model's recipe."""
+    if isinstance(init, KinematicState):
+        if init.n != n:
+            raise ValueError(f"state has {init.n} agents, model expects {n}")
+        return init.copy()
+    if init == "stationary":
+        return PalmStationarySampler(side).sample(n, rng)
+    if init == "closed-form":
+        return ClosedFormStationarySampler(side).sample(n, rng)
+    if init == "uniform":
+        positions = rng.uniform(0.0, side, size=(n, 2))
+        dests = rng.uniform(0.0, side, size=(n, 2))
+        corners, _choice = choose_corners(positions, dests, rng)
+        on_second_leg = np.zeros(n, dtype=bool)
+        return KinematicState(positions, dests, corners, on_second_leg)
+    raise ValueError(
+        f"init must be 'stationary', 'closed-form', 'uniform' or a KinematicState, got {init!r}"
+    )

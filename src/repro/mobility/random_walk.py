@@ -16,9 +16,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.sampling import sample_uniform_disk
-from repro.mobility.base import MobilityModel
+from repro.mobility.base import BatchMobilityModel, MobilityModel
 
-__all__ = ["RandomWalk"]
+__all__ = ["RandomWalk", "BatchRandomWalk"]
 
 
 class RandomWalk(MobilityModel):
@@ -75,5 +75,56 @@ class RandomWalk(MobilityModel):
         else:
             np.clip(new_pos, 0.0, self.side, out=new_pos)
         self._pos = new_pos
+        self.time += dt
+        return self.positions
+
+
+class BatchRandomWalk(BatchMobilityModel):
+    """Disk-jump random walk for ``B`` replicas in lock-step.
+
+    Jumps are drawn per replica (each replica's generator must see the same
+    stream as its scalar counterpart) and applied with one vectorized
+    boundary fold over the flat ``(B * n, 2)`` state.
+
+    Args:
+        n, side, rngs: see :class:`~repro.mobility.base.BatchMobilityModel`.
+        move_radius: per-step jump radius (scalar semantics).
+        boundary: ``"reflect"`` or ``"clip"`` (scalar semantics).
+    """
+
+    def __init__(self, n: int, side: float, move_radius: float, rngs, boundary: str = "reflect"):
+        super().__init__(n, side, speed=move_radius, rngs=rngs)
+        if move_radius <= 0:
+            raise ValueError(f"move_radius must be positive, got {move_radius}")
+        if move_radius > side:
+            raise ValueError(f"move_radius must not exceed side ({side}), got {move_radius}")
+        if boundary not in ("reflect", "clip"):
+            raise ValueError(f"boundary must be 'reflect' or 'clip', got {boundary!r}")
+        self.move_radius = float(move_radius)
+        self.boundary = boundary
+        self._pos = np.concatenate(
+            [rng.uniform(0.0, self.side, size=(self.n, 2)) for rng in self.rngs], axis=0
+        )
+
+    @property
+    def positions(self) -> np.ndarray:
+        return self._pos.reshape(self.batch_size, self.n, 2).copy()
+
+    def step(self, dt: float = 1.0, active=None) -> np.ndarray:
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        active = self._active_mask(active)
+        jump = np.zeros_like(self._pos)
+        for b in np.nonzero(active)[0]:
+            lo = b * self.n
+            jump[lo:lo + self.n] = sample_uniform_disk(self.n, self.move_radius, self.rngs[b])
+        new_pos = self._pos + jump
+        if self.boundary == "reflect":
+            new_pos = np.where(new_pos < 0.0, -new_pos, new_pos)
+            new_pos = np.where(new_pos > self.side, 2.0 * self.side - new_pos, new_pos)
+        else:
+            np.clip(new_pos, 0.0, self.side, out=new_pos)
+        row_active = np.repeat(active, self.n)[:, None]
+        self._pos = np.where(row_active, new_pos, self._pos)
         self.time += dt
         return self.positions

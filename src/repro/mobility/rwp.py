@@ -16,9 +16,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.mobility.base import MobilityModel
+from repro.mobility.base import BatchMobilityModel, MobilityModel
 
-__all__ = ["RandomWaypoint"]
+__all__ = ["RandomWaypoint", "BatchRandomWaypoint"]
 
 _MAX_LEGS_PER_STEP = 100_000
 
@@ -123,6 +123,103 @@ class RandomWaypoint(MobilityModel):
             done = idx[reached]
             self._pos[done] = self._dest[done]
             self._dest[done] = self.rng.uniform(0.0, self.side, size=(done.size, 2))
+            self._pause_left[done] = self.pause_time
+            self.arrival_counts[done] += 1
+        else:  # pragma: no cover - defensive
+            raise RuntimeError("carry-over loop did not converge")
+        self.time += dt
+        return self.positions
+
+
+class BatchRandomWaypoint(BatchMobilityModel):
+    """Straight-line RWP for ``B`` replicas in lock-step.
+
+    Same layout and RNG discipline as
+    :class:`~repro.mobility.mrwp.BatchManhattanRandomWaypoint`: flat
+    ``(B * n, 2)`` state, vectorized carry-over arithmetic, and arrival
+    redraws grouped by replica in the scalar model's draw order.
+
+    Args:
+        n, side, speed, rngs: see :class:`~repro.mobility.base.BatchMobilityModel`.
+        pause_time: per-way-point rest time (scalar semantics, per replica).
+        init: ``"stationary"`` or ``"uniform"``, applied per replica.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        side: float,
+        speed: float,
+        rngs,
+        pause_time: float = 0.0,
+        init: str = "stationary",
+    ):
+        super().__init__(n, side, speed, rngs)
+        if pause_time < 0:
+            raise ValueError(f"pause_time must be non-negative, got {pause_time}")
+        self.pause_time = float(pause_time)
+        total = self.batch_size * self.n
+        self._pos = np.empty((total, 2), dtype=np.float64)
+        self._dest = np.empty((total, 2), dtype=np.float64)
+        for b, rng in enumerate(self.rngs):
+            lo, hi = b * self.n, (b + 1) * self.n
+            if init == "stationary":
+                starts, dests = _sample_length_biased_segments(self.n, self.side, rng)
+                frac = rng.uniform(size=self.n)
+                self._pos[lo:hi] = starts + frac[:, None] * (dests - starts)
+                self._dest[lo:hi] = dests
+            elif init == "uniform":
+                self._pos[lo:hi] = rng.uniform(0.0, self.side, size=(self.n, 2))
+                self._dest[lo:hi] = rng.uniform(0.0, self.side, size=(self.n, 2))
+            else:
+                raise ValueError(f"init must be 'stationary' or 'uniform', got {init!r}")
+        self._pause_left = np.zeros(total, dtype=np.float64)
+        self.arrival_counts = np.zeros(total, dtype=np.int64)
+        self._eps = 1e-9 * max(self.side, 1.0)
+
+    @property
+    def positions(self) -> np.ndarray:
+        return self._pos.reshape(self.batch_size, self.n, 2).copy()
+
+    def _redraw_destinations(self, done: np.ndarray) -> None:
+        replicas = done // self.n
+        starts = np.searchsorted(replicas, np.arange(self.batch_size + 1))
+        for b in np.unique(replicas):
+            sub = done[starts[b]:starts[b + 1]]
+            self._dest[sub] = self.rngs[b].uniform(0.0, self.side, size=(sub.size, 2))
+
+    def step(self, dt: float = 1.0, active=None) -> np.ndarray:
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        active = self._active_mask(active)
+        time_budget = np.where(np.repeat(active, self.n), float(dt), 0.0)
+        eps = self._eps
+        for _ in range(_MAX_LEGS_PER_STEP):
+            pausing = (self._pause_left > 0) & (time_budget > 0)
+            if np.any(pausing):
+                spend = np.minimum(self._pause_left[pausing], time_budget[pausing])
+                self._pause_left[pausing] -= spend
+                time_budget[pausing] -= spend
+            if self.speed <= 0:
+                break
+            moving = (self._pause_left <= 0) & (time_budget * self.speed > eps)
+            idx = np.nonzero(moving)[0]
+            if idx.size == 0:
+                break
+            delta = self._dest[idx] - self._pos[idx]
+            dist = np.sqrt(np.sum(delta * delta, axis=1))
+            can_move = time_budget[idx] * self.speed
+            move = np.minimum(can_move, dist)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                frac = np.where(dist > eps, move / np.where(dist > eps, dist, 1.0), 1.0)
+            self._pos[idx] += delta * frac[:, None]
+            time_budget[idx] -= move / self.speed
+            reached = move >= dist - eps
+            if not np.any(reached):
+                break
+            done = idx[reached]
+            self._pos[done] = self._dest[done]
+            self._redraw_destinations(done)
             self._pause_left[done] = self.pause_time
             self.arrival_counts[done] += 1
         else:  # pragma: no cover - defensive

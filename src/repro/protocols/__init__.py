@@ -3,7 +3,7 @@
 from repro.protocols.base import BroadcastProtocol
 from repro.protocols.epidemic import SIREpidemic
 from repro.protocols.faulty import CrashFaultFlooding
-from repro.protocols.flooding import FloodingProtocol
+from repro.protocols.flooding import BatchFloodingState, FloodingProtocol
 from repro.protocols.gossip import GossipProtocol
 from repro.protocols.parsimonious import ParsimoniousFlooding
 from repro.protocols.probabilistic import ProbabilisticFlooding
@@ -23,6 +23,7 @@ PROTOCOL_REGISTRY = {
 __all__ = [
     "BroadcastProtocol",
     "FloodingProtocol",
+    "BatchFloodingState",
     "GossipProtocol",
     "PushPullGossip",
     "ParsimoniousFlooding",

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.geometry.neighbors import BatchNeighborQuery
 from repro.protocols.base import BroadcastProtocol
 
-__all__ = ["FloodingProtocol"]
+__all__ = ["FloodingProtocol", "BatchFloodingState"]
 
 
 class FloodingProtocol(BroadcastProtocol):
@@ -52,3 +53,95 @@ class FloodingProtocol(BroadcastProtocol):
         if not newly_all:
             return np.empty(0, dtype=np.intp)
         return np.concatenate(newly_all)
+
+
+class BatchFloodingState:
+    """Informed state of ``B`` independent flooding runs, updated in lock-step.
+
+    The batch counterpart of :class:`FloodingProtocol`: one
+    :class:`~repro.geometry.neighbors.BatchNeighborQuery` call per round
+    answers every replica's infection test at once, and informed masks live
+    in a ``(B, n)`` tensor.  Flooding consumes no randomness, so batch
+    updates are trivially seed-equivalent to ``B`` scalar protocols; the
+    update order within a round matches the scalar ``_exchange`` loop
+    exactly (including ``multi_hop`` saturation).
+
+    Args:
+        n: number of agents per replica.
+        side: region side (for the neighbor query tiling).
+        radius: transmission radius ``R``.
+        sources: ``(B,)`` initial informed agent per replica.
+        backend: neighbor-engine backend name.
+        multi_hop: scalar :class:`FloodingProtocol` semantics, per replica.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        side: float,
+        radius: float,
+        sources,
+        backend: str = "auto",
+        multi_hop: bool = False,
+    ):
+        sources = np.asarray(sources, dtype=np.intp)
+        if sources.ndim != 1 or sources.size < 1:
+            raise ValueError(f"sources must be a non-empty 1-d array, got shape {sources.shape}")
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if radius <= 0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        if np.any((sources < 0) | (sources >= n)):
+            raise ValueError(f"sources must be in [0, {n})")
+        self.n = int(n)
+        self.side = float(side)
+        self.radius = float(radius)
+        self.sources = sources
+        self.batch_size = int(sources.size)
+        self.multi_hop = bool(multi_hop)
+        self.query = BatchNeighborQuery(self.side, self.batch_size, backend)
+        self.informed = np.zeros((self.batch_size, self.n), dtype=bool)
+        self.informed[np.arange(self.batch_size), sources] = True
+        self.informed_at = np.full((self.batch_size, self.n), np.inf)
+        self.informed_at[np.arange(self.batch_size), sources] = 0.0
+        self.step_count = 0
+
+    @property
+    def informed_counts(self) -> np.ndarray:
+        """``(B,)`` number of informed agents per replica."""
+        return np.count_nonzero(self.informed, axis=1)
+
+    def complete_mask(self) -> np.ndarray:
+        """``(B,)`` bool — replicas with every agent informed."""
+        return self.informed_counts == self.n
+
+    def step(self, positions: np.ndarray, active=None) -> np.ndarray:
+        """One communication round over the ``(B, n, 2)`` snapshot.
+
+        Args:
+            active: optional ``(B,)`` bool mask of replicas still running;
+                frozen replicas are excluded from both sides of the query.
+
+        Returns:
+            ``(B, n)`` bool mask of newly informed agents.
+        """
+        self.step_count += 1
+        if active is None:
+            active = np.ones(self.batch_size, dtype=bool)
+        else:
+            active = np.asarray(active, dtype=bool)
+        newly_total = np.zeros((self.batch_size, self.n), dtype=bool)
+        while True:
+            source_mask = self.informed & active[:, None]
+            query_mask = ~self.informed & active[:, None]
+            if not query_mask.any():
+                break
+            hits = self.query.any_within(positions, source_mask, query_mask, self.radius)
+            if not hits.any():
+                break
+            self.informed |= hits
+            self.informed_at[hits] = self.step_count
+            newly_total |= hits
+            if not self.multi_hop:
+                break
+        return newly_total

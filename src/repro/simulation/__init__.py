@@ -1,5 +1,12 @@
-"""Simulation engine: configs, seeded runs, multi-trial aggregation."""
+"""Simulation engine: configs, seeded runs, multi-trial aggregation.
 
+Two execution engines share one seed schedule: the scalar
+:class:`Simulation` (the reference, one trial at a time) and the vectorized
+:class:`BatchSimulation` (``engine="batch"`` — B trials in lock-step,
+identical results, much faster for multi-trial workloads).
+"""
+
+from repro.simulation.batch import BatchSimulation, build_batch_model, run_flooding_batch
 from repro.simulation.config import FloodingConfig, standard_config
 from repro.simulation.engine import Simulation
 from repro.simulation.metrics import InformedRecorder, ZoneRecorder
@@ -18,6 +25,9 @@ __all__ = [
     "FloodingConfig",
     "standard_config",
     "Simulation",
+    "BatchSimulation",
+    "build_batch_model",
+    "run_flooding_batch",
     "InformedRecorder",
     "ZoneRecorder",
     "FloodingResult",

@@ -1,0 +1,286 @@
+"""Batched trial execution: B independent flooding runs in lock-step.
+
+The scalar :class:`~repro.simulation.engine.Simulation` advances one trial
+at a time and pays the per-step Python overhead (mobility carry-over loop,
+neighbor-index build, zone classification) once *per trial*.  The batch
+engine advances ``B`` independent trials together over a ``(B, n, 2)``
+position tensor, so every per-step cost is paid once per *batch*:
+
+* mobility: :class:`~repro.mobility.base.BatchMobilityModel` implementations
+  vectorize the kinematics across all replicas (flat ``(B * n, 2)`` state);
+* communication: :class:`~repro.protocols.flooding.BatchFloodingState`
+  answers every replica's infection test with a single neighbor-engine call
+  via the tile-offset trick of
+  :class:`~repro.geometry.neighbors.BatchNeighborQuery`;
+* zone tracking: Central-Zone/Suburb classification runs over the flattened
+  tensor in one call.
+
+Reproducibility is the design constraint: each replica consumes randomness
+only from its own spawned streams, in the scalar call order, so
+:func:`run_flooding_batch` returns **exactly** the results of
+:func:`~repro.simulation.runner.run_flooding` over the same seed sequences
+(trial-for-trial, asserted by the parity tests).  The scalar engine remains
+the reference implementation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.flooding import build_zone_partition, select_source
+from repro.mobility import (
+    BatchManhattanRandomWaypoint,
+    BatchMobilityModel,
+    BatchRandomWalk,
+    BatchRandomWaypoint,
+    ReplicatedBatchMobility,
+)
+from repro.protocols.flooding import BatchFloodingState
+from repro.simulation.config import FloodingConfig
+from repro.simulation.results import FloodingResult
+
+__all__ = ["BatchSimulation", "build_batch_model", "run_flooding_batch"]
+
+
+def build_batch_model(config: FloodingConfig, rngs) -> BatchMobilityModel:
+    """Instantiate the batch mobility model named by the configuration.
+
+    Models with a native vectorized implementation (``mrwp``, ``rwp``,
+    ``random-walk``) get it; every other registered model falls back to
+    :class:`~repro.mobility.base.ReplicatedBatchMobility`, which is correct
+    (bit-identical to the scalar models) but not faster.
+
+    Args:
+        config: the experiment parameters.
+        rngs: one mobility generator per trial (defines the batch size).
+    """
+    name = config.mobility
+    options = dict(config.mobility_options)
+    if name == "mrwp":
+        return BatchManhattanRandomWaypoint(
+            config.n, config.side, config.speed, rngs, init=config.init, **options
+        )
+    if name == "rwp":
+        init = config.init if config.init in ("stationary", "uniform") else "stationary"
+        return BatchRandomWaypoint(
+            config.n, config.side, config.speed, rngs, init=init, **options
+        )
+    if name == "random-walk":
+        return BatchRandomWalk(
+            config.n, config.side, move_radius=config.speed, rngs=rngs, **options
+        )
+    from repro.simulation.runner import build_model
+
+    return ReplicatedBatchMobility([build_model(config, rng) for rng in rngs])
+
+
+class BatchSimulation:
+    """Drive ``B`` flooding replicas over a batch mobility process.
+
+    The batch counterpart of :class:`~repro.simulation.engine.Simulation`:
+    one :meth:`run` call advances every still-running replica per step and
+    freezes each replica at its own completion step, so per-replica
+    trajectories (step counts, coverage curves, zone completion times) match
+    ``B`` independent scalar runs.
+
+    Args:
+        model: batch mobility model (owns the ``(B, n, 2)`` positions).
+        flooding: batched informed state, sized for the same batch/agents.
+        zones: optional :class:`~repro.core.zones.ZonePartition` — enables
+            Central-Zone/Suburb completion tracking.
+
+    Attributes:
+        n_steps: ``(B,)`` steps actually simulated per replica.
+        informed_counts_history: ``(T + 1, B)`` informed counts per step
+            (row 0 is the initial state); replica ``b``'s scalar-equivalent
+            coverage curve is the first ``n_steps[b] + 1`` rows of column
+            ``b``.
+        cz_completion_time / suburb_completion_time: ``(B,)`` first step at
+            which every agent currently in the zone is informed (``inf`` if
+            never; meaningful only when ``zones`` is set).
+        source_in_central_zone: ``(B,)`` bool — zone of each replica's
+            source at time 0 (only when ``zones`` is set).
+    """
+
+    def __init__(self, model: BatchMobilityModel, flooding: BatchFloodingState, zones=None):
+        if flooding.n != model.n:
+            raise ValueError(
+                f"flooding state is sized for {flooding.n} agents but the model has {model.n}"
+            )
+        if flooding.batch_size != model.batch_size:
+            raise ValueError(
+                f"flooding state has {flooding.batch_size} replicas "
+                f"but the model has {model.batch_size}"
+            )
+        self.model = model
+        self.flooding = flooding
+        self.zones = zones
+        batch = model.batch_size
+        self.n_steps = np.zeros(batch, dtype=np.intp)
+        self.informed_counts_history = None
+        self.cz_completion_time = np.full(batch, np.inf)
+        self.suburb_completion_time = np.full(batch, np.inf)
+        self.source_in_central_zone = None
+
+    def _zone_fractions(self, positions: np.ndarray, rows: np.ndarray) -> tuple:
+        """Informed fraction inside / outside the Central Zone, for the
+        given replica rows only (completion times are monotone, so frozen
+        replicas need no further classification)."""
+        subset = positions[rows]
+        k, n, _ = subset.shape
+        in_cz = self.zones.in_central_zone(subset.reshape(-1, 2)).reshape(k, n)
+        informed = self.flooding.informed[rows]
+        cz_total = np.count_nonzero(in_cz, axis=1)
+        suburb_total = n - cz_total
+        cz_informed = np.count_nonzero(informed & in_cz, axis=1)
+        suburb_informed = np.count_nonzero(informed & ~in_cz, axis=1)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            cz_frac = np.where(cz_total > 0, cz_informed / np.maximum(cz_total, 1), 1.0)
+            suburb_frac = np.where(
+                suburb_total > 0, suburb_informed / np.maximum(suburb_total, 1), 1.0
+            )
+        return in_cz, cz_frac, suburb_frac
+
+    def _record_zone_times(self, step: float, rows, cz_frac, suburb_frac) -> None:
+        hit_cz = ~np.isfinite(self.cz_completion_time[rows]) & (cz_frac >= 1.0)
+        self.cz_completion_time[rows[hit_cz]] = step
+        hit_suburb = ~np.isfinite(self.suburb_completion_time[rows]) & (suburb_frac >= 1.0)
+        self.suburb_completion_time[rows[hit_suburb]] = step
+
+    def run(self, max_steps: int, dt: float = 1.0) -> np.ndarray:
+        """Simulate up to ``max_steps`` lock-steps.
+
+        Each replica stops (freezes state and generators) at its own
+        completion step; the loop ends when every replica is done or the
+        horizon is reached.
+
+        Returns:
+            ``(B,)`` number of steps actually simulated per replica.
+        """
+        if max_steps < 0:
+            raise ValueError(f"max_steps must be non-negative, got {max_steps}")
+        batch = self.model.batch_size
+        positions = self.model.positions
+        if self.zones is not None:
+            all_rows = np.arange(batch)
+            in_cz, cz_frac, suburb_frac = self._zone_fractions(positions, all_rows)
+            self._record_zone_times(0.0, all_rows, cz_frac, suburb_frac)
+            self.source_in_central_zone = in_cz[all_rows, self.flooding.sources]
+        counts = self.flooding.informed_counts
+        counts_history = [counts]
+        active = counts < self.model.n
+        step = 0
+        while step < max_steps and active.any():
+            step += 1
+            positions = self.model.step(dt, active=active)
+            self.flooding.step(positions, active=active)
+            counts = self.flooding.informed_counts
+            counts_history.append(counts)
+            self.n_steps[active] = step
+            if self.zones is not None:
+                # Zone completion times are first-hit records, so replicas
+                # with both already set need no further classification.
+                rows = np.nonzero(
+                    active
+                    & ~(
+                        np.isfinite(self.cz_completion_time)
+                        & np.isfinite(self.suburb_completion_time)
+                    )
+                )[0]
+                if rows.size:
+                    _in_cz, cz_frac, suburb_frac = self._zone_fractions(positions, rows)
+                    self._record_zone_times(float(step), rows, cz_frac, suburb_frac)
+            active &= counts < self.model.n
+        self.informed_counts_history = np.asarray(counts_history, dtype=np.intp)
+        return self.n_steps.copy()
+
+
+def run_flooding_batch(config: FloodingConfig, seed_seqs) -> list:
+    """Execute one batch of flooding trials; one result per seed sequence.
+
+    The batched equivalent of calling
+    :func:`~repro.simulation.runner.run_flooding` once per element of
+    ``seed_seqs`` — same per-trial seed derivation (``spawn(3)`` into
+    mobility / protocol / source streams), same results, returned in order.
+
+    Args:
+        config: the experiment parameters; ``config.protocol`` must be
+            ``"flooding"`` (the only batched protocol — use the scalar
+            engine for the baseline protocols).
+        seed_seqs: per-trial ``numpy.random.SeedSequence`` objects; their
+            count defines the batch size.
+    """
+    seed_seqs = list(seed_seqs)
+    if not seed_seqs:
+        raise ValueError("seed_seqs must contain at least one seed sequence")
+    if config.protocol != "flooding":
+        raise ValueError(
+            f"the batch engine supports only the 'flooding' protocol, got "
+            f"{config.protocol!r}; use engine='scalar' for baseline protocols"
+        )
+    options = dict(config.protocol_options)
+    multi_hop = bool(options.pop("multi_hop", config.multi_hop))
+    if options:
+        raise ValueError(f"unsupported batched protocol options: {sorted(options)}")
+
+    batch = len(seed_seqs)
+    mobility_rngs = []
+    source_rngs = []
+    for seed_seq in seed_seqs:
+        mobility_ss, _protocol_ss, source_ss = seed_seq.spawn(3)
+        mobility_rngs.append(np.random.default_rng(mobility_ss))
+        source_rngs.append(np.random.default_rng(source_ss))
+
+    model = build_batch_model(config, mobility_rngs)
+    positions0 = model.positions
+    sources = np.array(
+        [
+            select_source(positions0[b], config.side, config.source, source_rngs[b])
+            for b in range(batch)
+        ],
+        dtype=np.intp,
+    )
+    flooding = BatchFloodingState(
+        config.n,
+        config.side,
+        config.radius,
+        sources,
+        backend=config.backend,
+        multi_hop=multi_hop,
+    )
+    zones = None
+    if config.track_zones:
+        zones = build_zone_partition(
+            config.n, config.side, config.radius, config.threshold_factor
+        )
+    simulation = BatchSimulation(model, flooding, zones=zones)
+    n_steps = simulation.run(config.max_steps)
+
+    results = []
+    complete = flooding.complete_mask()
+    counts = simulation.informed_counts_history
+    for b in range(batch):
+        history = counts[: n_steps[b] + 1, b].copy()
+        completed = bool(complete[b])
+        if completed:
+            flooding_time = float(np.nonzero(history >= config.n)[0][0])
+        else:
+            flooding_time = math.inf
+        result = FloodingResult(
+            flooding_time=flooding_time,
+            completed=completed,
+            stalled=False,  # flooding can always progress until complete
+            n_steps=int(n_steps[b]),
+            informed_history=history,
+            source=int(sources[b]),
+            final_coverage=float(history[-1]) / config.n,
+            extras={"n_agents": config.n, "config": config},
+        )
+        if zones is not None:
+            result.cz_completion_time = float(simulation.cz_completion_time[b])
+            result.suburb_completion_time = float(simulation.suburb_completion_time[b])
+            result.source_in_central_zone = bool(simulation.source_in_central_zone[b])
+        results.append(result)
+    return results

@@ -52,6 +52,15 @@ class FloodingConfig:
         track_zones: record per-zone completion metrics (requires a cell
             grid satisfying Ineq. 6 — disabled automatically when the radius
             admits no grid).
+        engine: multi-trial execution engine — ``"scalar"`` (the reference
+            :class:`~repro.simulation.engine.Simulation`, one trial at a
+            time) or ``"batch"`` (lock-step
+            :class:`~repro.simulation.batch.BatchSimulation`; flooding
+            protocol only, identical results, markedly faster for many
+            trials).
+        batch_size: trials advanced per batch when ``engine="batch"``
+            (0 — the default — runs all of a call's or worker's trials in
+            one batch).  Has no effect on results, only on peak memory.
     """
 
     n: int
@@ -70,6 +79,8 @@ class FloodingConfig:
     threshold_factor: float = 3.0 / 8.0
     multi_hop: bool = False
     track_zones: bool = True
+    engine: str = "scalar"
+    batch_size: int = 0
 
     def __post_init__(self):
         if self.n < 2:
@@ -88,6 +99,10 @@ class FloodingConfig:
             )
         if isinstance(self.source, int) and not 0 <= self.source < self.n:
             raise ValueError(f"source index must be in [0, {self.n}), got {self.source}")
+        if self.engine not in ("scalar", "batch"):
+            raise ValueError(f"engine must be 'scalar' or 'batch', got {self.engine!r}")
+        if self.batch_size < 0:
+            raise ValueError(f"batch_size must be non-negative, got {self.batch_size}")
 
     def with_options(self, **changes) -> "FloodingConfig":
         """A copy with the given fields replaced."""

@@ -5,10 +5,19 @@ independent trials; this module fans them out over processes.  Trials stay
 bit-reproducible: the seed schedule is identical to
 :func:`repro.simulation.runner.run_trials`, so serial and parallel
 execution produce the same results (asserted in the tests).
+
+Sharding follows the configured engine.  With ``engine="scalar"`` each
+process runs one trial per job (the original layout).  With
+``engine="batch"`` each process runs one **batch** per job — a contiguous
+slice of the trial sequence advanced in lock-step by
+:func:`repro.simulation.batch.run_flooding_batch` — so the vectorization
+win multiplies with the process fan-out instead of being sliced away.
 """
 
 from __future__ import annotations
 
+import math
+import os
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -20,14 +29,22 @@ from repro.simulation.runner import run_flooding
 __all__ = ["run_trials_parallel", "sweep_parallel"]
 
 
-def _run_one(args):
-    config, entropy = args
+def _rebuild_seed_seq(state) -> np.random.SeedSequence:
     # SeedSequence doesn't pickle portably across numpy versions; rebuild
     # the child from its entropy/spawn-key state.
-    seed_seq = np.random.SeedSequence(
-        entropy=entropy["entropy"], spawn_key=entropy["spawn_key"]
-    )
-    return run_flooding(config, seed_seq=seed_seq)
+    return np.random.SeedSequence(entropy=state["entropy"], spawn_key=state["spawn_key"])
+
+
+def _run_one(args):
+    config, state = args
+    return run_flooding(config, seed_seq=_rebuild_seed_seq(state))
+
+
+def _run_batch(args):
+    from repro.simulation.batch import run_flooding_batch
+
+    config, states = args
+    return run_flooding_batch(config, [_rebuild_seed_seq(s) for s in states])
 
 
 def _child_states(config: FloodingConfig, n_trials: int) -> list:
@@ -38,24 +55,44 @@ def _child_states(config: FloodingConfig, n_trials: int) -> list:
     ]
 
 
+def _batch_jobs(config: FloodingConfig, states: list, max_workers) -> list:
+    """Slice per-trial seed states into contiguous batch-per-worker jobs."""
+    workers = max_workers if max_workers else (os.cpu_count() or 1)
+    size = config.batch_size if config.batch_size > 0 else math.ceil(len(states) / workers)
+    size = max(1, size)
+    return [
+        (config, states[start:start + size]) for start in range(0, len(states), size)
+    ]
+
+
+def _dispatch(runner, jobs: list, max_workers) -> list:
+    """Run jobs serially (single job / single worker) or over a process pool."""
+    if len(jobs) <= 1 or max_workers == 1:
+        return [runner(job) for job in jobs]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(runner, jobs))
+
+
 def run_trials_parallel(
     config: FloodingConfig, n_trials: int, max_workers: int = None
 ) -> list:
     """Parallel version of :func:`repro.simulation.runner.run_trials`.
 
     Results are returned in trial order and match the serial runner exactly
-    (same seed schedule).
+    (same seed schedule), for both engines.
 
     Args:
         max_workers: process count (default: executor's choice).
     """
     if n_trials < 1:
         raise ValueError(f"n_trials must be positive, got {n_trials}")
-    jobs = [(config, state) for state in _child_states(config, n_trials)]
-    if n_trials == 1 or max_workers == 1:
-        return [_run_one(job) for job in jobs]
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(_run_one, jobs))
+    states = _child_states(config, n_trials)
+    if config.engine == "batch":
+        jobs = _batch_jobs(config, states, max_workers)
+        batches = _dispatch(_run_batch, jobs, max_workers)
+        return [result for batch in batches for result in batch]
+    jobs = [(config, state) for state in states]
+    return _dispatch(_run_one, jobs, max_workers)
 
 
 def sweep_parallel(
@@ -67,7 +104,8 @@ def sweep_parallel(
 ) -> list:
     """Parallel version of :func:`repro.simulation.runner.sweep`.
 
-    All (value, trial) jobs share one process pool.
+    All (value, trial) jobs share one process pool; with ``engine="batch"``
+    each parameter value's trials are sharded batch-per-worker instead.
 
     Returns:
         list of ``(value, TrialSummary, results)`` tuples, in input order.
@@ -78,16 +116,19 @@ def sweep_parallel(
     for value in values:
         variant = config.with_options(**{parameter: value})
         states = _child_states(variant, n_trials)
+        if config.engine == "batch":
+            variant_jobs = _batch_jobs(variant, states, max_workers)
+        else:
+            variant_jobs = [(variant, state) for state in states]
         start = len(jobs)
-        jobs.extend((variant, state) for state in states)
-        bounds.append((value, start, start + n_trials))
-    if max_workers == 1:
-        results = [_run_one(job) for job in jobs]
+        jobs.extend(variant_jobs)
+        bounds.append((value, start, start + len(variant_jobs)))
+    if config.engine == "batch":
+        groups = _dispatch(_run_batch, jobs, max_workers)
     else:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            results = list(pool.map(_run_one, jobs))
+        groups = [[result] for result in _dispatch(_run_one, jobs, max_workers)]
     out = []
     for value, start, end in bounds:
-        chunk = results[start:end]
+        chunk = [result for group in groups[start:end] for result in group]
         out.append((value, summarize(r.flooding_time for r in chunk), chunk))
     return out
