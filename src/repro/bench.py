@@ -1,0 +1,448 @@
+"""Perf-trajectory harness behind ``repro bench``.
+
+Every performance PR needs a trajectory to regress against, so this module
+measures the simulation's hot kernels and end-to-end trial throughput and
+emits a **machine-readable JSON report** (``BENCH_PR2.json`` by default)
+with a stable schema:
+
+``schema_version``
+    integer, bumped only on breaking layout changes; consumers comparing
+    trajectories across PRs must check it.
+``workloads``
+    the exact parameters measured (so future runs can reproduce them).
+``kernels``
+    micro-benchmarks ``[{name, params, seconds, per_call, repeats}]`` —
+    per-kernel best-of-``repeats`` wall time.
+``end_to_end``
+    ``run_trials`` wall times per execution strategy, plus ``speedups``
+    ratios (``new`` = incremental + pruned defaults, ``legacy`` = the
+    PR 1 strategies via ``neighbor_options={'incremental': False,
+    'prune': False}``, ``scalar`` = the reference engine).
+``parity``
+    cross-strategy result equality.  **Timing never fails a run; parity
+    errors do** (exit code 1) — CI treats the benchmark as a smoke test,
+    not a timing gate.
+
+Timings interleave the contestants round-robin (warm-up first, best-of-N)
+so slow machine-wide drift hits every strategy equally — on shared CI
+runners back-to-back timing loops can drift by 10-20%, which would
+otherwise swamp the effects being measured.
+
+Used by the ``repro bench`` CLI subcommand and shared with the
+pytest-benchmark suites under ``benchmarks/`` (which import the workload
+builders so micro- and macro-benchmarks stay in sync).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+
+import numpy as np
+
+from repro.geometry.incremental import IncrementalBatchOccupancy, IncrementalGridIndex
+from repro.geometry.grid import GridIndex
+from repro.geometry.neighbors import BatchNeighborQuery, available_backends
+from repro.simulation.config import FloodingConfig, standard_config
+from repro.simulation.runner import run_trials
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "drifting_points",
+    "batch_infection_workload",
+    "run_benchmarks",
+    "write_report",
+    "render_table",
+]
+
+SCHEMA_VERSION = 1
+
+#: The acceptance workload: canonical ``L = sqrt n`` scaling at n=2000,
+#: 32 trials, seed 42 (the same configuration as
+#: ``benchmarks/test_bench_trials.py`` under ``REPRO_FULL_BENCH=1``).
+CANONICAL = {"n": 2000, "trials": 32, "radius_factor": 1.0, "seed": 42}
+SMOKE = {"n": 400, "trials": 8, "radius_factor": 1.0, "seed": 42}
+
+#: neighbor_options replaying the PR 1 strategies on the current code:
+#: rebuild every spatial index per round, never prune sources.
+LEGACY_OPTIONS = {"incremental": False, "prune": False}
+
+
+# ----------------------------------------------------------------------
+# Workload builders (shared with benchmarks/)
+# ----------------------------------------------------------------------
+def drifting_points(n: int, side: float, step: float, steps: int, seed: int = 0) -> list:
+    """A sequence of ``(n, 2)`` snapshots with bounded per-step motion.
+
+    Mimics the indexing workload of the simulation loop: each snapshot
+    moves every point by a uniform displacement of at most ``step`` per
+    axis (reflected at the walls), so bucket churn is controlled by
+    ``step / cell_size`` exactly like ``v * dt / cell_size`` in a run.
+    """
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0.0, side, size=(n, 2))
+    out = [points.copy()]
+    for _ in range(steps):
+        points = points + rng.uniform(-step, step, size=(n, 2))
+        points = np.abs(points)
+        points = np.where(points > side, 2.0 * side - points, points)
+        out.append(points.copy())
+    return out
+
+
+def batch_infection_workload(batch: int, n: int, side: float, seed: int = 1) -> tuple:
+    """Positions + informed masks resembling a mid-flood round (a dense
+    informed disk whose complement is the query set)."""
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(0, side, size=(batch, n, 2))
+    center = np.array([side / 2, side / 2])
+    dist = np.linalg.norm(positions - center, axis=2)
+    informed = dist < side * 0.3  # ~28% informed, frontier at the rim
+    return positions, informed, ~informed
+
+
+def _interleaved_best(contestants: dict, repeats: int) -> dict:
+    """Best-of-``repeats`` seconds per contestant, interleaved round-robin."""
+    best = {name: math.inf for name in contestants}
+    for name, fn in contestants.items():  # warm-up, untimed
+        fn()
+    for _ in range(repeats):
+        for name, fn in contestants.items():
+            t0 = time.perf_counter()
+            fn()
+            best[name] = min(best[name], time.perf_counter() - t0)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Kernel benchmarks
+# ----------------------------------------------------------------------
+def _bench_grid_index(repeats: int, smoke: bool) -> list:
+    """Full counting-sort build vs incremental splice at two churn levels."""
+    n = 2_000 if smoke else 20_000
+    side = math.sqrt(n)
+    cell = 2.0
+    results = []
+    for churn, step in (("low", 0.1), ("canonical", 0.7)):
+        snapshots = drifting_points(n, side, step, steps=10, seed=3)
+
+        def rebuild():
+            index = GridIndex(side, cell)
+            for snap in snapshots:
+                index.build(snap)
+
+        def update():
+            index = IncrementalGridIndex(side, cell, rebuild_fraction=1.0)
+            for snap in snapshots:
+                index.update(snap)
+
+        def auto():
+            index = IncrementalGridIndex(side, cell)
+            for snap in snapshots:
+                index.update(snap)
+
+        best = _interleaved_best(
+            {"rebuild": rebuild, "update": update, "auto": auto}, repeats
+        )
+        index = IncrementalGridIndex(side, cell)
+        for snap in snapshots:
+            index.update(snap)
+        # Per-round bucket churn of the splice path: exclude the initial
+        # from-scratch build, which counts all n points as moved.
+        moved_fraction = (index.n_moved - n) / ((index.n_updates - 1) * n)
+        for name, seconds in best.items():
+            results.append(
+                {
+                    "name": f"grid_index_{name}",
+                    "params": {
+                        "n": n,
+                        "cell": cell,
+                        "churn": churn,
+                        "moved_fraction": round(moved_fraction, 4),
+                    },
+                    "seconds": seconds,
+                    "per_call": seconds / len(snapshots),
+                    "repeats": repeats,
+                }
+            )
+    return results
+
+
+def _bench_batch_occupancy(repeats: int, smoke: bool) -> list:
+    """Counted occupancy refresh: full bincount vs +/-1 delta repair."""
+    batch, n = (4, 500) if smoke else (16, 2_000)
+    side = math.sqrt(n)
+    cell = 1.25
+    snapshots = [
+        np.broadcast_to(s, (batch, n, 2)).copy()
+        for s in drifting_points(n, side, 0.1, steps=10, seed=5)
+    ]
+
+    def rebuild():
+        # What a non-incremental implementation pays per snapshot: fresh
+        # cell assignment + full occupancy bincount.
+        probe = IncrementalBatchOccupancy(side, batch, cell)
+        mm = probe.m * probe.m
+        offsets = np.arange(batch, dtype=np.int64)[:, None] * mm
+        for snap in snapshots:
+            gid = probe._cells_of(snap) + offsets
+            np.bincount(gid.reshape(-1), minlength=batch * mm)
+
+    def update():
+        occ = IncrementalBatchOccupancy(side, batch, cell, track_counts=True, rebuild_fraction=1.0)
+        for snap in snapshots:
+            occ.update(snap)
+
+    best = _interleaved_best({"rebuild": rebuild, "update": update}, repeats)
+    return [
+        {
+            "name": f"batch_occupancy_{name}",
+            "params": {"batch": batch, "n": n, "cell": cell},
+            "seconds": seconds,
+            "per_call": seconds / len(snapshots),
+            "repeats": repeats,
+        }
+        for name, seconds in best.items()
+    ]
+
+
+def _bench_batch_any_within(repeats: int, smoke: bool) -> tuple:
+    """The batched infection kernel, new defaults vs PR 1 strategies."""
+    batch, n = (4, 500) if smoke else (16, 2_000)
+    side, radius = math.sqrt(n) * 0.7071 * 2, 2.8
+    positions, informed, uninformed = batch_infection_workload(batch, n, side)
+    new_query = BatchNeighborQuery(side, batch)
+    legacy_query = BatchNeighborQuery(side, batch, incremental=False, prune=False)
+
+    def run(query):
+        return query.any_within(positions, informed, uninformed, radius)
+
+    best = _interleaved_best(
+        {"new": lambda: run(new_query), "legacy": lambda: run(legacy_query)}, repeats
+    )
+    parity_ok = bool(np.array_equal(run(new_query), run(legacy_query)))
+    kernels = [
+        {
+            "name": f"batch_any_within_{name}",
+            "params": {"batch": batch, "n": n, "radius": radius},
+            "seconds": seconds,
+            "per_call": seconds,
+            "repeats": repeats,
+        }
+        for name, seconds in best.items()
+    ]
+    return kernels, parity_ok
+
+
+# ----------------------------------------------------------------------
+# End-to-end benchmarks + parity
+# ----------------------------------------------------------------------
+def _config(workload: dict, engine: str, neighbor_options: dict = None) -> FloodingConfig:
+    return standard_config(
+        workload["n"],
+        radius_factor=workload["radius_factor"],
+        seed=workload["seed"],
+        engine=engine,
+        neighbor_options=dict(neighbor_options or {}),
+    )
+
+
+def _result_fingerprint(results) -> list:
+    """The observable outcome of a trial batch, for parity comparison."""
+    return [
+        (
+            r.flooding_time,
+            r.completed,
+            r.n_steps,
+            r.source,
+            tuple(np.asarray(r.informed_history).tolist()),
+            r.cz_completion_time,
+            r.suburb_completion_time,
+            r.source_in_central_zone,
+        )
+        for r in results
+    ]
+
+
+def _bench_end_to_end(workload: dict, repeats: int, include_scalar: bool) -> tuple:
+    trials = workload["trials"]
+    strategies = {
+        "batch": _config(workload, "batch"),
+        "batch_legacy": _config(workload, "batch", LEGACY_OPTIONS),
+    }
+    if include_scalar:
+        strategies["scalar"] = _config(workload, "scalar")
+
+    fingerprints = {
+        name: _result_fingerprint(run_trials(config, trials))
+        for name, config in strategies.items()
+    }
+    reference = fingerprints["batch"]
+    parity = {
+        name: fingerprints[name] == reference for name in strategies if name != "batch"
+    }
+
+    best = _interleaved_best(
+        {name: (lambda c=config: run_trials(c, trials)) for name, config in strategies.items()},
+        repeats,
+    )
+    rows = [
+        {"name": name, "workload": dict(workload), "seconds": seconds, "repeats": repeats}
+        for name, seconds in best.items()
+    ]
+    speedups = {"batch_vs_legacy": best["batch_legacy"] / best["batch"]}
+    if include_scalar:
+        speedups["batch_vs_scalar"] = best["scalar"] / best["batch"]
+    return rows, speedups, parity
+
+
+def _parity_sweep(smoke: bool) -> dict:
+    """Cross-strategy / cross-backend result equality at a small scale.
+
+    Cheap enough for CI; the exhaustive randomized sweep lives in
+    ``tests/test_flooding_parity.py``.
+    """
+    workload = {"n": 150, "trials": 6, "radius_factor": 1.0, "seed": 11}
+    reference = None
+    checks = {}
+    option_grid = [
+        {},
+        {"incremental": False},
+        {"prune": False},
+        LEGACY_OPTIONS,
+    ]
+    for engine in ("scalar", "batch"):
+        for options in option_grid:
+            key = f"{engine}:" + (
+                ",".join(f"{k}={v}" for k, v in sorted(options.items())) or "defaults"
+            )
+            fingerprint = _result_fingerprint(
+                run_trials(_config(workload, engine, options), workload["trials"])
+            )
+            if reference is None:
+                reference = fingerprint
+                checks[key] = True
+            else:
+                checks[key] = fingerprint == reference
+    for backend in available_backends():
+        config = _config(workload, "batch").with_options(backend=backend)
+        fingerprint = _result_fingerprint(run_trials(config, workload["trials"]))
+        checks[f"batch:backend={backend}"] = fingerprint == reference
+    return {"workload": workload, "checks": checks, "ok": all(checks.values())}
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def run_benchmarks(
+    smoke: bool = False,
+    repeats: int = None,
+    label: str = "PR2",
+    baselines: dict = None,
+) -> dict:
+    """Measure kernels + end-to-end throughput; returns the report dict.
+
+    Args:
+        smoke: small scales for CI (timings still recorded, but the run
+            exists to exercise the machinery and the parity checks).
+        repeats: best-of-N timing repeats (default 3, smoke 2).
+        label: free-form tag stored in the report (e.g. the PR number).
+        baselines: recorded external measurements ``{name: seconds}``
+            (e.g. the PR 1 engine timed from its own checkout on the same
+            host) — stored verbatim and turned into
+            ``speedups['batch_vs_<name>']`` ratios against this run's
+            ``batch`` time.  Only comparable when measured on the same
+            machine with the same workload; provenance belongs in the
+            label / commit message.
+    """
+    if repeats is None:
+        repeats = 2 if smoke else 3
+    workload = dict(SMOKE if smoke else CANONICAL)
+
+    kernels = []
+    kernels.extend(_bench_grid_index(repeats, smoke))
+    kernels.extend(_bench_batch_occupancy(repeats, smoke))
+    any_within_kernels, kernel_parity = _bench_batch_any_within(repeats, smoke)
+    kernels.extend(any_within_kernels)
+
+    end_to_end, speedups, e2e_parity = _bench_end_to_end(
+        workload, repeats, include_scalar=True
+    )
+    if baselines:
+        batch_seconds = next(r["seconds"] for r in end_to_end if r["name"] == "batch")
+        for name, seconds in baselines.items():
+            speedups[f"batch_vs_{name}"] = float(seconds) / batch_seconds
+    parity = _parity_sweep(smoke)
+    parity["checks"]["kernel:batch_any_within"] = kernel_parity
+    for name, ok in e2e_parity.items():
+        parity["checks"][f"end_to_end:{name}"] = ok
+    parity["ok"] = all(parity["checks"].values())
+
+    try:
+        import scipy
+
+        scipy_version = scipy.__version__
+    except ImportError:  # pragma: no cover - depends on environment
+        scipy_version = None
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "label": label,
+        "smoke": smoke,
+        "created_unix": int(time.time()),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "scipy": scipy_version,
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "workloads": {"end_to_end": workload},
+        "baselines": {name: float(seconds) for name, seconds in (baselines or {}).items()},
+        "kernels": kernels,
+        "end_to_end": end_to_end,
+        "speedups": speedups,
+        "parity": parity,
+    }
+
+
+def render_table(report: dict) -> str:
+    """Human-readable summary of a report."""
+    lines = []
+    lines.append(
+        f"repro bench [{report['label']}] schema v{report['schema_version']}"
+        + (" (smoke)" if report["smoke"] else "")
+    )
+    lines.append("")
+    lines.append(f"{'kernel':38s} {'per call':>12s}")
+    for kernel in report["kernels"]:
+        name = kernel["name"]
+        churn = kernel["params"].get("churn")
+        if churn is not None:
+            name = f"{name}[{churn}]"
+        lines.append(f"{name:38s} {kernel['per_call'] * 1e3:9.3f} ms")
+    lines.append("")
+    workload = report["workloads"]["end_to_end"]
+    lines.append(
+        f"end to end (n={workload['n']}, trials={workload['trials']}, "
+        f"radius_factor={workload['radius_factor']}, seed={workload['seed']}):"
+    )
+    for row in report["end_to_end"]:
+        lines.append(f"  {row['name']:16s} {row['seconds']:8.3f} s")
+    for name, ratio in report["speedups"].items():
+        lines.append(f"  {name:24s} {ratio:5.2f}x")
+    lines.append("")
+    bad = [name for name, ok in report["parity"]["checks"].items() if not ok]
+    if bad:
+        lines.append(f"PARITY FAILURES: {bad}")
+    else:
+        lines.append(f"parity: {len(report['parity']['checks'])} checks ok")
+    return "\n".join(lines)
+
+
+def write_report(path: str, report: dict) -> str:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path

@@ -10,7 +10,12 @@ Subcommands:
   [--radius-factor C] [--speed-fraction F] ...`` — ad-hoc flooding runs with
   the canonical ``L = sqrt n`` scaling; ``--engine batch`` advances all
   trials in lock-step through the vectorized batch engine (same results,
-  faster).
+  faster);
+* ``bench [--smoke] [--out PATH] [--repeats N] [--label TAG]`` —
+  the perf-trajectory harness (:mod:`repro.bench`): kernel and end-to-end
+  timings plus cross-strategy parity checks, written as machine-readable
+  JSON so future PRs can regress against it.  Exit status reflects
+  **parity only**, never timing.
 """
 
 from __future__ import annotations
@@ -78,6 +83,37 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="trials per batch with --engine batch (0 = all in one batch)",
+    )
+
+    bench_p = sub.add_parser(
+        "bench", help="run the perf-trajectory benchmark suite (repro.bench)"
+    )
+    bench_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small scales for CI smoke runs (machinery + parity, not timing)",
+    )
+    bench_p.add_argument(
+        "--out",
+        default="BENCH_RUN.json",
+        help="output JSON path (default BENCH_RUN.json; the committed "
+        "trajectory anchor BENCH_PR2.json is only written when asked "
+        "for explicitly)",
+    )
+    bench_p.add_argument(
+        "--repeats",
+        type=_positive_int,
+        default=None,
+        help="best-of-N timing repeats (default 3, smoke 2)",
+    )
+    bench_p.add_argument("--label", default="PR2", help="free-form tag stored in the report")
+    bench_p.add_argument(
+        "--baseline",
+        action="append",
+        default=[],
+        metavar="NAME=SECONDS",
+        help="recorded external baseline (e.g. pr1_batch=0.357, timed from "
+        "that PR's checkout on this host); repeatable",
     )
 
     report_p = sub.add_parser(
@@ -155,6 +191,25 @@ def _cmd_flood(args) -> int:
     return 0 if result.completed else 1
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import render_table, run_benchmarks, write_report
+
+    baselines = {}
+    for spec in args.baseline:
+        name, _, seconds = spec.partition("=")
+        try:
+            baselines[name] = float(seconds)
+        except ValueError:
+            raise SystemExit(f"--baseline expects NAME=SECONDS, got {spec!r}")
+    report = run_benchmarks(
+        smoke=args.smoke, repeats=args.repeats, label=args.label, baselines=baselines
+    )
+    write_report(args.out, report)
+    print(render_table(report))
+    print(f"[report written to {args.out}]")
+    return 0 if report["parity"]["ok"] else 1
+
+
 def _cmd_report(args) -> int:
     from repro.viz.report import write_report
 
@@ -173,6 +228,8 @@ def main(argv=None) -> int:
         return _cmd_all(args)
     if args.command == "flood":
         return _cmd_flood(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "report":
         return _cmd_report(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

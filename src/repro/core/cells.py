@@ -95,7 +95,9 @@ class CellGrid:
         Points on the far boundary are assigned to the last cell.
         """
         points = as_points(points)
-        ij = np.floor(points / self.ell).astype(np.intp)
+        # int truncation == floor for the non-negative coordinates of the
+        # square (the clip below also repairs any negative numerical dust).
+        ij = (points / self.ell).astype(np.intp)
         np.clip(ij, 0, self.m - 1, out=ij)
         return ij
 

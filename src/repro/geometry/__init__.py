@@ -1,7 +1,10 @@
 """Geometric substrate: points, Manhattan paths, spatial indexes, samplers."""
 
 from repro.geometry.grid import GridIndex
+from repro.geometry.incremental import IncrementalBatchOccupancy, IncrementalGridIndex
 from repro.geometry.neighbors import (
+    BatchNeighborQuery,
+    BoundSnapshot,
     BruteForceNeighborEngine,
     GridNeighborEngine,
     KDTreeNeighborEngine,
@@ -39,10 +42,14 @@ from repro.geometry.sampling import (
 
 __all__ = [
     "GridIndex",
+    "IncrementalGridIndex",
+    "IncrementalBatchOccupancy",
     "NeighborEngine",
+    "BoundSnapshot",
     "GridNeighborEngine",
     "KDTreeNeighborEngine",
     "BruteForceNeighborEngine",
+    "BatchNeighborQuery",
     "make_engine",
     "available_backends",
     "ManhattanPath",

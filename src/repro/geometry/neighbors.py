@@ -17,12 +17,26 @@ Two interchangeable backends implement them:
 Use :func:`make_engine` to construct one by name; ``"auto"`` picks the
 KD-tree when scipy is importable and falls back to the grid otherwise.
 
-The batch simulation engine (DESIGN.md, "Batched execution") answers the
-per-replica queries of **B independent trials with one engine call** through
-:class:`BatchNeighborQuery`: each replica's points are translated into a
-disjoint tile of a larger virtual square, tiles separated by more than the
-query radius, so a single spatial index over the union can never report a
-cross-replica hit.
+Two layers sit on top of the raw engines (DESIGN.md, "Incremental and
+frontier-pruned neighbor subsystem"):
+
+* **Bound snapshots** — within one communication round the positions are
+  frozen, so :meth:`NeighborEngine.bind` freezes them into a
+  :class:`BoundSnapshot` whose spatial index is built once and shared by
+  every query on the snapshot (the multi-hop exchange loop, paired
+  ``any_within``/``count_within`` calls).  The grid backend additionally
+  keeps a persistent :class:`~repro.geometry.incremental.IncrementalGridIndex`
+  across ``bind`` calls, splicing per-step displacements instead of
+  re-sorting every round.
+
+* **Batched queries** — the batch simulation engine answers the
+  per-replica queries of **B independent trials with one engine call**
+  through :class:`BatchNeighborQuery`: each replica's points are
+  translated into a disjoint tile of a larger virtual square, tiles
+  separated by more than the query radius, so a single spatial index over
+  the union can never report a cross-replica hit.  Its cell-cover strategy
+  prunes informed sources far from the uninformed frontier before any
+  binning (exact — see :meth:`BatchBoundQuery.any_within`).
 """
 
 from __future__ import annotations
@@ -32,17 +46,54 @@ import math
 import numpy as np
 
 from repro.geometry.grid import GridIndex
+from repro.geometry.incremental import IncrementalBatchOccupancy, IncrementalGridIndex
 from repro.geometry.points import as_points
 
 __all__ = [
     "NeighborEngine",
+    "BoundSnapshot",
     "GridNeighborEngine",
     "KDTreeNeighborEngine",
     "BruteForceNeighborEngine",
     "BatchNeighborQuery",
+    "BatchBoundQuery",
     "make_engine",
     "available_backends",
 ]
+
+
+class BoundSnapshot:
+    """Radius queries bound to one frozen ``(n, 2)`` position snapshot.
+
+    Obtained from :meth:`NeighborEngine.bind`.  All methods take *index
+    arrays into the bound snapshot* rather than coordinate arrays, so the
+    engine-specific spatial index can be built once and shared by every
+    query on the snapshot: the hops of a multi-hop exchange round, and
+    paired ``any_within``/``count_within`` calls.
+
+    This base implementation delegates to the engine's coordinate API per
+    call (correct for any engine, no sharing); the grid and KD-tree
+    engines override it with index-reusing variants.
+    """
+
+    def __init__(self, engine: "NeighborEngine", points: np.ndarray, radius: float):
+        if radius <= 0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        self.engine = engine
+        self.points = points
+        self.radius = float(radius)
+
+    def any_within(self, source_idx, query_idx) -> np.ndarray:
+        """Mask over ``query_idx``: has a point of ``source_idx`` within radius."""
+        return self.engine.any_within(
+            self.points[source_idx], self.points[query_idx], self.radius
+        )
+
+    def count_within(self, source_idx, query_idx) -> np.ndarray:
+        """Per-query count of ``source_idx`` points within the bound radius."""
+        return self.engine.count_within(
+            self.points[source_idx], self.points[query_idx], self.radius
+        )
 
 
 class NeighborEngine:
@@ -67,21 +118,162 @@ class NeighborEngine:
         """All unordered pairs of ``points`` within ``radius``; shape ``(k, 2)``."""
         raise NotImplementedError
 
+    def bind(self, points, radius: float) -> BoundSnapshot:
+        """Freeze ``points`` into a :class:`BoundSnapshot` for masked queries.
+
+        The snapshot is valid until the next ``bind`` call on the same
+        engine (persistent backends recycle their index between rounds).
+        """
+        return BoundSnapshot(self, as_points(points), radius)
+
+
+class _GridSnapshot(BoundSnapshot):
+    """Grid-backed snapshot with an adaptive index side.
+
+    Most queries get a small throwaway index over just the sources
+    (memoized on the index-array identity, so paired ``any_within`` /
+    ``count_within`` calls share it) — exactly the pre-snapshot behaviour.
+    When the sources are dense *and* the queries few (late flooding
+    rounds: informed ~ n, a handful of stragglers), re-sorting ~n sources
+    every round is the dominant waste, so the snapshot switches to the
+    engine's persistent full-snapshot index (splice-updated between
+    rounds when the engine is incremental) with a source-membership
+    filter on the candidate pairs.  Both paths run the same inclusive
+    distance test, so results are identical.
+    """
+
+    #: Full-index path: sources above this fraction of n ...
+    _DENSE_SOURCE_FRACTION = 0.5
+    #: ... and queries below this fraction of n.
+    _FEW_QUERY_FRACTION = 0.125
+
+    def __init__(self, engine, points, radius):
+        super().__init__(engine, points, radius)
+        self._full = None  # lazily built/updated persistent index
+        self._memo = None  # (source_idx, index) for the sparse path
+
+    def _full_index(self) -> GridIndex:
+        if self._full is None:
+            self._full = self.engine._bound_index(self.points, self.radius)
+        return self._full
+
+    def _source_index(self, source_idx) -> GridIndex:
+        memo = self._memo
+        if memo is not None and memo[0] is source_idx:
+            return memo[1]
+        index = GridIndex(self.engine.side, self.engine._cell_for(self.radius))
+        index.build(self.points[source_idx])
+        self._memo = (source_idx, index)
+        return index
+
+    def _masked_full(self, source_idx, queries):
+        source_mask = np.zeros(self.points.shape[0], dtype=bool)
+        source_mask[source_idx] = True
+        index = self._full_index()
+        qidx, pidx = index._candidate_arrays(queries, self.radius)
+        keep = source_mask[pidx]
+        qidx = qidx[keep]
+        pidx = pidx[keep]
+        if qidx.size:
+            diff = queries[qidx] - self.points[pidx]
+            hit = np.sum(diff * diff, axis=1) <= self.radius * self.radius
+            qidx = qidx[hit]
+        return qidx
+
+    def _use_full(self, source_idx, query_idx) -> bool:
+        n = self.points.shape[0]
+        return (
+            source_idx.size > self._DENSE_SOURCE_FRACTION * n
+            and query_idx.size < self._FEW_QUERY_FRACTION * n
+        )
+
+    def any_within(self, source_idx, query_idx) -> np.ndarray:
+        source_idx = np.asarray(source_idx, dtype=np.intp)
+        query_idx = np.asarray(query_idx, dtype=np.intp)
+        if source_idx.size == 0 or query_idx.size == 0:
+            return np.zeros(query_idx.size, dtype=bool)
+        if not self._use_full(source_idx, query_idx):
+            return self._source_index(source_idx).any_within(
+                self.points[query_idx], self.radius
+            )
+        queries = self.points[query_idx]
+        result = np.zeros(queries.shape[0], dtype=bool)
+        result[self._masked_full(source_idx, queries)] = True
+        return result
+
+    def count_within(self, source_idx, query_idx) -> np.ndarray:
+        source_idx = np.asarray(source_idx, dtype=np.intp)
+        query_idx = np.asarray(query_idx, dtype=np.intp)
+        if source_idx.size == 0 or query_idx.size == 0:
+            return np.zeros(query_idx.size, dtype=np.intp)
+        if not self._use_full(source_idx, query_idx):
+            return self._source_index(source_idx).count_within(
+                self.points[query_idx], self.radius
+            )
+        queries = self.points[query_idx]
+        counts = np.zeros(queries.shape[0], dtype=np.intp)
+        np.add.at(counts, self._masked_full(source_idx, queries), 1)
+        return counts
+
 
 class GridNeighborEngine(NeighborEngine):
-    """Bucket-grid backend (pure numpy)."""
+    """Bucket-grid backend (pure numpy).
+
+    Args:
+        side: side length of the square region.
+        cell_size: bucket side override (default ``max(radius, side/512)``
+            per query).
+        incremental: when True (default), :meth:`bind` maintains a
+            persistent :class:`IncrementalGridIndex` across rounds and
+            splices per-step displacements; when False every ``bind``
+            builds a fresh index (the pre-incremental behaviour, kept for
+            the parity sweeps and the bench baseline).
+    """
 
     name = "grid"
 
-    def __init__(self, side: float, cell_size: float = None):
+    def __init__(self, side: float, cell_size: float = None, incremental: bool = True):
         super().__init__(side)
         self._cell_size = cell_size
+        self.incremental = bool(incremental)
+        self._bound_indexes: dict = {}
+
+    def _cell_for(self, radius: float) -> float:
+        return self._cell_size if self._cell_size is not None else max(radius, self.side / 512.0)
 
     def _index(self, points, radius: float) -> GridIndex:
-        cell = self._cell_size if self._cell_size is not None else max(radius, self.side / 512.0)
-        index = GridIndex(self.side, cell)
+        """Fresh index over ``points`` for ``radius`` queries.
+
+        Deliberately *not* memoized: coordinate-API callers pass freshly
+        gathered arrays every call (``positions[mask]``), so an
+        identity-keyed memo would never hit — and a content-keyed one
+        costs as much as the build it saves.  Callers that genuinely
+        query one snapshot repeatedly share an index through
+        :meth:`bind`, where array identity is stable.
+        """
+        index = GridIndex(self.side, self._cell_for(radius))
         index.build(points)
         return index
+
+    def _bound_index(self, points, radius: float) -> GridIndex:
+        """Full-snapshot index for dense masked queries — persistent and
+        splice-updated between rounds when the engine is incremental."""
+        cell = self._cell_for(radius)
+        if not self.incremental:
+            return GridIndex(self.side, cell).build(points)
+        index = self._bound_indexes.get(cell)
+        if index is None:
+            if len(self._bound_indexes) >= 4:  # defensive: unbounded radii churn
+                self._bound_indexes.clear()
+            index = IncrementalGridIndex(self.side, cell)
+            self._bound_indexes[cell] = index
+        index.update(points)
+        return index
+
+    def bind(self, points, radius: float) -> BoundSnapshot:
+        if radius <= 0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        return _GridSnapshot(self, as_points(points), radius)
 
     def any_within(self, sources, queries, radius: float) -> np.ndarray:
         sources = as_points(sources)
@@ -104,6 +296,48 @@ class GridNeighborEngine(NeighborEngine):
         return self._index(points, radius).pairs_within(radius)
 
 
+class _KDTreeSnapshot(BoundSnapshot):
+    """KD-tree snapshot: one tree per distinct source set, shared by calls.
+
+    Trees are memoized on the identity of the ``source_idx`` array, so the
+    ``any_within``/``count_within`` pair of a round builds one tree, and
+    the frontier hops of a multi-hop round each build one small tree over
+    the newly informed agents only.
+    """
+
+    def __init__(self, engine, points, radius):
+        super().__init__(engine, points, radius)
+        self._memo = None  # (source_idx, tree)
+
+    def _tree(self, source_idx):
+        memo = self._memo
+        if memo is not None and memo[0] is source_idx:
+            return memo[1]
+        tree = self.engine._cKDTree(self.points[source_idx])
+        self._memo = (source_idx, tree)
+        return tree
+
+    def any_within(self, source_idx, query_idx) -> np.ndarray:
+        source_idx = np.asarray(source_idx, dtype=np.intp)
+        query_idx = np.asarray(query_idx, dtype=np.intp)
+        if source_idx.size == 0 or query_idx.size == 0:
+            return np.zeros(query_idx.size, dtype=bool)
+        dist, _ = self._tree(source_idx).query(
+            self.points[query_idx], k=1, distance_upper_bound=self.radius * (1 + 1e-12)
+        )
+        return np.isfinite(dist)
+
+    def count_within(self, source_idx, query_idx) -> np.ndarray:
+        source_idx = np.asarray(source_idx, dtype=np.intp)
+        query_idx = np.asarray(query_idx, dtype=np.intp)
+        if source_idx.size == 0 or query_idx.size == 0:
+            return np.zeros(query_idx.size, dtype=np.intp)
+        counts = self._tree(source_idx).query_ball_point(
+            self.points[query_idx], r=self.radius, return_length=True
+        )
+        return np.asarray(counts, dtype=np.intp)
+
+
 class KDTreeNeighborEngine(NeighborEngine):
     """scipy cKDTree backend.
 
@@ -119,6 +353,9 @@ class KDTreeNeighborEngine(NeighborEngine):
         from scipy.spatial import cKDTree  # noqa: F401 - import check
 
         self._cKDTree = cKDTree
+
+    def bind(self, points, radius: float) -> BoundSnapshot:
+        return _KDTreeSnapshot(self, as_points(points), radius)
 
     def any_within(self, sources, queries, radius: float) -> np.ndarray:
         sources = as_points(sources)
@@ -181,28 +418,243 @@ class BruteForceNeighborEngine(NeighborEngine):
         return np.stack([i, j], axis=1).astype(np.intp)
 
 
-def _box_filter(values: np.ndarray, reach: int, axis: int) -> np.ndarray:
-    """Sliding-window sum of width ``2*reach+1`` (clipped) along one axis.
+def _dilate(occ: np.ndarray, reach: int) -> np.ndarray:
+    """Boolean Chebyshev-box dilation of a ``(B, m, m)`` occupancy stack.
 
-    Implemented as a cumulative sum plus two ``take`` calls (contiguous
-    row/column copies — no per-element fancy indexing), so a 2-D box query
-    over a ``(B, m, m)`` stack costs a handful of vectorized passes
-    independent of ``reach``.
+    ``out[b, i, j]`` is True iff some ``occ[b, i', j']`` is True with
+    ``max(|i'-i|, |j'-j|) <= reach`` (grid edges clipped) — computed as a
+    few shifted ORs over byte arrays (the covered radius grows
+    ``1, +2, +4, ...`` per pass) instead of the integer cumulative-sum
+    box filters this kernel used before.
     """
-    m = values.shape[axis]
-    summed = np.cumsum(values, axis=axis)
-    idx = np.arange(m)
-    upper = np.take(summed, np.minimum(idx + reach, m - 1), axis=axis)
-    lower = np.take(summed, np.maximum(idx - reach - 1, 0), axis=axis)
-    edge_shape = [1, 1, 1]
-    edge_shape[axis] = m
-    at_edge = (idx - reach - 1 < 0).reshape(edge_shape)
-    return upper - np.where(at_edge, 0, lower)
+    out = occ.copy()
+    if reach <= 0:
+        return out
+    for axis in (1, 2):
+        covered = 0
+        while covered < reach:
+            step = min(covered + 1, reach - covered)
+            if axis == 1:
+                out[:, step:, :] |= out[:, :-step, :]
+                out[:, :-step, :] |= out[:, step:, :]
+            else:
+                out[:, :, step:] |= out[:, :, :-step]
+                out[:, :, :-step] |= out[:, :, step:]
+            covered += step
+    return out
 
 
-def _box_any(counts: np.ndarray, reach: int) -> np.ndarray:
-    """Per-cell: does the ``(2*reach+1)^2`` window hold any count? (clipped)."""
-    return _box_filter(_box_filter(counts, reach, 1), reach, 2) > 0
+class BatchBoundQuery:
+    """Per-replica queries bound to one ``(B, n, 2)`` snapshot.
+
+    Obtained from :meth:`BatchNeighborQuery.bind`.  Within the snapshot's
+    lifetime (one communication round) the derived per-agent cell
+    assignments and tiled coordinates are computed at most once and shared
+    by every hop and every ``any_within``/``count_within`` call.  The
+    snapshot is valid until the next ``bind`` on the same query object.
+    """
+
+    def __init__(self, query: "BatchNeighborQuery", positions: np.ndarray, rows=None):
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.ndim != 3 or positions.shape[2] != 2:
+            raise ValueError(f"positions must have shape (B, n, 2), got {positions.shape}")
+        if positions.shape[0] != query.batch_size:
+            raise ValueError(
+                f"expected {query.batch_size} replicas, got {positions.shape[0]}"
+            )
+        self.query = query
+        self.positions = positions
+        self.rows = rows
+        self._cells = {}  # cell size -> (gid, m) for this snapshot
+        self._shifted = {}  # radius -> (flat shifted coords, big_side)
+
+    # ------------------------------------------------------------------
+    # Shared per-snapshot derived state
+    # ------------------------------------------------------------------
+    def _cells_for(self, radius: float):
+        """Per-agent global cell ids for the cell-cover kernel (or None
+        when the occupancy grid would be unreasonably large)."""
+        divisor = self.query._COVER_DIVISOR
+        cell = radius / divisor
+        key = cell
+        cached = self._cells.get(key)
+        if cached is not None:
+            return cached
+        m = max(1, int(math.ceil(self.query.side / cell)))
+        batch, n, _ = self.positions.shape
+        if batch * m * m > self.query._MAX_COVER_CELLS:
+            self._cells[key] = None
+            return None
+        if self.query.incremental:
+            occupancy = self.query._occupancy_for(cell, m)
+            occupancy.update(self.positions, rows=self.rows)
+            gid = occupancy.gid
+        else:
+            ij = (self.positions * (1.0 / cell)).astype(np.int64)
+            np.clip(ij, 0, m - 1, out=ij)
+            cid = ij[..., 0] * m + ij[..., 1]
+            gid = cid + np.arange(batch, dtype=np.int64)[:, None] * (m * m)
+        self._cells[key] = (gid, m)
+        return self._cells[key]
+
+    def _shifted_for(self, radius: float):
+        """Tile-shifted flat coordinates (cached per radius)."""
+        cached = self._shifted.get(radius)
+        if cached is None:
+            cached = self.query._shift(self.positions, radius)
+            self._shifted[radius] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _check_masks(self, source_mask, query_mask):
+        batch, n, _ = self.positions.shape
+        source_mask = np.asarray(source_mask, dtype=bool)
+        query_mask = np.asarray(query_mask, dtype=bool)
+        if source_mask.shape != (batch, n) or query_mask.shape != (batch, n):
+            raise ValueError("masks must have shape (B, n) matching the positions")
+        return source_mask, query_mask
+
+    def _tiled(self, method, source_mask, query_mask, radius):
+        flat, big_side = self._shifted_for(radius)
+        source_mask = source_mask.reshape(-1)
+        query_mask = query_mask.reshape(-1)
+        engine = _BACKENDS[self.query._tiled_backend](big_side)
+        out = getattr(engine, method)(flat[source_mask], flat[query_mask], radius)
+        result_dtype = bool if method == "any_within" else np.intp
+        full = np.zeros(flat.shape[0], dtype=result_dtype)
+        full[query_mask] = out
+        return full.reshape(self.positions.shape[0], -1)
+
+    def _flat_tiled_any_within(self, source_flat, query_flat, radius):
+        """Exact tiled ``any_within`` over flat ``(B*n)`` index subsets."""
+        n = self.positions.shape[1]
+        pts = self.positions.reshape(-1, 2)
+        _stride, big_side = self.query._tile_geometry(radius)
+
+        def shifted(flat_idx):
+            return self.query._tile_shift(flat_idx // n, pts[flat_idx], radius)
+
+        if self.query._tiled_backend == "kdtree":
+            # Same exact query as KDTreeNeighborEngine.any_within, but the
+            # tree is throwaway (one shell per round) — skip the balancing
+            # passes, which dominate construction for these sizes.
+            from scipy.spatial import cKDTree
+
+            tree = cKDTree(shifted(source_flat), balanced_tree=False, compact_nodes=False)
+            dist, _ = tree.query(
+                shifted(query_flat), k=1, distance_upper_bound=radius * (1 + 1e-12)
+            )
+            return np.isfinite(dist)
+        engine = _BACKENDS[self.query._tiled_backend](big_side)
+        return engine.any_within(shifted(source_flat), shifted(query_flat), radius)
+
+    def _cells_any_within(self, source_mask, query_mask, radius):
+        """Cell-cover ``any_within`` (see :class:`BatchNeighborQuery`);
+        returns None when the cover grid is unavailable."""
+        info = self._cells_for(radius)
+        if info is None:
+            return None
+        gid, m = info
+        batch, n = gid.shape
+        cells = batch * m * m
+        divisor = self.query._COVER_DIVISOR
+        # A source within Chebyshev cell distance reach_sure is certainly a
+        # hit: the farthest pair of points in such cells is
+        # (reach_sure + 1) * sqrt(2) buckets < radius apart.
+        reach_sure = int(divisor / math.sqrt(2.0)) - 1
+        # No source within Chebyshev distance reach_possible certainly
+        # means no hit: cells further apart leave a gap > divisor buckets
+        # == radius.
+        reach_possible = int(divisor) + 1
+
+        gid_flat = gid.reshape(-1)
+        hits = np.zeros(batch * n, dtype=bool)
+        query_flat = np.nonzero(query_mask.reshape(-1))[0]
+        if query_flat.size == 0:
+            return hits.reshape(batch, n)
+        source_flat = np.nonzero(source_mask.reshape(-1))[0]
+        if source_flat.size == 0:
+            return hits.reshape(batch, n)
+        q_gid = gid_flat[query_flat]
+        s_gid = gid_flat[source_flat]
+
+        # Frontier pruning: a source farther than reach_possible cells from
+        # every query-occupied cell can neither hit a query nor change any
+        # certainty read at a query cell — drop it before binning, so late
+        # flooding rounds (informed ~ n, queries few) cost O(frontier)
+        # instead of O(n) in every source-sized pass below.  The drop is
+        # exact, so it is applied only in the source-heavy regime where the
+        # shell test costs less than it saves; in query-heavy rounds the
+        # unresolved-shell restriction below bounds the exact-check work
+        # just as tightly without the extra dilation.
+        pruned = False
+        if self.query.prune and source_flat.size > query_flat.size:
+            q_occ = np.zeros(cells, dtype=bool)
+            q_occ[q_gid] = True
+            near_queries = _dilate(q_occ.reshape(batch, m, m), reach_possible).reshape(-1)
+            keep = near_queries[s_gid]
+            source_flat = source_flat[keep]
+            s_gid = s_gid[keep]
+            pruned = True
+            if source_flat.size == 0:
+                return hits.reshape(batch, n)
+
+        src_occ = np.zeros(cells, dtype=bool)
+        src_occ[s_gid] = True
+        occ = src_occ.reshape(batch, m, m)
+        if reach_sure >= 1:
+            sure = _dilate(occ, reach_sure)
+        else:
+            # Coarse grids (divisor in [sqrt(5), 2*sqrt(2))): the cross
+            # neighborhood (own + edge-adjacent cells, diameter
+            # sqrt(5) buckets <= radius) beats the bare own-cell box.
+            sure = occ.copy()
+            sure[:, 1:, :] |= occ[:, :-1, :]
+            sure[:, :-1, :] |= occ[:, 1:, :]
+            sure[:, :, 1:] |= occ[:, :, :-1]
+            sure[:, :, :-1] |= occ[:, :, 1:]
+        sure_q = sure.reshape(-1)[q_gid]
+        hits[query_flat[sure_q]] = True
+        possible = _dilate(occ, reach_possible).reshape(-1)
+        ambiguous = ~sure_q & possible[q_gid]
+        unresolved_flat = query_flat[ambiguous]
+        if unresolved_flat.size:
+            # Exact distances for the thin shell between the certainties,
+            # against the sources near the shell's cells only.  After a
+            # shell prune, every surviving source is already within
+            # reach_possible of a query cell — one more dilation to
+            # restrict to the *unresolved* cells rarely pays for itself.
+            if pruned:
+                near_source_flat = source_flat
+            else:
+                u_occ = np.zeros(cells, dtype=bool)
+                u_occ[q_gid[ambiguous]] = True
+                near = _dilate(u_occ.reshape(batch, m, m), reach_possible).reshape(-1)
+                near_source_flat = source_flat[near[s_gid]]
+            if near_source_flat.size:
+                hit = self._flat_tiled_any_within(near_source_flat, unresolved_flat, radius)
+                hits[unresolved_flat[hit]] = True
+        return hits.reshape(batch, n)
+
+    def any_within(self, source_mask, query_mask, radius: float) -> np.ndarray:
+        """Per-replica infection test; see :meth:`BatchNeighborQuery.any_within`."""
+        if radius <= 0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        source_mask, query_mask = self._check_masks(source_mask, query_mask)
+        if self.query.backend in ("auto", "cells"):
+            result = self._cells_any_within(source_mask, query_mask, radius)
+            if result is not None:
+                return result
+        return self._tiled("any_within", source_mask, query_mask, radius)
+
+    def count_within(self, source_mask, query_mask, radius: float) -> np.ndarray:
+        """Per-replica occupancy counts; see :meth:`BatchNeighborQuery.count_within`."""
+        if radius <= 0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        source_mask, query_mask = self._check_masks(source_mask, query_mask)
+        return self._tiled("count_within", source_mask, query_mask, radius)
 
 
 class BatchNeighborQuery:
@@ -220,15 +672,21 @@ class BatchNeighborQuery:
 
     * **cell cover** (``"cells"``, the ``"auto"`` default for
       :meth:`any_within`): per-replica occupancy grids with bucket side
-      ``radius / sqrt(5)`` resolve most queries by occupancy logic alone —
-      a source in the query's own or edge-adjacent cell is *certainly*
-      within ``radius`` (the diameter of that cross neighborhood is
-      ``sqrt(5)`` buckets), while no source within Chebyshev distance 3
-      *certainly* means no hit (the gap is at least 3 buckets
-      ``> radius``).  Only queries in the thin shell between the two
-      certainties fall through to an exact tiled query against the nearby
-      sources.  This turns the flooding infection test from per-point tree
-      traversals into a handful of vectorized passes over the batch.
+      ``radius / (2 sqrt2)`` resolve most queries by occupancy logic
+      alone — a source anywhere in the query's 3x3 cell box is
+      *certainly* within ``radius`` (the farthest pair of points in that
+      box is exactly ``2 sqrt2`` buckets apart), while no source within
+      Chebyshev distance 3 *certainly* means no hit (the gap is at least
+      3 buckets ``> radius``).  Only queries in the thin shell between
+      the two certainties fall through to an exact tiled query against
+      the nearby sources.  With ``prune`` (default), informed sources outside the
+      ``reach``-dilated shell of the query-occupied cells are dropped
+      before any binning — exact, because such sources can neither hit a
+      query nor change a certainty read at a query cell.  With
+      ``incremental`` (default), the per-agent cell assignment persists
+      across rounds in an
+      :class:`~repro.geometry.incremental.IncrementalBatchOccupancy`
+      refreshed from displacement deltas.
 
     Strategies agree except possibly at distances within floating-point
     rounding of ``radius`` itself — the same ulp-level boundary slack the
@@ -242,9 +700,21 @@ class BatchNeighborQuery:
         backend: ``"grid"``, ``"kdtree"``, ``"brute"``, ``"cells"``, or
             ``"auto"`` (cell cover for ``any_within``, best tiled engine
             otherwise).
+        incremental: reuse per-agent cell assignments across rounds
+            (False re-derives them per call — the pre-incremental
+            behaviour, kept for parity sweeps and the bench baseline).
+        prune: frontier source pruning in the cell-cover kernel (False
+            keeps every informed source, as before this subsystem).
     """
 
-    def __init__(self, side: float, batch_size: int, backend: str = "auto"):
+    def __init__(
+        self,
+        side: float,
+        batch_size: int,
+        backend: str = "auto",
+        incremental: bool = True,
+        prune: bool = True,
+    ):
         if side <= 0:
             raise ValueError(f"side must be positive, got {side}")
         if batch_size < 1:
@@ -257,15 +727,54 @@ class BatchNeighborQuery:
                 f"{sorted(_BACKENDS) + ['cells']} or 'auto'"
             )
         self.backend = backend
+        self.incremental = bool(incremental)
+        self.prune = bool(prune)
         self._tiled_backend = backend
         if backend in ("auto", "cells"):
             self._tiled_backend = "kdtree" if "kdtree" in available_backends() else "grid"
         self._cols = int(math.ceil(math.sqrt(self.batch_size)))
         self._rows = int(math.ceil(self.batch_size / self._cols))
+        self._occupancies: dict = {}
 
     #: Above this many occupancy-grid cells the cell cover falls back to
     #: tiling (tiny radii would make the per-replica grids enormous).
     _MAX_COVER_CELLS = 4_000_000
+
+    #: Occupancy-grid resolution: bucket side = radius / _COVER_DIVISOR.
+    #: Finer grids narrow the indeterminate shell (width ``O(bucket)``)
+    #: that needs exact distance checks, at ``O(B * m^2)`` occupancy cost.
+    #: 2*sqrt(2) makes the full 3x3 box a *certain* hit (farthest pair
+    #: exactly ``2 sqrt2`` buckets == radius) — measurably better than the
+    #: seed's sqrt(5) cross neighborhood now that the grid passes run as
+    #: cheap boolean dilations (see ``repro bench``).
+    _COVER_DIVISOR = 2.0 * math.sqrt(2.0)
+
+    def _occupancy_for(self, cell: float, m: int) -> IncrementalBatchOccupancy:
+        occupancy = self._occupancies.get(cell)
+        if occupancy is None:
+            if len(self._occupancies) >= 4:  # defensive: unbounded radii churn
+                self._occupancies.clear()
+            occupancy = IncrementalBatchOccupancy(self.side, self.batch_size, cell)
+            self._occupancies[cell] = occupancy
+        return occupancy
+
+    def _tile_geometry(self, radius: float) -> tuple:
+        """``(stride, big_side)`` of the virtual tile sheet for ``radius``.
+
+        The single definition of the tiling layout — every path that
+        shifts points into tiles (full snapshots, flat index subsets)
+        must derive its geometry from here.
+        """
+        stride = self.side + 2.0 * radius
+        return stride, max(self._cols, self._rows) * stride
+
+    def _tile_shift(self, replica: np.ndarray, points: np.ndarray, radius: float) -> np.ndarray:
+        """Shift ``points`` (one row per entry of ``replica``) into tiles."""
+        stride, _big_side = self._tile_geometry(radius)
+        out = points.copy()
+        out[:, 0] += (replica % self._cols) * stride
+        out[:, 1] += (replica // self._cols) * stride
+        return out
 
     def _shift(self, positions: np.ndarray, radius: float) -> tuple:
         """Translate each replica into its tile; returns ``(flat, big_side)``."""
@@ -275,115 +784,24 @@ class BatchNeighborQuery:
         batch = positions.shape[0]
         if batch != self.batch_size:
             raise ValueError(f"expected {self.batch_size} replicas, got {batch}")
-        stride = self.side + 2.0 * radius
+        stride, big_side = self._tile_geometry(radius)
         replica = np.arange(batch)
         offsets = np.stack(
             [(replica % self._cols) * stride, (replica // self._cols) * stride], axis=1
         )
         shifted = positions + offsets[:, None, :]
-        big_side = max(self._cols, self._rows) * stride
         return shifted.reshape(-1, 2), big_side
 
-    def _masked_query(self, method, positions, source_mask, query_mask, radius):
-        if radius <= 0:
-            raise ValueError(f"radius must be positive, got {radius}")
-        flat, big_side = self._shift(positions, radius)
-        source_mask = np.asarray(source_mask, dtype=bool).reshape(-1)
-        query_mask = np.asarray(query_mask, dtype=bool).reshape(-1)
-        if source_mask.shape != (flat.shape[0],) or query_mask.shape != (flat.shape[0],):
-            raise ValueError("masks must have shape (B, n) matching the positions")
-        engine = _BACKENDS[self._tiled_backend](big_side)
-        out = getattr(engine, method)(flat[source_mask], flat[query_mask], radius)
-        result_dtype = bool if method == "any_within" else np.intp
-        full = np.zeros(flat.shape[0], dtype=result_dtype)
-        full[query_mask] = out
-        batch = np.asarray(positions).shape[0]
-        return full.reshape(batch, -1)
+    def bind(self, positions, rows=None) -> BatchBoundQuery:
+        """Freeze one ``(B, n, 2)`` snapshot for repeated queries.
 
-    #: Occupancy-grid resolution: bucket side = radius / _COVER_DIVISOR.
-    #: Finer grids narrow the indeterminate shell (width ``O(bucket)``)
-    #: that needs exact distance checks, at ``O(B * m^2)`` occupancy cost.
-    _COVER_DIVISOR = math.sqrt(5.0)
-
-    def _cells_any_within(self, positions, source_mask, query_mask, radius):
-        """Cell-cover ``any_within`` (see class docstring); None on fallback."""
-        divisor = self._COVER_DIVISOR
-        cell = radius / divisor
-        m = max(1, int(math.ceil(self.side / cell)))
-        batch, n, _ = positions.shape
-        if batch * m * m > self._MAX_COVER_CELLS:
-            return None
-        # A source within Chebyshev cell distance reach_sure is certainly a
-        # hit: the farthest pair of points in such cells is
-        # (reach_sure + 1) * sqrt(2) buckets < radius apart.
-        reach_sure = int(divisor / math.sqrt(2.0)) - 1
-        # No source within Chebyshev distance reach_possible certainly
-        # means no hit: cells further apart leave a gap > divisor buckets
-        # == radius.
-        reach_possible = int(divisor) + 1
-        source_mask = np.asarray(source_mask, dtype=bool)
-        query_mask = np.asarray(query_mask, dtype=bool)
-        if source_mask.shape != (batch, n) or query_mask.shape != (batch, n):
-            raise ValueError("masks must have shape (B, n) matching the positions")
-        ij = (positions * (1.0 / cell)).astype(np.int64)
-        np.clip(ij, 0, m - 1, out=ij)
-        cid = ij[..., 0] * m + ij[..., 1]
-        gid = cid + np.arange(batch, dtype=np.int64)[:, None] * (m * m)
-        src_counts = np.bincount(
-            gid[source_mask], minlength=batch * m * m
-        ).reshape(batch, m, m)
-        if reach_sure >= 1:
-            sure = _box_any(src_counts, reach_sure)
-        else:
-            # Coarse grids (divisor in [sqrt(5), 2*sqrt(2))): the cross
-            # neighborhood (own + edge-adjacent cells, diameter
-            # sqrt(5) buckets <= radius) beats the bare own-cell box.
-            occ = src_counts > 0
-            sure = occ.copy()
-            sure[:, 1:, :] |= occ[:, :-1, :]
-            sure[:, :-1, :] |= occ[:, 1:, :]
-            sure[:, :, 1:] |= occ[:, :, :-1]
-            sure[:, :, :-1] |= occ[:, :, 1:]
-        possible = _box_any(src_counts, reach_possible)
-        rows = np.arange(batch)[:, None]
-        sure_at = sure.reshape(batch, m * m)[rows, cid]
-        hits = query_mask & sure_at
-        unresolved = query_mask & ~sure_at & possible.reshape(batch, m * m)[rows, cid]
-        if unresolved.any():
-            # Exact distances for the thin shell between the certainties,
-            # against the sources near the shell's cells only.
-            u_counts = np.bincount(
-                gid[unresolved], minlength=batch * m * m
-            ).reshape(batch, m, m)
-            near = _box_any(u_counts, reach_possible).reshape(batch, m * m)
-            near_sources = source_mask & near[rows, cid]
-            hits |= self._subset_any_within(positions, near_sources, unresolved, radius)
-        return hits
-
-    def _subset_any_within(self, positions, source_mask, query_mask, radius):
-        """Tiled exact ``any_within`` gathering only the masked points."""
-        out = np.zeros(query_mask.shape, dtype=bool)
-        src_b, src_i = np.nonzero(source_mask)
-        q_b, q_i = np.nonzero(query_mask)
-        if q_b.size == 0 or src_b.size == 0:
-            return out
-        stride = self.side + 2.0 * radius
-
-        def shift(replica, points):
-            points = points.copy()
-            points[:, 0] += (replica % self._cols) * stride
-            points[:, 1] += (replica // self._cols) * stride
-            return points
-
-        big_side = max(self._cols, self._rows) * stride
-        engine = _BACKENDS[self._tiled_backend](big_side)
-        hit = engine.any_within(
-            shift(src_b, positions[src_b, src_i]),
-            shift(q_b, positions[q_b, q_i]),
-            radius,
-        )
-        out[q_b[hit], q_i[hit]] = True
-        return out
+        Args:
+            positions: the snapshot tensor.
+            rows: optional replica indices that may have moved since the
+                previous ``bind`` (e.g. the active replicas); passed to the
+                incremental occupancy so frozen replicas cost nothing.
+        """
+        return BatchBoundQuery(self, positions, rows=rows)
 
     def any_within(self, positions, source_mask, query_mask, radius: float) -> np.ndarray:
         """Per-replica infection test.
@@ -399,23 +817,12 @@ class BatchNeighborQuery:
             has a source point *of the same replica* within ``radius``
             (always False outside ``query_mask``).
         """
-        if self.backend in ("auto", "cells"):
-            if radius <= 0:
-                raise ValueError(f"radius must be positive, got {radius}")
-            positions = np.asarray(positions, dtype=np.float64)
-            if positions.ndim != 3 or positions.shape[2] != 2:
-                raise ValueError(f"positions must have shape (B, n, 2), got {positions.shape}")
-            if positions.shape[0] != self.batch_size:
-                raise ValueError(f"expected {self.batch_size} replicas, got {positions.shape[0]}")
-            result = self._cells_any_within(positions, source_mask, query_mask, radius)
-            if result is not None:
-                return result
-        return self._masked_query("any_within", positions, source_mask, query_mask, radius)
+        return self.bind(positions).any_within(source_mask, query_mask, radius)
 
     def count_within(self, positions, source_mask, query_mask, radius: float) -> np.ndarray:
         """Per-replica occupancy counts; same contract as :meth:`any_within`
         with an ``(B, n)`` intp result (0 outside ``query_mask``)."""
-        return self._masked_query("count_within", positions, source_mask, query_mask, radius)
+        return self.bind(positions).count_within(source_mask, query_mask, radius)
 
 
 _BACKENDS = {
@@ -424,29 +831,52 @@ _BACKENDS = {
     "brute": BruteForceNeighborEngine,
 }
 
+_AVAILABLE_BACKENDS = None
+
 
 def available_backends() -> list:
-    """Names of neighbor-engine backends importable in this environment."""
-    names = ["grid", "brute"]
-    try:
-        import scipy.spatial  # noqa: F401
+    """Names of neighbor-engine backends importable in this environment.
 
-        names.insert(0, "kdtree")
-    except ImportError:  # pragma: no cover - depends on environment
-        pass
-    return names
+    The scipy probe runs once per process and is cached — constructing
+    engines and batch queries in a hot loop must not re-attempt the
+    import every time.
+    """
+    global _AVAILABLE_BACKENDS
+    if _AVAILABLE_BACKENDS is None:
+        names = ["grid", "brute"]
+        try:
+            import scipy.spatial  # noqa: F401
+
+            names.insert(0, "kdtree")
+        except ImportError:  # pragma: no cover - depends on environment
+            pass
+        _AVAILABLE_BACKENDS = names
+    return list(_AVAILABLE_BACKENDS)
 
 
-def make_engine(backend: str, side: float) -> NeighborEngine:
+def make_engine(backend: str, side: float, **options) -> NeighborEngine:
     """Construct a neighbor engine by name.
 
     Args:
         backend: ``"grid"``, ``"kdtree"``, ``"brute"``, or ``"auto"``
             (kdtree if scipy is available, else grid).
         side: side length of the square region.
+        options: engine tuning knobs; currently ``incremental`` and
+            ``cell_size`` (grid engine only — silently ignored by
+            backends they do not apply to, so one options dict can be
+            threaded through backend-agnostic code).
     """
+    unknown = set(options) - {"incremental", "cell_size"}
+    if unknown:
+        raise ValueError(f"unknown engine options: {sorted(unknown)}")
     if backend == "auto":
         backend = "kdtree" if "kdtree" in available_backends() else "grid"
     if backend not in _BACKENDS:
         raise ValueError(f"unknown neighbor backend {backend!r}; expected one of {sorted(_BACKENDS)} or 'auto'")
+    if backend == "grid":
+        return GridNeighborEngine(
+            side,
+            cell_size=options.get("cell_size"),
+            incremental=options.get("incremental", True),
+        )
     return _BACKENDS[backend](side)

@@ -130,8 +130,19 @@ class BatchMobilityModel(abc.ABC):
     def positions(self) -> np.ndarray:
         """Copy of the current positions, shape ``(B, n, 2)``."""
 
+    @property
+    def positions_view(self) -> np.ndarray:
+        """Read-only ``(B, n, 2)`` positions, without the defensive copy.
+
+        The lock-step driver reads the snapshot once per step and never
+        mutates it, so vectorized models override this with a
+        non-writeable view of their state; the base implementation falls
+        back to :attr:`positions`.
+        """
+        return self.positions
+
     @abc.abstractmethod
-    def step(self, dt: float = 1.0, active=None) -> np.ndarray:
+    def step(self, dt: float = 1.0, active=None, copy: bool = True) -> np.ndarray:
         """Advance replicas by ``dt`` time units; returns the new positions.
 
         Args:
@@ -139,6 +150,13 @@ class BatchMobilityModel(abc.ABC):
                 Frozen replicas keep their state *and their generators
                 untouched* (a scalar trial that already stopped would not
                 have stepped either).
+            copy: with the default True the returned positions are an
+                independent copy (safe to hold across steps).  The
+                lock-step driver passes False to receive
+                :attr:`positions_view` instead — read-only and valid only
+                until the next ``step`` call (models may either refresh
+                the underlying buffer in place or rebind it, so a held
+                view can go stale either way).
         """
 
     def _active_mask(self, active) -> np.ndarray:
@@ -186,14 +204,14 @@ class ReplicatedBatchMobility(BatchMobilityModel):
     def positions(self) -> np.ndarray:
         return np.stack([model.positions for model in self.models], axis=0)
 
-    def step(self, dt: float = 1.0, active=None) -> np.ndarray:
+    def step(self, dt: float = 1.0, active=None, copy: bool = True) -> np.ndarray:
         if dt <= 0:
             raise ValueError(f"dt must be positive, got {dt}")
         active = self._active_mask(active)
         for b in np.nonzero(active)[0]:
             self.models[b].step(dt)
         self.time += dt
-        return self.positions
+        return self.positions  # already a fresh stack; `copy` adds nothing
 
 
 def record_trajectory(model: MobilityModel, steps: int, dt: float = 1.0) -> np.ndarray:

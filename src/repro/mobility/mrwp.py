@@ -214,10 +214,29 @@ class BatchManhattanRandomWaypoint(BatchMobilityModel):
         self.turn_counts = np.zeros(self.batch_size * self.n, dtype=np.int64)
         self.arrival_counts = np.zeros(self.batch_size * self.n, dtype=np.int64)
         self._eps = 1e-9 * max(self.side, 1.0)
+        # Dense-pass scratch, reused every step: at (B * n)-scale a step's
+        # temporaries are fresh mmap'd pages each time, and the page faults
+        # cost more than the arithmetic.
+        total = self.batch_size * self.n
+        self._budget = np.empty(total, dtype=np.float64)
+        self._delta = np.empty((total, 2), dtype=np.float64)
+        self._dist = np.empty(total, dtype=np.float64)
+        self._dist_safe = np.empty(total, dtype=np.float64)
+        self._move = np.empty(total, dtype=np.float64)
+        self._frac = np.empty(total, dtype=np.float64)
+        self._scratch = np.empty(total, dtype=np.float64)
+        self._far = np.empty(total, dtype=bool)
+        self._notfar = np.empty(total, dtype=bool)
 
     @property
     def positions(self) -> np.ndarray:
         return self._pos.reshape(self.batch_size, self.n, 2).copy()
+
+    @property
+    def positions_view(self) -> np.ndarray:
+        view = self._pos.reshape(self.batch_size, self.n, 2)
+        view.flags.writeable = False
+        return view
 
     def _resample_trips(self, trip_done: np.ndarray) -> None:
         """Draw new trips for completed agents, replica by replica.
@@ -231,23 +250,26 @@ class BatchManhattanRandomWaypoint(BatchMobilityModel):
         starts = np.searchsorted(replicas, np.arange(self.batch_size + 1))
         dests = np.empty((trip_done.size, 2), dtype=np.float64)
         choices = np.empty(trip_done.size, dtype=np.int64)
-        for b in np.unique(replicas):
+        for b in range(self.batch_size):
             lo, hi = starts[b], starts[b + 1]
+            if lo == hi:
+                continue
             rng = self.rngs[b]
             dests[lo:hi] = rng.uniform(0.0, self.side, size=(hi - lo, 2))
             choices[lo:hi] = rng.integers(0, 2, size=hi - lo)
         self._dest[trip_done] = dests
         self._target[trip_done] = path_corner(self._pos[trip_done], dests, choices)
 
-    def step(self, dt: float = 1.0, active=None) -> np.ndarray:
+    def step(self, dt: float = 1.0, active=None, copy: bool = True) -> np.ndarray:
         if dt <= 0:
             raise ValueError(f"dt must be positive, got {dt}")
         active = self._active_mask(active)
         total = self.batch_size * self.n
+        budget = self._budget
         if active.all():
-            budget = np.full(total, self.speed * dt, dtype=np.float64)
+            budget.fill(self.speed * dt)
         else:
-            budget = np.where(np.repeat(active, self.n), self.speed * dt, 0.0)
+            np.multiply(np.repeat(active, self.n), self.speed * dt, out=budget)
         eps = self._eps
         with np.errstate(invalid="ignore", divide="ignore"):
             for _ in range(_MAX_LEGS_PER_STEP):
@@ -258,18 +280,35 @@ class BatchManhattanRandomWaypoint(BatchMobilityModel):
                 if 2 * n_moving >= total:
                     # Dense pass (typically the first carry-over iteration,
                     # where every unfrozen agent moves): full-array
-                    # arithmetic avoids the gather/scatter of a
-                    # fancy-indexed pass.  Masked rows see exact no-ops
-                    # (frac and move forced to 0), so the per-agent
-                    # arithmetic is identical to the sparse pass.
-                    delta = self._target - self._pos
-                    dist = np.abs(delta).sum(axis=1)  # legs are axis-aligned
-                    move = np.minimum(budget, dist)
-                    frac = np.where(dist > eps, move / np.where(dist > eps, dist, 1.0), 1.0)
-                    frac = np.where(moving, frac, 0.0)
-                    self._pos += delta * frac[:, None]
-                    budget = budget - np.where(moving, move, 0.0)
-                    done = np.nonzero(moving & (move >= dist - eps))[0]
+                    # arithmetic into preallocated scratch avoids both the
+                    # gather/scatter of a fancy-indexed pass and fresh
+                    # temporaries.  Masked rows see exact no-ops (frac and
+                    # move forced to 0), so the per-agent arithmetic is
+                    # identical to the sparse pass.
+                    delta = np.subtract(self._target, self._pos, out=self._delta)
+                    dist = np.abs(delta[:, 0], out=self._dist)  # legs are axis-aligned
+                    dist += np.abs(delta[:, 1], out=self._scratch)
+                    move = np.minimum(budget, dist, out=self._move)
+                    far = np.greater(dist, eps, out=self._far)
+                    notfar = np.logical_not(far, out=self._notfar)
+                    dist_safe = self._dist_safe
+                    np.copyto(dist_safe, dist)
+                    dist_safe[notfar] = 1.0
+                    frac = np.divide(move, dist_safe, out=self._frac)
+                    frac[notfar] = 1.0
+                    if n_moving == total:
+                        # Everyone moves: the masking below would be an
+                        # exact identity, so skip it.
+                        delta *= frac[:, None]
+                        self._pos += delta
+                        budget -= move
+                        done = np.nonzero(move >= dist - eps)[0]
+                    else:
+                        frac[~moving] = 0.0
+                        delta *= frac[:, None]
+                        self._pos += delta
+                        budget -= np.where(moving, move, 0.0)
+                        done = np.nonzero(moving & (move >= dist - eps))[0]
                 else:
                     idx = np.nonzero(moving)[0]
                     delta = self._target[idx] - self._pos[idx]
@@ -301,7 +340,7 @@ class BatchManhattanRandomWaypoint(BatchMobilityModel):
                     f"relative to the square (speed={self.speed}, side={self.side})"
                 )
         self.time += dt
-        return self.positions
+        return self.positions if copy else self.positions_view
 
 
 def _initial_state(n: int, side: float, init, rng: np.random.Generator) -> KinematicState:

@@ -110,7 +110,13 @@ class BatchRandomWalk(BatchMobilityModel):
     def positions(self) -> np.ndarray:
         return self._pos.reshape(self.batch_size, self.n, 2).copy()
 
-    def step(self, dt: float = 1.0, active=None) -> np.ndarray:
+    @property
+    def positions_view(self) -> np.ndarray:
+        view = self._pos.reshape(self.batch_size, self.n, 2)
+        view.flags.writeable = False
+        return view
+
+    def step(self, dt: float = 1.0, active=None, copy: bool = True) -> np.ndarray:
         if dt <= 0:
             raise ValueError(f"dt must be positive, got {dt}")
         active = self._active_mask(active)
@@ -127,4 +133,4 @@ class BatchRandomWalk(BatchMobilityModel):
         row_active = np.repeat(active, self.n)[:, None]
         self._pos = np.where(row_active, new_pos, self._pos)
         self.time += dt
-        return self.positions
+        return self.positions if copy else self.positions_view

@@ -181,6 +181,12 @@ class BatchRandomWaypoint(BatchMobilityModel):
     def positions(self) -> np.ndarray:
         return self._pos.reshape(self.batch_size, self.n, 2).copy()
 
+    @property
+    def positions_view(self) -> np.ndarray:
+        view = self._pos.reshape(self.batch_size, self.n, 2)
+        view.flags.writeable = False
+        return view
+
     def _redraw_destinations(self, done: np.ndarray) -> None:
         replicas = done // self.n
         starts = np.searchsorted(replicas, np.arange(self.batch_size + 1))
@@ -188,7 +194,7 @@ class BatchRandomWaypoint(BatchMobilityModel):
             sub = done[starts[b]:starts[b + 1]]
             self._dest[sub] = self.rngs[b].uniform(0.0, self.side, size=(sub.size, 2))
 
-    def step(self, dt: float = 1.0, active=None) -> np.ndarray:
+    def step(self, dt: float = 1.0, active=None, copy: bool = True) -> np.ndarray:
         if dt <= 0:
             raise ValueError(f"dt must be positive, got {dt}")
         active = self._active_mask(active)
@@ -225,4 +231,4 @@ class BatchRandomWaypoint(BatchMobilityModel):
         else:  # pragma: no cover - defensive
             raise RuntimeError("carry-over loop did not converge")
         self.time += dt
-        return self.positions
+        return self.positions if copy else self.positions_view

@@ -39,6 +39,10 @@ class BroadcastProtocol(abc.ABC):
         source: index of the initially informed agent.
         rng: generator for randomized protocols.
         backend: neighbor-engine backend name (``"auto"`` by default).
+        engine_options: extra keyword arguments for
+            :func:`~repro.geometry.neighbors.make_engine` (e.g.
+            ``{"incremental": False}`` to disable the persistent grid
+            index).
     """
 
     name = "abstract"
@@ -51,6 +55,7 @@ class BroadcastProtocol(abc.ABC):
         source: int,
         rng: np.random.Generator = None,
         backend: str = "auto",
+        engine_options: dict = None,
     ):
         if n <= 0:
             raise ValueError(f"n must be positive, got {n}")
@@ -63,7 +68,7 @@ class BroadcastProtocol(abc.ABC):
         self.radius = float(radius)
         self.source = int(source)
         self.rng = rng if rng is not None else np.random.default_rng()
-        self.engine: NeighborEngine = make_engine(backend, self.side)
+        self.engine: NeighborEngine = make_engine(backend, self.side, **(engine_options or {}))
         self.informed = np.zeros(self.n, dtype=bool)
         self.informed[self.source] = True
         self.informed_at = np.full(self.n, np.inf)

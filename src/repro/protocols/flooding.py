@@ -5,6 +5,18 @@ becomes informed at step ``t`` iff some informed agent is within distance
 ``R`` during ``t``.  Flooding time — the first step at which everyone is
 informed — lower-bounds every broadcast protocol and plays the role of the
 diameter in static networks.
+
+Both implementations exploit two structural facts of flooding (DESIGN.md,
+"Incremental and frontier-pruned neighbor subsystem"):
+
+* the informed set is **monotone**, so the uninformed/informed index lists
+  are maintained incrementally instead of re-scanning the boolean mask
+  every hop;
+* positions are **frozen within a round**, so hop ``k >= 2`` of a
+  multi-hop exchange only needs the agents informed at hop ``k - 1`` as
+  sources — every older source was already tested against a superset of
+  the still-uninformed queries at the same positions.  The per-round
+  engine state is shared across hops through the bound-snapshot API.
 """
 
 from __future__ import annotations
@@ -26,33 +38,66 @@ class FloodingProtocol(BroadcastProtocol):
             When True, the message saturates entire connected components of
             the current snapshot within the step ("infinite bandwidth"
             comparison mode).
+        prune: frontier pruning (default True) — hops ``>= 2`` of a
+            multi-hop round transmit from the just-informed frontier only.
+            Exact: results are identical either way (asserted by the
+            parity tests); False replays the pre-pruning behaviour for
+            comparison benchmarks.
     """
 
     name = "flooding"
 
-    def __init__(self, *args, multi_hop: bool = False, **kwargs):
+    def __init__(self, *args, multi_hop: bool = False, prune: bool = True, **kwargs):
         super().__init__(*args, **kwargs)
         self.multi_hop = bool(multi_hop)
+        self.prune = bool(prune)
+        self._informed_idx = None
+        self._uninformed_idx = None
+
+    def _index_lists(self) -> tuple:
+        """Incremental informed/uninformed index lists (re-derived from the
+        boolean mask only when they drifted, e.g. after external state
+        surgery in tests).  The membership scan catches count-preserving
+        surgery too (a moved informed bit), and costs one boolean gather —
+        far less than the ``nonzero`` scans it avoids."""
+        count = self.informed_count
+        if (
+            self._informed_idx is None
+            or self._informed_idx.size != count
+            or self._uninformed_idx.size != self.n - count
+            or not self.informed[self._informed_idx].all()
+        ):
+            self._informed_idx = np.nonzero(self.informed)[0]
+            self._uninformed_idx = np.nonzero(~self.informed)[0]
+        return self._informed_idx, self._uninformed_idx
 
     def _exchange(self, positions: np.ndarray) -> np.ndarray:
+        informed_idx, uninformed = self._index_lists()
+        if uninformed.size == 0:
+            return np.empty(0, dtype=np.intp)
+        snapshot = self.engine.bind(positions, self.radius)
+        frontier = informed_idx
         newly_all = []
-        while True:
-            uninformed = np.nonzero(~self.informed)[0]
-            if uninformed.size == 0:
-                break
-            hits = self.engine.any_within(
-                positions[self.informed], positions[uninformed], self.radius
-            )
+        while uninformed.size:
+            hits = snapshot.any_within(frontier, uninformed)
             newly = uninformed[hits]
             if newly.size == 0:
                 break
             self._mark_informed(newly)
             newly_all.append(newly)
+            uninformed = uninformed[~hits]
             if not self.multi_hop:
                 break
+            # Positions are frozen within the round, so agents informed
+            # before this hop were already tested against every remaining
+            # uninformed agent — only the fresh frontier can matter.
+            frontier = newly if self.prune else np.concatenate([frontier, newly])
+        self._uninformed_idx = uninformed
         if not newly_all:
             return np.empty(0, dtype=np.intp)
-        return np.concatenate(newly_all)
+        newly_cat = np.concatenate(newly_all) if len(newly_all) > 1 else newly_all[0]
+        self._informed_idx = np.concatenate([informed_idx, newly_cat])
+        return newly_cat
 
 
 class BatchFloodingState:
@@ -73,6 +118,11 @@ class BatchFloodingState:
         sources: ``(B,)`` initial informed agent per replica.
         backend: neighbor-engine backend name.
         multi_hop: scalar :class:`FloodingProtocol` semantics, per replica.
+        neighbor_options: tuning knobs for the neighbor subsystem —
+            ``incremental`` (persistent cell assignments across rounds)
+            and ``prune`` (frontier source pruning + frontier-only
+            multi-hop sources).  Both default True; both are exact, so
+            results never depend on them (asserted by the parity tests).
     """
 
     def __init__(
@@ -83,6 +133,7 @@ class BatchFloodingState:
         sources,
         backend: str = "auto",
         multi_hop: bool = False,
+        neighbor_options: dict = None,
     ):
         sources = np.asarray(sources, dtype=np.intp)
         if sources.ndim != 1 or sources.size < 1:
@@ -93,13 +144,22 @@ class BatchFloodingState:
             raise ValueError(f"radius must be positive, got {radius}")
         if np.any((sources < 0) | (sources >= n)):
             raise ValueError(f"sources must be in [0, {n})")
+        options = dict(neighbor_options or {})
+        options.pop("cell_size", None)  # scalar grid-engine knob
+        incremental = bool(options.pop("incremental", True))
+        prune = bool(options.pop("prune", True))
+        if options:
+            raise ValueError(f"unknown neighbor options: {sorted(options)}")
         self.n = int(n)
         self.side = float(side)
         self.radius = float(radius)
         self.sources = sources
         self.batch_size = int(sources.size)
         self.multi_hop = bool(multi_hop)
-        self.query = BatchNeighborQuery(self.side, self.batch_size, backend)
+        self.prune = prune
+        self.query = BatchNeighborQuery(
+            self.side, self.batch_size, backend, incremental=incremental, prune=prune
+        )
         self.informed = np.zeros((self.batch_size, self.n), dtype=bool)
         self.informed[np.arange(self.batch_size), sources] = True
         self.informed_at = np.full((self.batch_size, self.n), np.inf)
@@ -126,17 +186,25 @@ class BatchFloodingState:
             ``(B, n)`` bool mask of newly informed agents.
         """
         self.step_count += 1
+        rows = None
         if active is None:
             active = np.ones(self.batch_size, dtype=bool)
         else:
             active = np.asarray(active, dtype=bool)
+            if not active.all():
+                rows = np.nonzero(active)[0]
+        snapshot = self.query.bind(positions, rows=rows)
         newly_total = np.zeros((self.batch_size, self.n), dtype=bool)
+        frontier = None
         while True:
-            source_mask = self.informed & active[:, None]
+            if frontier is None:
+                source_mask = self.informed & active[:, None]
+            else:
+                source_mask = frontier  # already a subset of the active replicas
             query_mask = ~self.informed & active[:, None]
             if not query_mask.any():
                 break
-            hits = self.query.any_within(positions, source_mask, query_mask, self.radius)
+            hits = snapshot.any_within(source_mask, query_mask, self.radius)
             if not hits.any():
                 break
             self.informed |= hits
@@ -144,4 +212,7 @@ class BatchFloodingState:
             newly_total |= hits
             if not self.multi_hop:
                 break
+            # Frontier hop: older sources were already tested against every
+            # remaining uninformed agent at these same positions.
+            frontier = hits if self.prune else None
         return newly_total

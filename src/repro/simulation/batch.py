@@ -124,18 +124,22 @@ class BatchSimulation:
         self.suburb_completion_time = np.full(batch, np.inf)
         self.source_in_central_zone = None
 
-    def _zone_fractions(self, positions: np.ndarray, rows: np.ndarray) -> tuple:
+    def _zone_fractions(self, positions: np.ndarray, rows: np.ndarray, counts=None) -> tuple:
         """Informed fraction inside / outside the Central Zone, for the
         given replica rows only (completion times are monotone, so frozen
         replicas need no further classification)."""
-        subset = positions[rows]
+        subset = positions if rows.size == positions.shape[0] else positions[rows]
         k, n, _ = subset.shape
         in_cz = self.zones.in_central_zone(subset.reshape(-1, 2)).reshape(k, n)
         informed = self.flooding.informed[rows]
         cz_total = np.count_nonzero(in_cz, axis=1)
         suburb_total = n - cz_total
         cz_informed = np.count_nonzero(informed & in_cz, axis=1)
-        suburb_informed = np.count_nonzero(informed & ~in_cz, axis=1)
+        if counts is None:
+            suburb_informed = np.count_nonzero(informed & ~in_cz, axis=1)
+        else:
+            # informed = (informed in CZ) + (informed in Suburb), exactly.
+            suburb_informed = counts[rows] - cz_informed
         with np.errstate(invalid="ignore", divide="ignore"):
             cz_frac = np.where(cz_total > 0, cz_informed / np.maximum(cz_total, 1), 1.0)
             suburb_frac = np.where(
@@ -162,19 +166,19 @@ class BatchSimulation:
         if max_steps < 0:
             raise ValueError(f"max_steps must be non-negative, got {max_steps}")
         batch = self.model.batch_size
-        positions = self.model.positions
+        positions = self.model.positions_view
+        counts = self.flooding.informed_counts
         if self.zones is not None:
             all_rows = np.arange(batch)
-            in_cz, cz_frac, suburb_frac = self._zone_fractions(positions, all_rows)
+            in_cz, cz_frac, suburb_frac = self._zone_fractions(positions, all_rows, counts)
             self._record_zone_times(0.0, all_rows, cz_frac, suburb_frac)
             self.source_in_central_zone = in_cz[all_rows, self.flooding.sources]
-        counts = self.flooding.informed_counts
         counts_history = [counts]
         active = counts < self.model.n
         step = 0
         while step < max_steps and active.any():
             step += 1
-            positions = self.model.step(dt, active=active)
+            positions = self.model.step(dt, active=active, copy=False)
             self.flooding.step(positions, active=active)
             counts = self.flooding.informed_counts
             counts_history.append(counts)
@@ -190,7 +194,7 @@ class BatchSimulation:
                     )
                 )[0]
                 if rows.size:
-                    _in_cz, cz_frac, suburb_frac = self._zone_fractions(positions, rows)
+                    _in_cz, cz_frac, suburb_frac = self._zone_fractions(positions, rows, counts)
                     self._record_zone_times(float(step), rows, cz_frac, suburb_frac)
             active &= counts < self.model.n
         self.informed_counts_history = np.asarray(counts_history, dtype=np.intp)
@@ -249,6 +253,7 @@ def run_flooding_batch(config: FloodingConfig, seed_seqs) -> list:
         sources,
         backend=config.backend,
         multi_hop=multi_hop,
+        neighbor_options=config.neighbor_options,
     )
     zones = None
     if config.track_zones:

@@ -45,6 +45,13 @@ class FloodingConfig:
             constructor (e.g. ``{"fanout": 2}``).
         init: mobility initialization mode (``"stationary"`` etc.).
         backend: neighbor-engine backend.
+        neighbor_options: tuning knobs for the neighbor subsystem —
+            ``incremental`` (persistent spatial indexes refreshed from
+            per-step displacements), ``prune`` (frontier source pruning),
+            ``cell_size`` (grid-engine bucket override).  All strategies
+            are exact, so these knobs never change results — only speed
+            (asserted by the parity tests; toggled by ``repro bench`` to
+            measure the PR 1 baseline).
         seed: root seed for all randomness of the run.
         threshold_factor: Definition 4's Central-Zone constant (3/8 paper).
         multi_hop: flooding semantics (see
@@ -75,6 +82,7 @@ class FloodingConfig:
     protocol_options: dict = field(default_factory=dict)
     init: str = "stationary"
     backend: str = "auto"
+    neighbor_options: dict = field(default_factory=dict)
     seed: int = 0
     threshold_factor: float = 3.0 / 8.0
     multi_hop: bool = False
@@ -101,6 +109,9 @@ class FloodingConfig:
             raise ValueError(f"source index must be in [0, {self.n}), got {self.source}")
         if self.engine not in ("scalar", "batch"):
             raise ValueError(f"engine must be 'scalar' or 'batch', got {self.engine!r}")
+        unknown = set(self.neighbor_options) - {"incremental", "prune", "cell_size"}
+        if unknown:
+            raise ValueError(f"unknown neighbor options: {sorted(unknown)}")
         if self.batch_size < 0:
             raise ValueError(f"batch_size must be non-negative, got {self.batch_size}")
 

@@ -1,0 +1,192 @@
+"""Seed-for-seed parity across every neighbor-subsystem strategy.
+
+The repo's core invariant: spatial-index strategy choices (incremental vs
+rebuild, frontier-pruned vs unpruned, grid vs KD-tree vs cell cover,
+scalar vs batch engine) are *performance* knobs — with fixed seeds every
+combination must produce identical trial results, down to the informed-at
+step of every agent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.neighbors import BatchNeighborQuery, available_backends
+from repro.protocols.flooding import BatchFloodingState, FloodingProtocol
+from repro.simulation import run_trials, standard_config
+
+OPTION_GRID = [
+    {},
+    {"incremental": False},
+    {"prune": False},
+    {"incremental": False, "prune": False},
+]
+
+
+def fingerprints(config, trials=4):
+    return [
+        (
+            r.flooding_time,
+            r.completed,
+            r.n_steps,
+            r.source,
+            tuple(np.asarray(r.informed_history).tolist()),
+            r.cz_completion_time,
+            r.suburb_completion_time,
+        )
+        for r in run_trials(config, trials)
+    ]
+
+
+class TestStrategyParity:
+    """{incremental, rebuild} x {pruned, unpruned} x engines x mobility."""
+
+    @pytest.mark.parametrize("mobility", ["mrwp", "rwp", "random-walk"])
+    @pytest.mark.parametrize("engine", ["scalar", "batch"])
+    def test_option_grid_is_invisible_in_results(self, mobility, engine):
+        base = standard_config(90, seed=23, mobility=mobility, engine=engine)
+        reference = fingerprints(base)
+        for options in OPTION_GRID[1:]:
+            variant = base.with_options(neighbor_options=dict(options))
+            assert fingerprints(variant) == reference, (mobility, engine, options)
+
+    @pytest.mark.parametrize("backend", available_backends())
+    def test_backends_agree_across_option_grid(self, backend):
+        reference = None
+        for engine in ("scalar", "batch"):
+            for options in OPTION_GRID:
+                config = standard_config(
+                    70, seed=31, backend=backend, engine=engine,
+                    neighbor_options=dict(options),
+                )
+                got = fingerprints(config, trials=3)
+                if reference is None:
+                    reference = got
+                assert got == reference, (backend, engine, options)
+
+    @pytest.mark.parametrize("engine", ["scalar", "batch"])
+    def test_multi_hop_frontier_parity(self, engine):
+        base = standard_config(80, seed=17, multi_hop=True, engine=engine)
+        reference = fingerprints(base)
+        for options in OPTION_GRID[1:]:
+            variant = base.with_options(neighbor_options=dict(options))
+            assert fingerprints(variant) == reference, options
+
+    def test_randomized_sweep_across_seeds(self):
+        """Randomized workloads: every strategy grid cell, many seeds."""
+        for seed in (1, 7, 101):
+            reference = None
+            for engine in ("scalar", "batch"):
+                for options in OPTION_GRID:
+                    config = standard_config(
+                        60,
+                        seed=seed,
+                        radius_factor=1.2,
+                        engine=engine,
+                        neighbor_options=dict(options),
+                    )
+                    got = fingerprints(config, trials=3)
+                    if reference is None:
+                        reference = got
+                    assert got == reference, (seed, engine, options)
+
+
+class TestAdversarialStates:
+    """Hand-built states that stress the kernels' boundary logic."""
+
+    def batch_hits(self, positions, informed, radius, side, **query_options):
+        batch, n = informed.shape
+        query = BatchNeighborQuery(side, batch, **query_options)
+        return query.any_within(positions, informed, ~informed, radius)
+
+    def test_near_complete_informed_set(self, rng):
+        """informed ~ n: the frontier-pruned source set is tiny, results
+        must still match the unpruned kernel and brute force."""
+        batch, n, side, radius = 3, 200, 14.0, 1.5
+        positions = rng.uniform(0, side, size=(batch, n, 2))
+        informed = np.ones((batch, n), dtype=bool)
+        informed[:, :3] = False  # three stragglers per replica
+        got = self.batch_hits(positions, informed, radius, side)
+        unpruned = self.batch_hits(
+            positions, informed, radius, side, incremental=False, prune=False
+        )
+        brute = self.batch_hits(positions, informed, radius, side, backend="brute")
+        assert np.array_equal(got, unpruned)
+        assert np.array_equal(got, brute)
+
+    def test_agents_on_cover_cell_boundaries(self):
+        """Sources sitting exactly on occupancy-cell edges."""
+        side, radius = 10.0, 2.0
+        cell = radius / BatchNeighborQuery._COVER_DIVISOR
+        xs = np.arange(1, 9, dtype=np.float64) * cell
+        n = xs.size + 2
+        positions = np.zeros((1, n, 2))
+        positions[0, : xs.size, 0] = xs  # sources exactly on cell edges
+        positions[0, : xs.size, 1] = 5.0
+        positions[0, -2] = [5.0, 5.0]
+        positions[0, -1] = [5.0, 5.0 + radius]  # query exactly at distance R
+        informed = np.zeros((1, n), dtype=bool)
+        informed[0, :-1] = True
+        got = self.batch_hits(positions, informed, radius, side)
+        brute = self.batch_hits(positions, informed, radius, side, backend="brute")
+        assert np.array_equal(got, brute)
+        assert got[0, -1]  # inclusive <= R
+
+    def test_radius_comparable_to_cell_size(self, rng):
+        """Radius ~ grid cell: candidate blocks span multiple cells."""
+        side = 12.0
+        positions = rng.uniform(0, side, size=(2, 120, 2))
+        informed = rng.uniform(size=(2, 120)) < 0.4
+        for radius in (0.11, 0.5, 3.0):
+            for options in OPTION_GRID:
+                got = self.batch_hits(positions, informed, radius, side, **options)
+                brute = self.batch_hits(positions, informed, radius, side, backend="brute")
+                assert np.array_equal(got, brute), (radius, options)
+
+    def test_scalar_protocol_with_external_informed_surgery(self, rng):
+        """The incremental index lists must resync when the informed mask
+        is mutated behind the protocol's back (near-complete case)."""
+        n, side, radius = 120, 11.0, 1.4
+        protocol = FloodingProtocol(n, side, radius, source=0)
+        protocol.informed[:-2] = True  # external surgery: all but 2 informed
+        positions = rng.uniform(0, side, size=(n, 2))
+        newly = protocol.step(positions)
+        expected_uninformed = np.nonzero(~protocol.informed)[0]
+        assert set(newly) <= {n - 2, n - 1}
+        assert protocol._uninformed_idx.size == expected_uninformed.size
+
+    def test_scalar_protocol_with_count_preserving_surgery(self, rng):
+        """Surgery that keeps the informed *count* but moves the bits must
+        also resync the incremental index lists (membership scan)."""
+        n, side, radius = 80, 9.0, 1.2
+        positions = rng.uniform(0, side, size=(n, 2))
+        protocol = FloodingProtocol(n, side, radius, source=0)
+        protocol.step(positions)  # populate the cached lists
+        count = protocol.informed_count
+        # Surgery: same count, entirely different agents.
+        protocol.informed[:] = False
+        protocol.informed[n - count:] = True
+        newly = protocol.step(positions)
+        reference = FloodingProtocol(n, side, radius, source=n - 1)
+        reference.informed[:] = False
+        reference.informed[n - count:] = True
+        expected = reference.step(positions)
+        assert np.array_equal(np.sort(newly), np.sort(expected))
+
+    def test_batch_state_round_equals_scalar_round(self, rng):
+        """One communication round, same positions: batch rows == scalar."""
+        n, side, radius = 150, 12.0, 1.3
+        batch = 4
+        positions = rng.uniform(0, side, size=(batch, n, 2))
+        sources = np.array([0, 5, 9, 149])
+        for multi_hop in (False, True):
+            state = BatchFloodingState(
+                n, side, radius, sources, multi_hop=multi_hop
+            )
+            state.step(positions)
+            for b in range(batch):
+                protocol = FloodingProtocol(
+                    n, side, radius, source=int(sources[b]), multi_hop=multi_hop
+                )
+                protocol.step(positions[b])
+                assert np.array_equal(state.informed[b], protocol.informed), (b, multi_hop)
+                assert np.array_equal(state.informed_at[b], protocol.informed_at), (b, multi_hop)

@@ -1,0 +1,155 @@
+"""Incremental spatial indexes vs their from-scratch counterparts."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.grid import GridIndex
+from repro.geometry.incremental import IncrementalBatchOccupancy, IncrementalGridIndex
+
+
+def drift(points, rng, step, side):
+    """One bounded-displacement move with wall reflection."""
+    moved = points + rng.uniform(-step, step, size=points.shape)
+    moved = np.abs(moved)
+    return np.where(moved > side, 2.0 * side - moved, moved)
+
+
+class TestIncrementalGridIndex:
+    SIDE = 12.0
+    CELL = 1.0
+
+    def assert_matches_fresh(self, index, points, rng):
+        """Every query primitive must agree with a freshly built index."""
+        fresh = GridIndex(self.SIDE, self.CELL).build(points)
+        queries = rng.uniform(0, self.SIDE, size=(40, 2))
+        for radius in (0.35, 1.0, 2.5):
+            assert np.array_equal(
+                index.any_within(queries, radius), fresh.any_within(queries, radius)
+            )
+            assert np.array_equal(
+                index.count_within(queries, radius), fresh.count_within(queries, radius)
+            )
+        got = {tuple(sorted(p)) for p in index.pairs_within(1.0).tolist()}
+        expected = {tuple(sorted(p)) for p in fresh.pairs_within(1.0).tolist()}
+        assert got == expected
+
+    def test_update_equals_rebuild_over_random_walk(self, rng):
+        points = rng.uniform(0, self.SIDE, size=(150, 2))
+        index = IncrementalGridIndex(self.SIDE, self.CELL, rebuild_fraction=1.0)
+        index.update(points)
+        for _ in range(12):
+            points = drift(points, rng, 0.4, self.SIDE)
+            index.update(points)
+            self.assert_matches_fresh(index, points, rng)
+        # The walk above must have exercised the splice path, not rebuilds.
+        assert index.n_rebuilds == 1  # the initial build only
+        assert index.n_moved > 0
+
+    def test_update_exact_when_points_cross_bucket_boundaries(self, rng):
+        """Adversarial: points ping-ponging exactly across bucket edges."""
+        edges = np.arange(1, 11, dtype=np.float64)
+        points = np.stack([edges, np.full(10, 5.0)], axis=1)
+        index = IncrementalGridIndex(self.SIDE, self.CELL, rebuild_fraction=1.0)
+        index.update(points)
+        for offset in (-1e-9, 1e-9, -0.5, 0.5, 0.0):
+            moved = points.copy()
+            moved[:, 0] = edges + offset
+            index.update(moved)
+            self.assert_matches_fresh(index, moved, rng)
+
+    def test_radius_close_to_cell_size(self, rng):
+        """Adversarial: query radius straddling the bucket side."""
+        points = rng.uniform(0, self.SIDE, size=(120, 2))
+        index = IncrementalGridIndex(self.SIDE, self.CELL, rebuild_fraction=1.0)
+        index.update(points)
+        points = drift(points, rng, 0.3, self.SIDE)
+        index.update(points)
+        fresh = GridIndex(self.SIDE, self.CELL).build(points)
+        queries = rng.uniform(0, self.SIDE, size=(60, 2))
+        for radius in (0.999, 1.0, 1.000001):
+            assert np.array_equal(
+                index.any_within(queries, radius), fresh.any_within(queries, radius)
+            )
+
+    def test_rebuild_fallback_triggers(self, rng):
+        points = rng.uniform(0, self.SIDE, size=(100, 2))
+        index = IncrementalGridIndex(self.SIDE, self.CELL, rebuild_fraction=0.05)
+        index.update(points)
+        # Teleport everyone: far more than 5% of points change buckets.
+        index.update(rng.uniform(0, self.SIDE, size=(100, 2)))
+        assert index.n_rebuilds == 2
+        assert index.n_updates == 2
+
+    def test_point_count_change_rebuilds(self, rng):
+        index = IncrementalGridIndex(self.SIDE, self.CELL)
+        index.update(rng.uniform(0, self.SIDE, size=(50, 2)))
+        points = rng.uniform(0, self.SIDE, size=(70, 2))
+        index.update(points)
+        assert index.size == 70
+        self.assert_matches_fresh(index, points, rng)
+
+    def test_rejects_bad_rebuild_fraction(self):
+        with pytest.raises(ValueError, match="rebuild_fraction"):
+            IncrementalGridIndex(self.SIDE, self.CELL, rebuild_fraction=1.5)
+
+
+class TestIncrementalBatchOccupancy:
+    SIDE = 8.0
+    CELL = 0.8
+    BATCH = 3
+    N = 60
+
+    def fresh_counts(self, occupancy, positions):
+        gid = occupancy._cells_of(positions) + (
+            np.arange(self.BATCH, dtype=np.int64)[:, None] * occupancy.m ** 2
+        )
+        return np.bincount(
+            gid.reshape(-1), minlength=self.BATCH * occupancy.m ** 2
+        ).reshape(self.BATCH, occupancy.m ** 2)
+
+    def walk(self, rng, steps, rows_fn=None, **kwargs):
+        occupancy = IncrementalBatchOccupancy(self.SIDE, self.BATCH, self.CELL, **kwargs)
+        positions = rng.uniform(0, self.SIDE, size=(self.BATCH, self.N, 2))
+        occupancy.update(positions)
+        for t in range(steps):
+            rows = rows_fn(t) if rows_fn else None
+            if rows is None:
+                positions = drift(positions, rng, 0.3, self.SIDE)
+            else:
+                positions = positions.copy()
+                positions[rows] = drift(positions[rows], rng, 0.3, self.SIDE)
+            occupancy.update(positions, rows=rows)
+            expected_cid = occupancy._cells_of(positions)
+            assert np.array_equal(occupancy.cid, expected_cid)
+            if occupancy.track_counts:
+                assert np.array_equal(occupancy.counts, self.fresh_counts(occupancy, positions))
+        return occupancy
+
+    def test_cid_tracks_positions(self, rng):
+        self.walk(rng, steps=8)
+
+    def test_counts_delta_repair_matches_full_bincount(self, rng):
+        occupancy = self.walk(rng, steps=8, track_counts=True, rebuild_fraction=1.0)
+        assert occupancy.n_rebuilds == 1  # only the initial build
+
+    def test_row_restricted_updates(self, rng):
+        rows = np.array([0, 2])
+        self.walk(rng, steps=6, rows_fn=lambda t: rows, track_counts=True)
+
+    def test_count_rebuild_fallback(self, rng):
+        occupancy = IncrementalBatchOccupancy(
+            self.SIDE, self.BATCH, self.CELL, track_counts=True, rebuild_fraction=0.01
+        )
+        positions = rng.uniform(0, self.SIDE, size=(self.BATCH, self.N, 2))
+        occupancy.update(positions)
+        positions = rng.uniform(0, self.SIDE, size=(self.BATCH, self.N, 2))
+        occupancy.update(positions)
+        assert occupancy.n_rebuilds == 2
+        assert np.array_equal(occupancy.counts, self.fresh_counts(occupancy, positions))
+
+    def test_validates_shapes(self, rng):
+        occupancy = IncrementalBatchOccupancy(self.SIDE, self.BATCH, self.CELL)
+        with pytest.raises(ValueError, match="positions"):
+            occupancy.update(rng.uniform(0, 1, size=(self.N, 2)))
+        with pytest.raises(ValueError, match="replicas"):
+            occupancy.update(rng.uniform(0, 1, size=(self.BATCH + 1, self.N, 2)))

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+import repro.geometry.neighbors as neighbors_module
 from repro.geometry.neighbors import (
     BruteForceNeighborEngine,
     GridNeighborEngine,
@@ -79,3 +80,161 @@ class TestBackendAgreement:
         points = np.array([[5.0, 5.0], [5.0, 5.0], [9.0, 9.0]])
         pairs = engine.pairs_within(points, 0.5)
         assert {tuple(sorted(p)) for p in pairs.tolist()} == {(0, 1)}
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBoundSnapshot:
+    """bind(): one index per snapshot, masked index-based queries."""
+
+    def test_snapshot_matches_coordinate_api(self, backend, rng):
+        points = rng.uniform(0, 10, (120, 2))
+        engine = make_engine(backend, 10.0)
+        brute = BruteForceNeighborEngine(10.0)
+        snapshot = engine.bind(points, 1.2)
+        for seed in range(3):
+            sub = np.random.default_rng(seed)
+            source_idx = np.nonzero(sub.uniform(size=120) < 0.3)[0]
+            query_idx = np.nonzero(sub.uniform(size=120) < 0.5)[0]
+            expected_any = brute.any_within(points[source_idx], points[query_idx], 1.2)
+            expected_count = brute.count_within(points[source_idx], points[query_idx], 1.2)
+            assert np.array_equal(snapshot.any_within(source_idx, query_idx), expected_any)
+            assert np.array_equal(snapshot.count_within(source_idx, query_idx), expected_count)
+
+    def test_snapshot_dense_sources_few_queries(self, backend, rng):
+        """The grid snapshot's full-index path (dense sources, few queries)."""
+        points = rng.uniform(0, 10, (200, 2))
+        engine = make_engine(backend, 10.0)
+        brute = BruteForceNeighborEngine(10.0)
+        snapshot = engine.bind(points, 1.5)
+        source_idx = np.arange(190)
+        query_idx = np.arange(190, 200)
+        expected = brute.any_within(points[source_idx], points[query_idx], 1.5)
+        assert np.array_equal(snapshot.any_within(source_idx, query_idx), expected)
+
+    def test_snapshot_empty_sides(self, backend, rng):
+        points = rng.uniform(0, 10, (30, 2))
+        snapshot = make_engine(backend, 10.0).bind(points, 1.0)
+        empty = np.empty(0, dtype=np.intp)
+        some = np.arange(5)
+        assert snapshot.any_within(empty, some).tolist() == [False] * 5
+        assert snapshot.count_within(empty, some).tolist() == [0] * 5
+        assert snapshot.any_within(some, empty).size == 0
+
+    def test_incremental_rounds_match_rebuild(self, backend, rng):
+        """Successive binds with drifting points: persistent-index engines
+        must agree with a fresh engine every round."""
+        engine = make_engine(backend, 10.0)
+        fresh = make_engine(backend, 10.0, incremental=False) if backend == "grid" else engine
+        points = rng.uniform(0, 10, (150, 2))
+        for _ in range(6):
+            points = np.clip(points + rng.uniform(-0.3, 0.3, points.shape), 0, 10)
+            source_idx = np.nonzero(rng.uniform(size=150) < 0.4)[0]
+            query_idx = np.nonzero(rng.uniform(size=150) < 0.4)[0]
+            got = engine.bind(points, 1.1).any_within(source_idx, query_idx)
+            expected = fresh.bind(points, 1.1).any_within(source_idx, query_idx)
+            assert np.array_equal(got, expected)
+
+
+class TestCachesAndProbes:
+    def test_available_backends_probe_is_cached(self, monkeypatch):
+        """The scipy probe must not re-run the import machinery per call."""
+        first = available_backends()
+        calls = []
+        real_import = __builtins__["__import__"] if isinstance(__builtins__, dict) else __builtins__.__import__
+
+        def counting_import(name, *args, **kwargs):
+            if name.startswith("scipy"):
+                calls.append(name)
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr("builtins.__import__", counting_import)
+        assert available_backends() == first
+        assert available_backends() == first
+        assert calls == []
+
+    def test_available_backends_returns_fresh_list(self):
+        """Callers may mutate the returned list without corrupting the cache."""
+        first = available_backends()
+        first.append("bogus")
+        assert "bogus" not in available_backends()
+
+    def test_grid_snapshot_shares_one_index_per_source_set(self, rng):
+        """any_within + count_within on one bound snapshot build one index
+        (array identity is stable inside a snapshot, unlike the
+        coordinate API where every call gathers fresh arrays)."""
+        engine = GridNeighborEngine(10.0)
+        points = rng.uniform(0, 10, (60, 2))
+        snapshot = engine.bind(points, 1.0)
+        source_idx = np.arange(20)
+        query_idx = np.arange(20, 60)
+        snapshot.any_within(source_idx, query_idx)
+        index_first = snapshot._memo[1]
+        snapshot.count_within(source_idx, query_idx)
+        assert snapshot._memo[1] is index_first
+        # A different source set must index afresh.
+        other_idx = np.arange(10)
+        snapshot.any_within(other_idx, query_idx)
+        assert snapshot._memo[1] is not index_first
+
+    def test_make_engine_rejects_unknown_options(self):
+        with pytest.raises(ValueError, match="unknown engine options"):
+            make_engine("grid", 10.0, warp=True)
+
+    def test_grid_memo_detects_in_place_mutation(self, rng):
+        """Advancing a positions array *in place* between calls must not
+        serve a stale index (regression guard for the memo)."""
+        engine = GridNeighborEngine(10.0)
+        brute = BruteForceNeighborEngine(10.0)
+        sources = rng.uniform(0, 6, (50, 2))
+        queries = rng.uniform(0, 10, (20, 2))
+        engine.any_within(sources, queries, 1.0)
+        sources += 3.0  # in-place advance, same object identity
+        assert np.array_equal(
+            engine.any_within(sources, queries, 1.0),
+            brute.any_within(sources, queries, 1.0),
+        )
+
+
+class TestDilate:
+    def naive(self, occ, reach):
+        batch, m, _ = occ.shape
+        out = np.zeros_like(occ)
+        for b in range(batch):
+            for i in range(m):
+                for j in range(m):
+                    lo_i, hi_i = max(0, i - reach), min(m, i + reach + 1)
+                    lo_j, hi_j = max(0, j - reach), min(m, j + reach + 1)
+                    out[b, i, j] = occ[b, lo_i:hi_i, lo_j:hi_j].any()
+        return out
+
+    @pytest.mark.parametrize("reach", [0, 1, 2, 3, 5])
+    def test_matches_naive_box(self, reach, rng):
+        occ = rng.uniform(size=(2, 9, 9)) < 0.15
+        got = neighbors_module._dilate(occ, reach)
+        assert np.array_equal(got, self.naive(occ, reach))
+
+    def test_input_not_mutated(self, rng):
+        occ = rng.uniform(size=(1, 6, 6)) < 0.3
+        original = occ.copy()
+        neighbors_module._dilate(occ, 3)
+        assert np.array_equal(occ, original)
+
+
+class TestCoarseCoverDivisor:
+    def test_sqrt5_cross_branch_stays_exact(self, rng, monkeypatch):
+        """The cross-neighborhood branch (reach_sure == 0) only triggers
+        for divisors below 2*sqrt2; pin the seed's sqrt(5) cover to keep
+        it covered and exact."""
+        import math
+
+        from repro.geometry.neighbors import BatchNeighborQuery
+
+        monkeypatch.setattr(BatchNeighborQuery, "_COVER_DIVISOR", math.sqrt(5.0))
+        side, radius = 12.0, 1.4
+        positions = rng.uniform(0, side, size=(3, 100, 2))
+        informed = rng.uniform(size=(3, 100)) < 0.35
+        query = BatchNeighborQuery(side, 3)
+        got = query.any_within(positions, informed, ~informed, radius)
+        brute = BatchNeighborQuery(side, 3, backend="brute")
+        expected = brute.any_within(positions, informed, ~informed, radius)
+        assert np.array_equal(got, expected)

@@ -148,6 +148,20 @@ class TestBatchMobility:
             expected = np.stack([m.step() for m in models])
             assert np.array_equal(batch.step(), expected)
 
+    def test_step_returns_independent_copies_by_default(self):
+        """Holding step() results across steps must be safe (the lock-step
+        driver opts into the zero-copy view with copy=False)."""
+        _scalar_rngs, batch_rngs = self._rng_pairs(26)
+        batch = BatchManhattanRandomWaypoint(self.N, self.SIDE, self.SPEED, batch_rngs)
+        first = batch.step()
+        held = first.copy()
+        second = batch.step()
+        assert not np.shares_memory(first, second)
+        assert np.array_equal(first, held)  # not silently refreshed in place
+        view = batch.step(copy=False)
+        assert not view.flags.writeable
+        assert np.array_equal(view, batch.positions)
+
     def test_inactive_replicas_freeze_state_and_streams(self):
         _scalar_rngs, batch_rngs = self._rng_pairs(24)
         batch = BatchManhattanRandomWaypoint(self.N, self.SIDE, self.SPEED, batch_rngs)
