@@ -42,6 +42,8 @@ from repro.mobility import (
 )
 from repro.network import DiskGraph, SnapshotSeries, temporal_bfs
 from repro.protocols import (
+    BATCH_PROTOCOL_REGISTRY,
+    PROTOCOL_REGISTRY,
     FloodingProtocol,
     GossipProtocol,
     ParsimoniousFlooding,
@@ -54,6 +56,7 @@ from repro.simulation import (
     FloodingResult,
     run_flooding,
     run_flooding_batch,
+    run_protocol_batch,
     run_trials,
     standard_config,
     summarize,
@@ -87,6 +90,9 @@ __all__ = [
     "standard_config",
     "run_flooding",
     "run_flooding_batch",
+    "run_protocol_batch",
+    "PROTOCOL_REGISTRY",
+    "BATCH_PROTOCOL_REGISTRY",
     "run_trials",
     "sweep",
     "summarize",

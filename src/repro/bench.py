@@ -69,6 +69,12 @@ SMOKE = {"n": 400, "trials": 8, "radius_factor": 1.0, "seed": 42}
 #: rebuild every spatial index per round, never prune sources.
 LEGACY_OPTIONS = {"incremental": False, "prune": False}
 
+#: The protocols acceptance workload: the ``protocol_baselines`` quick
+#: scale exactly (n=2000, every registered baseline protocol, identical
+#: trial seeds), timed under both engines.
+PROTOCOLS_SCALE = "quick"
+PROTOCOLS_SMOKE_N = 300
+
 
 # ----------------------------------------------------------------------
 # Workload builders (shared with benchmarks/)
@@ -334,13 +340,109 @@ def _parity_sweep(smoke: bool) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Protocol suite: every registered protocol, batch vs scalar
+# ----------------------------------------------------------------------
+def _protocol_variant_configs(smoke: bool, seed: int = 0) -> list:
+    """``(label, batch_config, scalar_config, trials)`` per baseline variant.
+
+    The full run times the ``protocol_baselines`` quick scale *exactly*
+    (same configs, via the experiment's own workload builder); smoke runs
+    shrink ``n`` so CI exercises the machinery and parity only.
+    """
+    from repro.experiments.protocol_baselines import variant_configs
+
+    out = []
+    for (label, batch_config, trials), (_, scalar_config, _) in zip(
+        variant_configs(PROTOCOLS_SCALE, seed, engine="batch"),
+        variant_configs(PROTOCOLS_SCALE, seed, engine="scalar"),
+    ):
+        if smoke:
+            n = PROTOCOLS_SMOKE_N
+            side = math.sqrt(n)
+            radius = 1.4 * math.sqrt(math.log(n))
+            overrides = {"n": n, "side": side, "radius": radius, "speed": 0.25 * radius}
+            batch_config = batch_config.with_options(**overrides)
+            scalar_config = scalar_config.with_options(**overrides)
+        out.append((label, batch_config, scalar_config, trials))
+    return out
+
+
+def _protocol_fingerprint(results) -> list:
+    """Result fingerprint including stall flags and protocol extras."""
+    return [
+        (
+            r.flooding_time,
+            r.completed,
+            r.stalled,
+            r.n_steps,
+            r.source,
+            tuple(np.asarray(r.informed_history).tolist()),
+            tuple(sorted(
+                (k, v) for k, v in r.extras.items() if k not in ("config", "n_agents")
+            )),
+        )
+        for r in results
+    ]
+
+
+def _bench_protocols(repeats: int, smoke: bool) -> tuple:
+    """Per-protocol batch-vs-scalar timings over the baselines workload.
+
+    Returns ``(section, parity)``: the report's ``protocols`` section and
+    the per-variant seed-for-seed parity verdicts (parity gates the run,
+    timing never does).
+    """
+    variants = _protocol_variant_configs(smoke)
+    parity = {}
+    rows = []
+    batch_total = scalar_total = 0.0
+    for label, batch_config, scalar_config, trials in variants:
+        parity[f"protocols:{label}"] = _protocol_fingerprint(
+            run_trials(batch_config, trials)
+        ) == _protocol_fingerprint(run_trials(scalar_config, trials))
+        best = _interleaved_best(
+            {
+                "batch": lambda c=batch_config: run_trials(c, trials),
+                "scalar": lambda c=scalar_config: run_trials(c, trials),
+            },
+            repeats,
+        )
+        batch_total += best["batch"]
+        scalar_total += best["scalar"]
+        rows.append(
+            {
+                "label": label,
+                "protocol": batch_config.protocol,
+                "trials": trials,
+                "batch_seconds": best["batch"],
+                "scalar_seconds": best["scalar"],
+                "speedup": best["scalar"] / best["batch"],
+            }
+        )
+    section = {
+        "workload": {
+            "scale": PROTOCOLS_SCALE,
+            "n": variants[0][1].n,
+            "trials": variants[0][3],
+            "smoke": smoke,
+        },
+        "variants": rows,
+        "batch_total_seconds": batch_total,
+        "scalar_total_seconds": scalar_total,
+        "speedup": scalar_total / batch_total,
+    }
+    return section, parity
+
+
+# ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
 def run_benchmarks(
     smoke: bool = False,
     repeats: int = None,
-    label: str = "PR2",
+    label: str = "PR3",
     baselines: dict = None,
+    suite: str = "all",
 ) -> dict:
     """Measure kernels + end-to-end throughput; returns the report dict.
 
@@ -350,34 +452,58 @@ def run_benchmarks(
         repeats: best-of-N timing repeats (default 3, smoke 2).
         label: free-form tag stored in the report (e.g. the PR number).
         baselines: recorded external measurements ``{name: seconds}``
-            (e.g. the PR 1 engine timed from its own checkout on the same
-            host) — stored verbatim and turned into
+            (e.g. a previous PR's engine timed from its own checkout on
+            the same host) — stored verbatim and turned into
             ``speedups['batch_vs_<name>']`` ratios against this run's
-            ``batch`` time.  Only comparable when measured on the same
-            machine with the same workload; provenance belongs in the
-            label / commit message.
+            ``batch`` time, or — for names ending in ``"_protocols"`` —
+            ``speedups['protocols_batch_vs_<name>']`` ratios against the
+            protocol suite's batch total.  Only comparable when measured
+            on the same machine with the same workload; provenance
+            belongs in the label / commit message.
+        suite: ``"core"`` (the kernel + flooding end-to-end suite),
+            ``"protocols"`` (every registered protocol, batch vs scalar,
+            parity-gated), or ``"all"``.
     """
+    if suite not in ("core", "protocols", "all"):
+        raise ValueError(f"suite must be 'core', 'protocols' or 'all', got {suite!r}")
     if repeats is None:
         repeats = 2 if smoke else 3
     workload = dict(SMOKE if smoke else CANONICAL)
+    baselines = dict(baselines or {})
 
     kernels = []
-    kernels.extend(_bench_grid_index(repeats, smoke))
-    kernels.extend(_bench_batch_occupancy(repeats, smoke))
-    any_within_kernels, kernel_parity = _bench_batch_any_within(repeats, smoke)
-    kernels.extend(any_within_kernels)
+    end_to_end = []
+    speedups = {}
+    parity = {"workload": None, "checks": {}, "ok": True}
+    protocols = None
 
-    end_to_end, speedups, e2e_parity = _bench_end_to_end(
-        workload, repeats, include_scalar=True
-    )
-    if baselines:
-        batch_seconds = next(r["seconds"] for r in end_to_end if r["name"] == "batch")
-        for name, seconds in baselines.items():
+    if suite in ("core", "all"):
+        kernels.extend(_bench_grid_index(repeats, smoke))
+        kernels.extend(_bench_batch_occupancy(repeats, smoke))
+        any_within_kernels, kernel_parity = _bench_batch_any_within(repeats, smoke)
+        kernels.extend(any_within_kernels)
+
+        end_to_end, speedups, e2e_parity = _bench_end_to_end(
+            workload, repeats, include_scalar=True
+        )
+        parity = _parity_sweep(smoke)
+        parity["checks"]["kernel:batch_any_within"] = kernel_parity
+        for name, ok in e2e_parity.items():
+            parity["checks"][f"end_to_end:{name}"] = ok
+
+    if suite in ("protocols", "all"):
+        protocols, protocol_parity = _bench_protocols(repeats, smoke)
+        parity["checks"].update(protocol_parity)
+
+    for name, seconds in baselines.items():
+        if name.endswith("_protocols"):
+            if protocols is not None:
+                speedups[f"protocols_batch_vs_{name}"] = (
+                    float(seconds) / protocols["batch_total_seconds"]
+                )
+        elif end_to_end:
+            batch_seconds = next(r["seconds"] for r in end_to_end if r["name"] == "batch")
             speedups[f"batch_vs_{name}"] = float(seconds) / batch_seconds
-    parity = _parity_sweep(smoke)
-    parity["checks"]["kernel:batch_any_within"] = kernel_parity
-    for name, ok in e2e_parity.items():
-        parity["checks"][f"end_to_end:{name}"] = ok
     parity["ok"] = all(parity["checks"].values())
 
     try:
@@ -386,10 +512,11 @@ def run_benchmarks(
         scipy_version = scipy.__version__
     except ImportError:  # pragma: no cover - depends on environment
         scipy_version = None
-    return {
+    report = {
         "schema_version": SCHEMA_VERSION,
         "label": label,
         "smoke": smoke,
+        "suite": suite,
         "created_unix": int(time.time()),
         "environment": {
             "python": platform.python_version(),
@@ -399,12 +526,17 @@ def run_benchmarks(
             "system": platform.system(),
         },
         "workloads": {"end_to_end": workload},
-        "baselines": {name: float(seconds) for name, seconds in (baselines or {}).items()},
+        "baselines": {name: float(seconds) for name, seconds in baselines.items()},
         "kernels": kernels,
         "end_to_end": end_to_end,
         "speedups": speedups,
         "parity": parity,
     }
+    if protocols is not None:
+        report["workloads"]["protocols"] = protocols["workload"]
+        report["protocols"] = protocols
+        speedups["protocol_baselines_batch_vs_scalar"] = protocols["speedup"]
+    return report
 
 
 def render_table(report: dict) -> str:
@@ -415,23 +547,43 @@ def render_table(report: dict) -> str:
         + (" (smoke)" if report["smoke"] else "")
     )
     lines.append("")
-    lines.append(f"{'kernel':38s} {'per call':>12s}")
-    for kernel in report["kernels"]:
-        name = kernel["name"]
-        churn = kernel["params"].get("churn")
-        if churn is not None:
-            name = f"{name}[{churn}]"
-        lines.append(f"{name:38s} {kernel['per_call'] * 1e3:9.3f} ms")
-    lines.append("")
-    workload = report["workloads"]["end_to_end"]
-    lines.append(
-        f"end to end (n={workload['n']}, trials={workload['trials']}, "
-        f"radius_factor={workload['radius_factor']}, seed={workload['seed']}):"
-    )
-    for row in report["end_to_end"]:
-        lines.append(f"  {row['name']:16s} {row['seconds']:8.3f} s")
+    if report["kernels"]:
+        lines.append(f"{'kernel':38s} {'per call':>12s}")
+        for kernel in report["kernels"]:
+            name = kernel["name"]
+            churn = kernel["params"].get("churn")
+            if churn is not None:
+                name = f"{name}[{churn}]"
+            lines.append(f"{name:38s} {kernel['per_call'] * 1e3:9.3f} ms")
+        lines.append("")
+    if report["end_to_end"]:
+        workload = report["workloads"]["end_to_end"]
+        lines.append(
+            f"end to end (n={workload['n']}, trials={workload['trials']}, "
+            f"radius_factor={workload['radius_factor']}, seed={workload['seed']}):"
+        )
+        for row in report["end_to_end"]:
+            lines.append(f"  {row['name']:16s} {row['seconds']:8.3f} s")
+    protocols = report.get("protocols")
+    if protocols is not None:
+        workload = protocols["workload"]
+        lines.append("")
+        lines.append(
+            f"protocol suite (protocol_baselines {workload['scale']}, "
+            f"n={workload['n']}, trials={workload['trials']}):"
+        )
+        for row in protocols["variants"]:
+            lines.append(
+                f"  {row['label']:22s} batch {row['batch_seconds']:7.3f} s  "
+                f"scalar {row['scalar_seconds']:7.3f} s  {row['speedup']:5.2f}x"
+            )
+        lines.append(
+            f"  {'TOTAL':22s} batch {protocols['batch_total_seconds']:7.3f} s  "
+            f"scalar {protocols['scalar_total_seconds']:7.3f} s  "
+            f"{protocols['speedup']:5.2f}x"
+        )
     for name, ratio in report["speedups"].items():
-        lines.append(f"  {name:24s} {ratio:5.2f}x")
+        lines.append(f"  {name:40s} {ratio:5.2f}x")
     lines.append("")
     bad = [name for name, ok in report["parity"]["checks"].items() if not ok]
     if bad:

@@ -11,11 +11,12 @@ Subcommands:
   the canonical ``L = sqrt n`` scaling; ``--engine batch`` advances all
   trials in lock-step through the vectorized batch engine (same results,
   faster);
-* ``bench [--smoke] [--out PATH] [--repeats N] [--label TAG]`` —
-  the perf-trajectory harness (:mod:`repro.bench`): kernel and end-to-end
-  timings plus cross-strategy parity checks, written as machine-readable
-  JSON so future PRs can regress against it.  Exit status reflects
-  **parity only**, never timing.
+* ``bench [--smoke] [--suite core|protocols|all] [--out PATH]
+  [--repeats N] [--label TAG]`` — the perf-trajectory harness
+  (:mod:`repro.bench`): kernel and end-to-end timings, the per-protocol
+  batch-vs-scalar suite, and cross-strategy parity checks, written as
+  machine-readable JSON so future PRs can regress against it.  Exit
+  status reflects **parity only**, never timing.
 """
 
 from __future__ import annotations
@@ -73,10 +74,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     flood_p.add_argument(
         "--engine",
-        choices=("scalar", "batch"),
+        choices=("scalar", "batch", "auto"),
         default="scalar",
-        help="trial execution engine: 'scalar' (reference, one trial at a time) "
-        "or 'batch' (vectorized lock-step over all trials; same results)",
+        help="trial execution engine: 'scalar' (reference, one trial at a time), "
+        "'batch' (vectorized lock-step over all trials; same results for every "
+        "registered protocol), or 'auto' (batch whenever the protocol supports it)",
+    )
+    flood_p.add_argument(
+        "--protocol",
+        default="flooding",
+        help="broadcast protocol (any PROTOCOL_REGISTRY name; both engines "
+        "support all of them)",
     )
     flood_p.add_argument(
         "--batch-size",
@@ -94,11 +102,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="small scales for CI smoke runs (machinery + parity, not timing)",
     )
     bench_p.add_argument(
+        "--suite",
+        choices=("core", "protocols", "all"),
+        default="all",
+        help="benchmark suite: 'core' (kernels + flooding end-to-end), "
+        "'protocols' (every registered protocol, batch vs scalar, "
+        "parity-gated), or 'all'",
+    )
+    bench_p.add_argument(
         "--out",
         default="BENCH_RUN.json",
         help="output JSON path (default BENCH_RUN.json; the committed "
-        "trajectory anchor BENCH_PR2.json is only written when asked "
-        "for explicitly)",
+        "trajectory anchors BENCH_PR2.json / BENCH_PR3.json are only "
+        "written when asked for explicitly)",
     )
     bench_p.add_argument(
         "--repeats",
@@ -106,7 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="best-of-N timing repeats (default 3, smoke 2)",
     )
-    bench_p.add_argument("--label", default="PR2", help="free-form tag stored in the report")
+    bench_p.add_argument("--label", default="PR3", help="free-form tag stored in the report")
     bench_p.add_argument(
         "--baseline",
         action="append",
@@ -168,15 +184,16 @@ def _cmd_flood(args) -> int:
         source=source,
         seed=args.seed,
         max_steps=args.max_steps,
+        protocol=args.protocol,
         engine=args.engine,
         batch_size=args.batch_size,
     )
     print(config.describe())
-    if args.trials > 1 or config.engine == "batch":
+    if args.trials > 1 or config.resolved_engine == "batch":
         results = run_trials(config, args.trials)
         summary = summarize(r.flooding_time for r in results)
         completed = sum(r.completed for r in results)
-        print(f"engine: {config.engine} ({args.trials} trials)")
+        print(f"engine: {config.resolved_engine} ({args.trials} trials)")
         print(f"flooding time: {summary.format('steps')}")
         print(f"completed: {completed}/{args.trials}")
         print(f"Theorem 3 bound: {config.upper_bound():.1f}")
@@ -202,7 +219,11 @@ def _cmd_bench(args) -> int:
         except ValueError:
             raise SystemExit(f"--baseline expects NAME=SECONDS, got {spec!r}")
     report = run_benchmarks(
-        smoke=args.smoke, repeats=args.repeats, label=args.label, baselines=baselines
+        smoke=args.smoke,
+        repeats=args.repeats,
+        label=args.label,
+        baselines=baselines,
+        suite=args.suite,
     )
     write_report(args.out, report)
     print(render_table(report))

@@ -6,6 +6,12 @@ standard relaxations on the *same* mobility traces' distribution: push
 gossip (bounded fanout), parsimonious flooding (bounded active window,
 ref [3]), probabilistic flooding (duty cycling), and SIR epidemic
 (permanent recovery — may die out in the Suburb).
+
+Since PR 3 every variant runs through the **batch engine** at both scales
+(all trials of a variant in lock-step); the scalar path produces identical
+results (seed-for-seed parity, ``tests/test_protocol_batch_parity.py``)
+and remains selectable via ``run(..., engine="scalar")`` for the
+benchmark's speedup measurement.
 """
 
 from __future__ import annotations
@@ -31,7 +37,10 @@ _VARIANTS = [
 ]
 
 
-def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+def variant_configs(scale: str = "quick", seed: int = 0, engine: str = "batch") -> list:
+    """The experiment's ``(label, config, trials)`` workload, one entry per
+    variant — shared with ``repro bench --suite protocols`` so the speedup
+    measurement times exactly the experiment's configurations."""
     params = scale_params(
         scale,
         quick={"n": 2_000, "radius_factor": 1.4, "trials": 3},
@@ -41,21 +50,31 @@ def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
     side = math.sqrt(n)
     radius = params["radius_factor"] * math.sqrt(math.log(n))
     speed = 0.25 * radius
+    return [
+        (
+            label,
+            FloodingConfig(
+                n=n,
+                side=side,
+                radius=radius,
+                speed=speed,
+                max_steps=20_000,
+                protocol=protocol,
+                protocol_options=options,
+                seed=seed,  # same seed -> same mobility/trial structure per variant
+                engine=engine,
+            ),
+            params["trials"],
+        )
+        for label, protocol, options in _VARIANTS
+    ]
 
+
+def run(scale: str = "quick", seed: int = 0, engine: str = "batch") -> ExperimentResult:
     rows = []
     flooding_mean = None
-    for label, protocol, options in _VARIANTS:
-        config = FloodingConfig(
-            n=n,
-            side=side,
-            radius=radius,
-            speed=speed,
-            max_steps=20_000,
-            protocol=protocol,
-            protocol_options=options,
-            seed=seed,  # same seed -> same mobility/trial structure per variant
-        )
-        results = run_trials(config, params["trials"])
+    for label, config, trials in variant_configs(scale, seed, engine):
+        results = run_trials(config, trials)
         summary = summarize(r.flooding_time for r in results)
         coverage = sum(r.final_coverage for r in results) / len(results)
         stalled = sum(1 for r in results if r.stalled)
@@ -92,7 +111,8 @@ def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
         rows=rows,
         notes=[
             "identical trial seeds across variants: differences are protocol-only;",
-            "flooding lower-bounds every variant's completion time (slowdown >= 1).",
+            "flooding lower-bounds every variant's completion time (slowdown >= 1);",
+            f"all variants executed by the {engine} engine (scalar-parity enforced in tests).",
         ],
         passed=flooding_fastest,
     )

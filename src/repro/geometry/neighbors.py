@@ -95,6 +95,29 @@ class BoundSnapshot:
             self.points[source_idx], self.points[query_idx], self.radius
         )
 
+    def contacts_within(self, source_idx, query_idx) -> tuple:
+        """All (source, query) agent pairs within the bound radius.
+
+        The bipartite materialization behind the neighbor-sampling
+        protocols: gossip and push-pull only ever need the edges crossing
+        the informed/uninformed cut, which is far smaller than the full
+        disk graph at both ends of a run.  This base implementation is
+        O(S * Q) (fine for the brute engine); grid and KD-tree override it
+        with index-backed variants.
+
+        Returns:
+            ``(sources, queries)`` agent-index arrays of equal length, in
+            unspecified order.
+        """
+        source_idx = np.asarray(source_idx, dtype=np.intp)
+        query_idx = np.asarray(query_idx, dtype=np.intp)
+        if source_idx.size == 0 or query_idx.size == 0:
+            return np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp)
+        diff = self.points[query_idx][:, None, :] - self.points[source_idx][None, :, :]
+        dist2 = np.sum(diff * diff, axis=-1)
+        qpos, spos = np.nonzero(dist2 <= self.radius * self.radius)
+        return source_idx[spos], query_idx[qpos]
+
 
 class NeighborEngine:
     """Interface for radius-based neighbor queries on a square region."""
@@ -166,7 +189,11 @@ class _GridSnapshot(BoundSnapshot):
         self._memo = (source_idx, index)
         return index
 
-    def _masked_full(self, source_idx, queries):
+    def _masked_candidates(self, source_idx, queries) -> tuple:
+        """Exact ``(query position, source agent)`` matches against the
+        persistent full index, membership-filtered to ``source_idx`` —
+        shared by the dense-source paths of ``any_within`` /
+        ``count_within`` / ``contacts_within``."""
         source_mask = np.zeros(self.points.shape[0], dtype=bool)
         source_mask[source_idx] = True
         index = self._full_index()
@@ -178,7 +205,11 @@ class _GridSnapshot(BoundSnapshot):
             diff = queries[qidx] - self.points[pidx]
             hit = np.sum(diff * diff, axis=1) <= self.radius * self.radius
             qidx = qidx[hit]
-        return qidx
+            pidx = pidx[hit]
+        return qidx, pidx
+
+    def _masked_full(self, source_idx, queries):
+        return self._masked_candidates(source_idx, queries)[0]
 
     def _use_full(self, source_idx, query_idx) -> bool:
         n = self.points.shape[0]
@@ -214,6 +245,27 @@ class _GridSnapshot(BoundSnapshot):
         counts = np.zeros(queries.shape[0], dtype=np.intp)
         np.add.at(counts, self._masked_full(source_idx, queries), 1)
         return counts
+
+    def contacts_within(self, source_idx, query_idx) -> tuple:
+        source_idx = np.asarray(source_idx, dtype=np.intp)
+        query_idx = np.asarray(query_idx, dtype=np.intp)
+        empty = np.empty(0, dtype=np.intp)
+        if source_idx.size == 0 or query_idx.size == 0:
+            return empty, empty
+        queries = self.points[query_idx]
+        if self._use_full(source_idx, query_idx):
+            # Dense sources, few queries: reuse the persistent full-snapshot
+            # index (candidates carry agent ids directly).
+            qidx, sources = self._masked_candidates(source_idx, queries)
+            return sources, query_idx[qidx]
+        index = self._source_index(source_idx)
+        qidx, pidx = index._candidate_arrays(queries, self.radius)
+        if qidx.size == 0:
+            return empty, empty
+        sources = source_idx[pidx]
+        diff = queries[qidx] - self.points[sources]
+        hit = np.sum(diff * diff, axis=1) <= self.radius * self.radius
+        return sources[hit], query_idx[qidx[hit]]
 
 
 class GridNeighborEngine(NeighborEngine):
@@ -313,7 +365,11 @@ class _KDTreeSnapshot(BoundSnapshot):
         memo = self._memo
         if memo is not None and memo[0] is source_idx:
             return memo[1]
-        tree = self.engine._cKDTree(self.points[source_idx])
+        # Snapshot trees live for one communication round: skip the
+        # balancing passes, which dominate construction at these sizes.
+        tree = self.engine._cKDTree(
+            self.points[source_idx], balanced_tree=False, compact_nodes=False
+        )
         self._memo = (source_idx, tree)
         return tree
 
@@ -336,6 +392,19 @@ class _KDTreeSnapshot(BoundSnapshot):
             self.points[query_idx], r=self.radius, return_length=True
         )
         return np.asarray(counts, dtype=np.intp)
+
+    def contacts_within(self, source_idx, query_idx) -> tuple:
+        source_idx = np.asarray(source_idx, dtype=np.intp)
+        query_idx = np.asarray(query_idx, dtype=np.intp)
+        if source_idx.size == 0 or query_idx.size == 0:
+            return np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp)
+        query_tree = self.engine._cKDTree(
+            self.points[query_idx], balanced_tree=False, compact_nodes=False
+        )
+        hits = self._tree(source_idx).sparse_distance_matrix(
+            query_tree, max_distance=self.radius, output_type="ndarray"
+        )
+        return source_idx[hits["i"]], query_idx[hits["j"]]
 
 
 class KDTreeNeighborEngine(NeighborEngine):
@@ -654,7 +723,136 @@ class BatchBoundQuery:
         if radius <= 0:
             raise ValueError(f"radius must be positive, got {radius}")
         source_mask, query_mask = self._check_masks(source_mask, query_mask)
+        if self.query._tiled_backend == "kdtree":
+            # Throwaway per-round tree: the fast-build flags beat the
+            # balanced build the generic tiled path would pay (the tree
+            # serves exactly one counting pass).
+            batch, n = source_mask.shape
+            source_flat = np.nonzero(source_mask.reshape(-1))[0]
+            query_flat = np.nonzero(query_mask.reshape(-1))[0]
+            counts = np.zeros(batch * n, dtype=np.intp)
+            if source_flat.size and query_flat.size:
+                from scipy.spatial import cKDTree
+
+                shifted, _big_side = self._shifted_for(radius)
+                tree = cKDTree(
+                    shifted[source_flat], balanced_tree=False, compact_nodes=False
+                )
+                counts[query_flat] = tree.query_ball_point(
+                    shifted[query_flat], r=radius, return_length=True
+                )
+            return counts.reshape(batch, n)
         return self._tiled("count_within", source_mask, query_mask, radius)
+
+    def contacts_within(self, source_mask, query_mask, radius: float) -> tuple:
+        """Per-replica bipartite (source, query) contacts within ``radius``.
+
+        The batched counterpart of
+        :meth:`BoundSnapshot.contacts_within` — one tiled dual-tree (or
+        grid-candidate) pass materializes every replica's cross contacts
+        at once; cross-replica contacts are geometrically impossible.
+        The neighbor-sampling protocols call it with the informed mask on
+        one side and the uninformed mask on the other, so the result is
+        the informed/uninformed **cut** — far smaller than the full
+        contact list at both ends of a run.
+
+        Returns:
+            ``(replica, source, query)`` intp agent-index arrays of equal
+            length, in unspecified order.
+        """
+        if radius <= 0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        source_mask, query_mask = self._check_masks(source_mask, query_mask)
+        n = self.positions.shape[1]
+        empty = (np.empty(0, dtype=np.intp),) * 3
+        source_flat = np.nonzero(source_mask.reshape(-1))[0]
+        query_flat = np.nonzero(query_mask.reshape(-1))[0]
+        if source_flat.size == 0 or query_flat.size == 0:
+            return empty
+        shifted, _big_side = self._shifted_for(radius)
+        shifted_s = shifted[source_flat]
+        shifted_q = shifted[query_flat]
+        if self.query._tiled_backend == "kdtree":
+            from scipy.spatial import cKDTree
+
+            source_tree = cKDTree(shifted_s, balanced_tree=False, compact_nodes=False)
+            query_tree = cKDTree(shifted_q, balanced_tree=False, compact_nodes=False)
+            hits = source_tree.sparse_distance_matrix(
+                query_tree, max_distance=radius, output_type="ndarray"
+            )
+            s_sel = source_flat[hits["i"]]
+            q_sel = query_flat[hits["j"]]
+        else:
+            _stride, big_side = self.query._tile_geometry(radius)
+            cell = max(radius, big_side / 512.0)
+            index = GridIndex(big_side, cell)
+            index.build(shifted_s)
+            qidx, pidx = index._candidate_arrays(shifted_q, radius)
+            if qidx.size == 0:
+                return empty
+            diff = shifted_q[qidx] - shifted_s[pidx]
+            hit = np.sum(diff * diff, axis=1) <= radius * radius
+            s_sel = source_flat[pidx[hit]]
+            q_sel = query_flat[qidx[hit]]
+        if s_sel.size == 0:
+            return empty
+        return s_sel // n, s_sel % n, q_sel % n
+
+    def pairs_within(self, radius: float, rows=None) -> tuple:
+        """Per-replica disk-graph edges of the snapshot.
+
+        The batched counterpart of
+        :meth:`NeighborEngine.pairs_within`, for callers that need every
+        replica's full edge list (disk-graph statistics, contact traces)
+        in one tiled engine call — tiles are separated by ``2 * radius``,
+        so cross-replica pairs are geometrically impossible.  The
+        neighbor-sampling protocols do **not** use it (they materialize
+        only the informed/uninformed cut via :meth:`contacts_within`).
+        The edge *order* is the backend's traversal order; callers that
+        consume randomness positionally must canonicalize it themselves.
+
+        Args:
+            radius: query radius.
+            rows: optional replica indices to restrict the query to (e.g.
+                the still-active replicas); others are skipped entirely.
+
+        Returns:
+            ``(replica, i, j)`` intp arrays of equal length, ``i < j``,
+            in unspecified order.
+        """
+        if radius <= 0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        batch, n, _ = self.positions.shape
+        if rows is None:
+            subset = self.positions
+            row_ids = np.arange(batch, dtype=np.intp)
+        else:
+            row_ids = np.asarray(rows, dtype=np.intp)
+            subset = self.positions[row_ids]
+        empty = (np.empty(0, dtype=np.intp),) * 3
+        if row_ids.size == 0:
+            return empty
+        flat = subset.reshape(-1, 2)
+        shifted = self.query._tile_shift(np.repeat(row_ids, n), flat, radius)
+        if self.query._tiled_backend == "kdtree":
+            # Throwaway tree, one per round: skip the balancing passes
+            # (same trick as the exact-shell fall-through above).
+            from scipy.spatial import cKDTree
+
+            tree = cKDTree(shifted, balanced_tree=False, compact_nodes=False)
+            pairs = tree.query_pairs(r=radius, output_type="ndarray")
+            pairs = pairs.astype(np.intp, copy=False)
+        else:
+            _stride, big_side = self.query._tile_geometry(radius)
+            pairs = _BACKENDS[self.query._tiled_backend](big_side).pairs_within(
+                shifted, radius
+            )
+        if pairs.shape[0] == 0:
+            return empty
+        # Every backend returns i < j in the flat index space; endpoints
+        # share a replica (tile separation > radius), so local i < j too.
+        position = pairs[:, 0] // n
+        return row_ids[position], pairs[:, 0] % n, pairs[:, 1] % n
 
 
 class BatchNeighborQuery:

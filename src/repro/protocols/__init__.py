@@ -1,13 +1,27 @@
-"""Broadcast protocols: the paper's flooding plus baseline comparators."""
+"""Broadcast protocols: the paper's flooding plus baseline comparators.
 
-from repro.protocols.base import BroadcastProtocol
-from repro.protocols.epidemic import SIREpidemic
-from repro.protocols.faulty import CrashFaultFlooding
+Every protocol ships in two forms sharing one semantics: the scalar
+:class:`BroadcastProtocol` (the reference, one run at a time) and a
+:class:`BatchBroadcastState` subclass advancing ``B`` independent replicas
+in lock-step with seed-for-seed parity (see
+:mod:`repro.simulation.batch`).  The two registries below map protocol
+names to the respective classes; they must stay key-identical so the batch
+engine covers every protocol (asserted by the tests).
+"""
+
+from repro.protocols.base import (
+    BatchBroadcastState,
+    BroadcastProtocol,
+    group_segments,
+    sample_indices,
+)
+from repro.protocols.epidemic import BatchSIRState, SIREpidemic
+from repro.protocols.faulty import BatchCrashFaultState, CrashFaultFlooding
 from repro.protocols.flooding import BatchFloodingState, FloodingProtocol
-from repro.protocols.gossip import GossipProtocol
-from repro.protocols.parsimonious import ParsimoniousFlooding
-from repro.protocols.probabilistic import ProbabilisticFlooding
-from repro.protocols.pushpull import PushPullGossip
+from repro.protocols.gossip import BatchGossipState, GossipProtocol
+from repro.protocols.parsimonious import BatchParsimoniousState, ParsimoniousFlooding
+from repro.protocols.probabilistic import BatchProbabilisticState, ProbabilisticFlooding
+from repro.protocols.pushpull import BatchPushPullState, PushPullGossip
 
 PROTOCOL_REGISTRY = {
     "flooding": FloodingProtocol,
@@ -18,17 +32,39 @@ PROTOCOL_REGISTRY = {
     "sir": SIREpidemic,
     "crash-flooding": CrashFaultFlooding,
 }
-"""Name -> class mapping used by the CLI and the baselines experiment."""
+"""Name -> scalar class mapping used by the CLI and the baselines experiment."""
+
+BATCH_PROTOCOL_REGISTRY = {
+    "flooding": BatchFloodingState,
+    "gossip": BatchGossipState,
+    "push-pull": BatchPushPullState,
+    "parsimonious": BatchParsimoniousState,
+    "probabilistic": BatchProbabilisticState,
+    "sir": BatchSIRState,
+    "crash-flooding": BatchCrashFaultState,
+}
+"""Name -> batched state mapping; a protocol listed here runs under
+``engine="batch"`` (and is what ``engine="auto"`` keys off)."""
 
 __all__ = [
     "BroadcastProtocol",
+    "BatchBroadcastState",
+    "group_segments",
+    "sample_indices",
     "FloodingProtocol",
     "BatchFloodingState",
     "GossipProtocol",
+    "BatchGossipState",
     "PushPullGossip",
+    "BatchPushPullState",
     "ParsimoniousFlooding",
+    "BatchParsimoniousState",
     "ProbabilisticFlooding",
+    "BatchProbabilisticState",
     "SIREpidemic",
+    "BatchSIRState",
     "CrashFaultFlooding",
+    "BatchCrashFaultState",
     "PROTOCOL_REGISTRY",
+    "BATCH_PROTOCOL_REGISTRY",
 ]

@@ -14,9 +14,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.protocols.base import BroadcastProtocol
+from repro.protocols.base import BatchBroadcastState, BroadcastProtocol
 
-__all__ = ["CrashFaultFlooding"]
+__all__ = ["CrashFaultFlooding", "BatchCrashFaultState"]
 
 
 class CrashFaultFlooding(BroadcastProtocol):
@@ -60,3 +60,82 @@ class CrashFaultFlooding(BroadcastProtocol):
         strikes = self.rng.uniform(size=self.n) < self.crash_prob
         self.crashed |= strikes
         return newly
+
+    def final_metrics(self, positions: np.ndarray, zones=None) -> dict:
+        out = super().final_metrics(positions, zones)
+        out["crashed"] = int(np.count_nonzero(self.crashed))
+        missing = self.alive & ~self.informed
+        out["uninformed_survivors"] = int(np.count_nonzero(missing))
+        if zones is not None:
+            suburb = zones.in_suburb(positions)
+            out["uninformed_survivors_suburb"] = int(np.count_nonzero(missing & suburb))
+            out["uninformed_survivors_cz"] = int(np.count_nonzero(missing & ~suburb))
+        return out
+
+
+class BatchCrashFaultState(BatchBroadcastState):
+    """``B`` independent crash-fault flooding runs in lock-step.
+
+    The exchange restricts both sides of the batched infection test to
+    live agents; the crash strikes stay per replica — one ``uniform(n)``
+    call per active replica per step, after the exchange, matching the
+    scalar draw.  Completion means informing every *surviving* agent, so
+    :meth:`complete_mask` is overridden accordingly.
+    """
+
+    name = "crash-flooding"
+    uses_rng = True
+
+    def __init__(self, *args, crash_prob: float = 0.001, **kwargs):
+        super().__init__(*args, **kwargs)
+        if not 0.0 <= crash_prob <= 1.0:
+            raise ValueError(f"crash_prob must be in [0, 1], got {crash_prob}")
+        self.crash_prob = float(crash_prob)
+        self.crashed = np.zeros((self.batch_size, self.n), dtype=bool)
+
+    @property
+    def alive(self) -> np.ndarray:
+        """``(B, n)`` mask of non-crashed agents."""
+        return ~self.crashed
+
+    def complete_mask(self) -> np.ndarray:
+        """Every surviving agent informed (crashed agents are out of scope)."""
+        return np.all(self.informed | self.crashed, axis=1)
+
+    def can_progress_mask(self) -> np.ndarray:
+        return ~self.complete_mask() & np.any(self.informed & self.alive, axis=1)
+
+    def _exchange(self, snapshot, active: np.ndarray) -> np.ndarray:
+        alive = self.alive
+        source_mask = self.informed & alive & active[:, None]
+        query_mask = ~self.informed & alive & active[:, None]
+        if source_mask.any() and query_mask.any():
+            newly = self._mark_informed(
+                snapshot.any_within(source_mask, query_mask, self.radius)
+            )
+        else:
+            newly = np.zeros((self.batch_size, self.n), dtype=bool)
+        # Crashes strike after the exchange, per replica.
+        for b in np.nonzero(active)[0]:
+            strikes = self.rngs[b].uniform(size=self.n) < self.crash_prob
+            self.crashed[b] |= strikes
+        return newly
+
+    def final_metrics(self, positions: np.ndarray, zones=None) -> list:
+        out = super().final_metrics(positions, zones)
+        missing = self.alive & ~self.informed
+        suburb = None
+        if zones is not None:
+            flat = np.asarray(positions, dtype=np.float64).reshape(-1, 2)
+            suburb = zones.in_suburb(flat).reshape(self.batch_size, self.n)
+        for b in range(self.batch_size):
+            out[b]["crashed"] = int(np.count_nonzero(self.crashed[b]))
+            out[b]["uninformed_survivors"] = int(np.count_nonzero(missing[b]))
+            if suburb is not None:
+                out[b]["uninformed_survivors_suburb"] = int(
+                    np.count_nonzero(missing[b] & suburb[b])
+                )
+                out[b]["uninformed_survivors_cz"] = int(
+                    np.count_nonzero(missing[b] & ~suburb[b])
+                )
+        return out

@@ -23,8 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.geometry.neighbors import BatchNeighborQuery
-from repro.protocols.base import BroadcastProtocol
+from repro.protocols.base import BatchBroadcastState, BroadcastProtocol
 
 __all__ = ["FloodingProtocol", "BatchFloodingState"]
 
@@ -100,7 +99,7 @@ class FloodingProtocol(BroadcastProtocol):
         return newly_cat
 
 
-class BatchFloodingState:
+class BatchFloodingState(BatchBroadcastState):
     """Informed state of ``B`` independent flooding runs, updated in lock-step.
 
     The batch counterpart of :class:`FloodingProtocol`: one
@@ -112,18 +111,12 @@ class BatchFloodingState:
     exactly (including ``multi_hop`` saturation).
 
     Args:
-        n: number of agents per replica.
-        side: region side (for the neighbor query tiling).
-        radius: transmission radius ``R``.
-        sources: ``(B,)`` initial informed agent per replica.
-        backend: neighbor-engine backend name.
         multi_hop: scalar :class:`FloodingProtocol` semantics, per replica.
-        neighbor_options: tuning knobs for the neighbor subsystem —
-            ``incremental`` (persistent cell assignments across rounds)
-            and ``prune`` (frontier source pruning + frontier-only
-            multi-hop sources).  Both default True; both are exact, so
-            results never depend on them (asserted by the parity tests).
+
+    (Shared arguments: :class:`~repro.protocols.base.BatchBroadcastState`.)
     """
+
+    name = "flooding"
 
     def __init__(
         self,
@@ -134,66 +127,15 @@ class BatchFloodingState:
         backend: str = "auto",
         multi_hop: bool = False,
         neighbor_options: dict = None,
+        rngs=None,
     ):
-        sources = np.asarray(sources, dtype=np.intp)
-        if sources.ndim != 1 or sources.size < 1:
-            raise ValueError(f"sources must be a non-empty 1-d array, got shape {sources.shape}")
-        if n <= 0:
-            raise ValueError(f"n must be positive, got {n}")
-        if radius <= 0:
-            raise ValueError(f"radius must be positive, got {radius}")
-        if np.any((sources < 0) | (sources >= n)):
-            raise ValueError(f"sources must be in [0, {n})")
-        options = dict(neighbor_options or {})
-        options.pop("cell_size", None)  # scalar grid-engine knob
-        incremental = bool(options.pop("incremental", True))
-        prune = bool(options.pop("prune", True))
-        if options:
-            raise ValueError(f"unknown neighbor options: {sorted(options)}")
-        self.n = int(n)
-        self.side = float(side)
-        self.radius = float(radius)
-        self.sources = sources
-        self.batch_size = int(sources.size)
-        self.multi_hop = bool(multi_hop)
-        self.prune = prune
-        self.query = BatchNeighborQuery(
-            self.side, self.batch_size, backend, incremental=incremental, prune=prune
+        super().__init__(
+            n, side, radius, sources,
+            rngs=rngs, backend=backend, neighbor_options=neighbor_options,
         )
-        self.informed = np.zeros((self.batch_size, self.n), dtype=bool)
-        self.informed[np.arange(self.batch_size), sources] = True
-        self.informed_at = np.full((self.batch_size, self.n), np.inf)
-        self.informed_at[np.arange(self.batch_size), sources] = 0.0
-        self.step_count = 0
+        self.multi_hop = bool(multi_hop)
 
-    @property
-    def informed_counts(self) -> np.ndarray:
-        """``(B,)`` number of informed agents per replica."""
-        return np.count_nonzero(self.informed, axis=1)
-
-    def complete_mask(self) -> np.ndarray:
-        """``(B,)`` bool — replicas with every agent informed."""
-        return self.informed_counts == self.n
-
-    def step(self, positions: np.ndarray, active=None) -> np.ndarray:
-        """One communication round over the ``(B, n, 2)`` snapshot.
-
-        Args:
-            active: optional ``(B,)`` bool mask of replicas still running;
-                frozen replicas are excluded from both sides of the query.
-
-        Returns:
-            ``(B, n)`` bool mask of newly informed agents.
-        """
-        self.step_count += 1
-        rows = None
-        if active is None:
-            active = np.ones(self.batch_size, dtype=bool)
-        else:
-            active = np.asarray(active, dtype=bool)
-            if not active.all():
-                rows = np.nonzero(active)[0]
-        snapshot = self.query.bind(positions, rows=rows)
+    def _exchange(self, snapshot, active: np.ndarray) -> np.ndarray:
         newly_total = np.zeros((self.batch_size, self.n), dtype=bool)
         frontier = None
         while True:
@@ -207,8 +149,7 @@ class BatchFloodingState:
             hits = snapshot.any_within(source_mask, query_mask, self.radius)
             if not hits.any():
                 break
-            self.informed |= hits
-            self.informed_at[hits] = self.step_count
+            self._mark_informed(hits)
             newly_total |= hits
             if not self.multi_hop:
                 break

@@ -5,22 +5,42 @@ pushes the message to at most ``fanout`` uniformly chosen neighbors per
 step.  This is the classic bandwidth-limited baseline: coverage grows more
 slowly than flooding, bounded below by it, and the gap quantifies how much
 the paper's flooding-time bound depends on unlimited local bandwidth.
+
+Both implementations sample by **neighbor index** against the
+informed/uninformed cut instead of materializing the full contact list
+(DESIGN.md, "Batched protocol framework"): a sender picking ``fanout``
+uniform neighbors spreads the message iff a picked index falls below its
+cut-degree, so only the cut contacts
+(:meth:`~repro.geometry.neighbors.BoundSnapshot.contacts_within`), the
+senders' total degrees (one ``count_within``), and ``fanout`` uniform
+draws per cut-incident sender are needed — ``O(cut)`` per step instead of
+``O(edges)``, which collapses the early (few informed) and late (few
+uninformed) phases of a run.  Draw order is canonical — senders ascending,
+their cut-neighbors ascending — so trajectories are independent of the
+neighbor backend and the batched state replays the scalar draws
+seed-for-seed.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.protocols.base import BroadcastProtocol
+from repro.protocols.base import (
+    BatchBroadcastState,
+    BroadcastProtocol,
+    group_segments,
+    sample_indices,
+)
 
-__all__ = ["GossipProtocol"]
+__all__ = ["GossipProtocol", "BatchGossipState"]
 
 
 class GossipProtocol(BroadcastProtocol):
     """Push gossip: ``fanout`` random in-range targets per informed agent per step.
 
     Targets are drawn among *all* neighbors within ``R`` (informed or not),
-    modelling wasted transmissions as in standard gossip analyses.
+    modelling wasted transmissions as in standard gossip analyses; senders
+    whose picks all land on informed neighbors simply waste the step.
     """
 
     name = "gossip"
@@ -32,26 +52,78 @@ class GossipProtocol(BroadcastProtocol):
         self.fanout = int(fanout)
 
     def _exchange(self, positions: np.ndarray) -> np.ndarray:
-        pairs = self.engine.pairs_within(positions, self.radius)
-        if pairs.size == 0:
+        uninformed_idx = np.nonzero(~self.informed)[0]
+        if uninformed_idx.size == 0:
             return np.empty(0, dtype=np.intp)
-        # Directed contact list, both directions.
-        src = np.concatenate([pairs[:, 0], pairs[:, 1]])
-        dst = np.concatenate([pairs[:, 1], pairs[:, 0]])
-        sending = self.informed[src]
-        src = src[sending]
-        dst = dst[sending]
-        if src.size == 0:
+        informed_idx = np.nonzero(self.informed)[0]
+        snapshot = self.engine.bind(positions, self.radius)
+        s_cut, t_cut = snapshot.contacts_within(informed_idx, uninformed_idx)
+        if s_cut.size == 0:
             return np.empty(0, dtype=np.intp)
-        # Per sender, keep `fanout` uniformly random contacts: shuffle via a
-        # random key, then rank within each sender group.
-        key = self.rng.uniform(size=src.size)
-        order = np.lexsort((key, src))
-        src = src[order]
-        dst = dst[order]
-        group_start = np.searchsorted(src, src, side="left")
-        rank = np.arange(src.size) - group_start
-        chosen = rank < self.fanout
-        targets = dst[chosen]
-        newly = np.unique(targets[~self.informed[targets]])
+        # Canonical order: senders ascending, cut-neighbors ascending.
+        order = np.argsort(s_cut * self.n + t_cut)
+        s_cut = s_cut[order]
+        t_cut = t_cut[order]
+        senders, cut_degree, offsets = group_segments(s_cut)
+        # Total degree: every agent within R (minus the sender itself).
+        degree = snapshot.count_within(self._all_idx, senders) - 1
+        r = self.rng.uniform(size=(self.fanout, senders.size))
+        picks = sample_indices(r, degree)
+        # A sender's neighbors are canonically ordered cut-first, so a
+        # picked index below the cut-degree informs that cut-neighbor.
+        hit = (picks >= 0) & (picks < cut_degree[None, :])
+        targets = t_cut[(offsets[None, :] + picks)[hit]]
+        return self._mark_informed(np.unique(targets))
+
+
+class BatchGossipState(BatchBroadcastState):
+    """``B`` independent push-gossip runs in lock-step.
+
+    One batched
+    :meth:`~repro.geometry.neighbors.BatchBoundQuery.contacts_within` call
+    materializes every replica's informed/uninformed cut, one batched
+    ``count_within`` the sender degrees, and a single
+    :func:`~repro.protocols.base.sample_indices` pass picks every sender's
+    neighbors at once.  Only the uniform draws stay per replica — one
+    ``uniform((fanout, S_b))`` call per replica per step, sized and
+    ordered exactly like the scalar protocol's draw (replicas without
+    cut-incident senders draw nothing, as the scalar early-returns before
+    its draw).
+    """
+
+    name = "gossip"
+    uses_rng = True
+
+    def __init__(self, *args, fanout: int = 1, **kwargs):
+        super().__init__(*args, **kwargs)
+        if fanout < 1:
+            raise ValueError(f"fanout must be at least 1, got {fanout}")
+        self.fanout = int(fanout)
+
+    def _exchange(self, snapshot, active: np.ndarray) -> np.ndarray:
+        newly = np.zeros((self.batch_size, self.n), dtype=bool)
+        source_mask = self.informed & active[:, None]
+        query_mask = ~self.informed & active[:, None]
+        rep, s_cut, t_cut = snapshot.contacts_within(source_mask, query_mask, self.radius)
+        if rep.size == 0:
+            return newly
+        sender_gid = rep * self.n + s_cut
+        order = np.argsort(sender_gid * self.n + t_cut)
+        rep = rep[order]
+        t_cut = t_cut[order]
+        sender_gid = sender_gid[order]
+        gids, cut_degree, offsets = group_segments(sender_gid)
+        sender_rep = gids // self.n
+        sender_agent = gids % self.n
+        sender_mask = np.zeros((self.batch_size, self.n), dtype=bool)
+        sender_mask[sender_rep, sender_agent] = True
+        counts = snapshot.count_within(
+            np.broadcast_to(active[:, None], sender_mask.shape), sender_mask, self.radius
+        )
+        degree = counts[sender_rep, sender_agent] - 1
+        r = self._draw_uniform_blocks(sender_rep, self.fanout)
+        picks = sample_indices(r, degree)
+        hit = (picks >= 0) & (picks < cut_degree[None, :])
+        pick_pos = (offsets[None, :] + picks)[hit]
+        newly[rep[pick_pos], t_cut[pick_pos]] = True
         return self._mark_informed(newly)

@@ -11,9 +11,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.protocols.base import BroadcastProtocol
+from repro.protocols.base import BatchBroadcastState, BroadcastProtocol
 
-__all__ = ["ParsimoniousFlooding"]
+__all__ = ["ParsimoniousFlooding", "BatchParsimoniousState"]
 
 
 class ParsimoniousFlooding(BroadcastProtocol):
@@ -50,3 +50,40 @@ class ParsimoniousFlooding(BroadcastProtocol):
             return np.empty(0, dtype=np.intp)
         hits = self.engine.any_within(positions[active], positions[uninformed], self.radius)
         return self._mark_informed(uninformed[hits])
+
+
+class BatchParsimoniousState(BatchBroadcastState):
+    """``B`` independent parsimonious-flooding runs in lock-step.
+
+    Deterministic given the informed history (no randomness), so parity
+    with the scalar protocol reduces to the shared exact neighbor kernels.
+    Window bookkeeping is the ``informed_at`` tensor the base class
+    already maintains; a replica retires (stalls) once every informed
+    agent's transmission window has closed — the batch counterpart of
+    :meth:`ParsimoniousFlooding.can_progress`.
+    """
+
+    name = "parsimonious"
+
+    def __init__(self, *args, active_window: int = 1, **kwargs):
+        super().__init__(*args, **kwargs)
+        if active_window < 1:
+            raise ValueError(f"active_window must be at least 1, got {active_window}")
+        self.active_window = int(active_window)
+
+    def can_progress_mask(self) -> np.ndarray:
+        # An agent informed at s transmits during steps s+1 .. s+window.
+        open_window = self.informed & (
+            self.informed_at + self.active_window >= self.step_count + 1
+        )
+        return ~self.complete_mask() & np.any(open_window, axis=1)
+
+    def _exchange(self, snapshot, active: np.ndarray) -> np.ndarray:
+        age = self.step_count - self.informed_at
+        window = self.informed & (age >= 1) & (age <= self.active_window)
+        source_mask = window & active[:, None]
+        query_mask = ~self.informed & active[:, None]
+        if not source_mask.any() or not query_mask.any():
+            return np.zeros((self.batch_size, self.n), dtype=bool)
+        hits = snapshot.any_within(source_mask, query_mask, self.radius)
+        return self._mark_informed(hits)

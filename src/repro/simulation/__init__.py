@@ -6,7 +6,13 @@ Two execution engines share one seed schedule: the scalar
 identical results, much faster for multi-trial workloads).
 """
 
-from repro.simulation.batch import BatchSimulation, build_batch_model, run_flooding_batch
+from repro.simulation.batch import (
+    BatchSimulation,
+    build_batch_model,
+    build_batch_state,
+    run_flooding_batch,
+    run_protocol_batch,
+)
 from repro.simulation.config import FloodingConfig, standard_config
 from repro.simulation.engine import Simulation
 from repro.simulation.metrics import InformedRecorder, ZoneRecorder
@@ -27,7 +33,9 @@ __all__ = [
     "Simulation",
     "BatchSimulation",
     "build_batch_model",
+    "build_batch_state",
     "run_flooding_batch",
+    "run_protocol_batch",
     "InformedRecorder",
     "ZoneRecorder",
     "FloodingResult",

@@ -1,4 +1,4 @@
-"""Batched trial execution: B independent flooding runs in lock-step.
+"""Batched trial execution: B independent protocol runs in lock-step.
 
 The scalar :class:`~repro.simulation.engine.Simulation` advances one trial
 at a time and pays the per-step Python overhead (mobility carry-over loop,
@@ -8,19 +8,26 @@ position tensor, so every per-step cost is paid once per *batch*:
 
 * mobility: :class:`~repro.mobility.base.BatchMobilityModel` implementations
   vectorize the kinematics across all replicas (flat ``(B * n, 2)`` state);
-* communication: :class:`~repro.protocols.flooding.BatchFloodingState`
-  answers every replica's infection test with a single neighbor-engine call
-  via the tile-offset trick of
-  :class:`~repro.geometry.neighbors.BatchNeighborQuery`;
+* communication: a :class:`~repro.protocols.base.BatchBroadcastState`
+  answers every replica's neighbor queries with a single engine call
+  via the tile-offset / cell-cover kernels of
+  :class:`~repro.geometry.neighbors.BatchNeighborQuery` — **every**
+  protocol in :data:`~repro.protocols.PROTOCOL_REGISTRY` has a batched
+  state in :data:`~repro.protocols.BATCH_PROTOCOL_REGISTRY`;
 * zone tracking: Central-Zone/Suburb classification runs over the flattened
   tensor in one call.
 
 Reproducibility is the design constraint: each replica consumes randomness
 only from its own spawned streams, in the scalar call order, so
-:func:`run_flooding_batch` returns **exactly** the results of
+:func:`run_protocol_batch` returns **exactly** the results of
 :func:`~repro.simulation.runner.run_flooding` over the same seed sequences
-(trial-for-trial, asserted by the parity tests).  The scalar engine remains
-the reference implementation.
+(trial-for-trial, asserted by the parity tests — including the stochastic
+protocols, whose per-replica generators replay the scalar draws).  Replicas
+retire individually — at completion *or* when the protocol reports it can
+no longer progress (parsimonious window close, SIR die-out, crash-fault
+starvation) — freezing their state and generators exactly where the scalar
+loop would have stopped.  The scalar engine remains the reference
+implementation.
 """
 
 from __future__ import annotations
@@ -37,11 +44,18 @@ from repro.mobility import (
     BatchRandomWaypoint,
     ReplicatedBatchMobility,
 )
-from repro.protocols.flooding import BatchFloodingState
+from repro.protocols import BATCH_PROTOCOL_REGISTRY
+from repro.protocols.base import BatchBroadcastState
 from repro.simulation.config import FloodingConfig
 from repro.simulation.results import FloodingResult
 
-__all__ = ["BatchSimulation", "build_batch_model", "run_flooding_batch"]
+__all__ = [
+    "BatchSimulation",
+    "build_batch_model",
+    "build_batch_state",
+    "run_protocol_batch",
+    "run_flooding_batch",
+]
 
 
 def build_batch_model(config: FloodingConfig, rngs) -> BatchMobilityModel:
@@ -76,18 +90,48 @@ def build_batch_model(config: FloodingConfig, rngs) -> BatchMobilityModel:
     return ReplicatedBatchMobility([build_model(config, rng) for rng in rngs])
 
 
+def build_batch_state(config: FloodingConfig, sources, rngs) -> BatchBroadcastState:
+    """Instantiate the batched protocol state named by the configuration.
+
+    The batch counterpart of
+    :func:`~repro.simulation.runner.build_protocol`: same option handling
+    (flooding inherits ``config.multi_hop``), plus one protocol generator
+    per replica for the stochastic draws.
+    """
+    if config.protocol not in BATCH_PROTOCOL_REGISTRY:
+        raise ValueError(
+            f"protocol {config.protocol!r} has no batched implementation; "
+            f"supported: {sorted(BATCH_PROTOCOL_REGISTRY)} "
+            f"(use engine='scalar' or engine='auto')"
+        )
+    cls = BATCH_PROTOCOL_REGISTRY[config.protocol]
+    options = dict(config.protocol_options)
+    if config.protocol == "flooding":
+        options.setdefault("multi_hop", config.multi_hop)
+    return cls(
+        config.n,
+        config.side,
+        config.radius,
+        sources,
+        rngs=rngs,
+        backend=config.backend,
+        neighbor_options=config.neighbor_options,
+        **options,
+    )
+
+
 class BatchSimulation:
-    """Drive ``B`` flooding replicas over a batch mobility process.
+    """Drive ``B`` protocol replicas over a batch mobility process.
 
     The batch counterpart of :class:`~repro.simulation.engine.Simulation`:
     one :meth:`run` call advances every still-running replica per step and
-    freezes each replica at its own completion step, so per-replica
-    trajectories (step counts, coverage curves, zone completion times) match
-    ``B`` independent scalar runs.
+    retires each replica at its own completion (or stall) step, so
+    per-replica trajectories (step counts, coverage curves, zone completion
+    times) match ``B`` independent scalar runs.
 
     Args:
         model: batch mobility model (owns the ``(B, n, 2)`` positions).
-        flooding: batched informed state, sized for the same batch/agents.
+        protocol: batched informed state, sized for the same batch/agents.
         zones: optional :class:`~repro.core.zones.ZonePartition` — enables
             Central-Zone/Suburb completion tracking.
 
@@ -104,18 +148,18 @@ class BatchSimulation:
             source at time 0 (only when ``zones`` is set).
     """
 
-    def __init__(self, model: BatchMobilityModel, flooding: BatchFloodingState, zones=None):
-        if flooding.n != model.n:
+    def __init__(self, model: BatchMobilityModel, protocol: BatchBroadcastState, zones=None):
+        if protocol.n != model.n:
             raise ValueError(
-                f"flooding state is sized for {flooding.n} agents but the model has {model.n}"
+                f"protocol state is sized for {protocol.n} agents but the model has {model.n}"
             )
-        if flooding.batch_size != model.batch_size:
+        if protocol.batch_size != model.batch_size:
             raise ValueError(
-                f"flooding state has {flooding.batch_size} replicas "
+                f"protocol state has {protocol.batch_size} replicas "
                 f"but the model has {model.batch_size}"
             )
         self.model = model
-        self.flooding = flooding
+        self.protocol = protocol
         self.zones = zones
         batch = model.batch_size
         self.n_steps = np.zeros(batch, dtype=np.intp)
@@ -124,6 +168,11 @@ class BatchSimulation:
         self.suburb_completion_time = np.full(batch, np.inf)
         self.source_in_central_zone = None
 
+    @property
+    def flooding(self) -> BatchBroadcastState:
+        """Back-compat alias for :attr:`protocol` (pre-PR 3 name)."""
+        return self.protocol
+
     def _zone_fractions(self, positions: np.ndarray, rows: np.ndarray, counts=None) -> tuple:
         """Informed fraction inside / outside the Central Zone, for the
         given replica rows only (completion times are monotone, so frozen
@@ -131,7 +180,7 @@ class BatchSimulation:
         subset = positions if rows.size == positions.shape[0] else positions[rows]
         k, n, _ = subset.shape
         in_cz = self.zones.in_central_zone(subset.reshape(-1, 2)).reshape(k, n)
-        informed = self.flooding.informed[rows]
+        informed = self.protocol.informed[rows]
         cz_total = np.count_nonzero(in_cz, axis=1)
         suburb_total = n - cz_total
         cz_informed = np.count_nonzero(informed & in_cz, axis=1)
@@ -153,12 +202,20 @@ class BatchSimulation:
         hit_suburb = ~np.isfinite(self.suburb_completion_time[rows]) & (suburb_frac >= 1.0)
         self.suburb_completion_time[rows[hit_suburb]] = step
 
+    def _active_mask(self) -> np.ndarray:
+        """Replicas the scalar loop would still be stepping.
+
+        :meth:`~repro.protocols.base.BatchBroadcastState.can_progress_mask`
+        contractually excludes complete replicas, so it is the active mask.
+        """
+        return self.protocol.can_progress_mask()
+
     def run(self, max_steps: int, dt: float = 1.0) -> np.ndarray:
         """Simulate up to ``max_steps`` lock-steps.
 
         Each replica stops (freezes state and generators) at its own
-        completion step; the loop ends when every replica is done or the
-        horizon is reached.
+        completion or stall step; the loop ends when every replica is done
+        or the horizon is reached.
 
         Returns:
             ``(B,)`` number of steps actually simulated per replica.
@@ -167,20 +224,20 @@ class BatchSimulation:
             raise ValueError(f"max_steps must be non-negative, got {max_steps}")
         batch = self.model.batch_size
         positions = self.model.positions_view
-        counts = self.flooding.informed_counts
+        counts = self.protocol.informed_counts
         if self.zones is not None:
             all_rows = np.arange(batch)
             in_cz, cz_frac, suburb_frac = self._zone_fractions(positions, all_rows, counts)
             self._record_zone_times(0.0, all_rows, cz_frac, suburb_frac)
-            self.source_in_central_zone = in_cz[all_rows, self.flooding.sources]
+            self.source_in_central_zone = in_cz[all_rows, self.protocol.sources]
         counts_history = [counts]
-        active = counts < self.model.n
+        active = self._active_mask()
         step = 0
         while step < max_steps and active.any():
             step += 1
             positions = self.model.step(dt, active=active, copy=False)
-            self.flooding.step(positions, active=active)
-            counts = self.flooding.informed_counts
+            self.protocol.step(positions, active=active)
+            counts = self.protocol.informed_counts
             counts_history.append(counts)
             self.n_steps[active] = step
             if self.zones is not None:
@@ -196,45 +253,40 @@ class BatchSimulation:
                 if rows.size:
                     _in_cz, cz_frac, suburb_frac = self._zone_fractions(positions, rows, counts)
                     self._record_zone_times(float(step), rows, cz_frac, suburb_frac)
-            active &= counts < self.model.n
+            # Retirement is monotone (a scalar loop never resumes after it
+            # breaks), so the mask only ever shrinks.
+            active &= self._active_mask()
         self.informed_counts_history = np.asarray(counts_history, dtype=np.intp)
         return self.n_steps.copy()
 
 
-def run_flooding_batch(config: FloodingConfig, seed_seqs) -> list:
-    """Execute one batch of flooding trials; one result per seed sequence.
+def run_protocol_batch(config: FloodingConfig, seed_seqs) -> list:
+    """Execute one batch of protocol trials; one result per seed sequence.
 
     The batched equivalent of calling
     :func:`~repro.simulation.runner.run_flooding` once per element of
     ``seed_seqs`` — same per-trial seed derivation (``spawn(3)`` into
     mobility / protocol / source streams), same results, returned in order.
+    Works for every protocol in
+    :data:`~repro.protocols.BATCH_PROTOCOL_REGISTRY`.
 
     Args:
-        config: the experiment parameters; ``config.protocol`` must be
-            ``"flooding"`` (the only batched protocol — use the scalar
-            engine for the baseline protocols).
+        config: the experiment parameters.
         seed_seqs: per-trial ``numpy.random.SeedSequence`` objects; their
             count defines the batch size.
     """
     seed_seqs = list(seed_seqs)
     if not seed_seqs:
         raise ValueError("seed_seqs must contain at least one seed sequence")
-    if config.protocol != "flooding":
-        raise ValueError(
-            f"the batch engine supports only the 'flooding' protocol, got "
-            f"{config.protocol!r}; use engine='scalar' for baseline protocols"
-        )
-    options = dict(config.protocol_options)
-    multi_hop = bool(options.pop("multi_hop", config.multi_hop))
-    if options:
-        raise ValueError(f"unsupported batched protocol options: {sorted(options)}")
 
     batch = len(seed_seqs)
     mobility_rngs = []
+    protocol_rngs = []
     source_rngs = []
     for seed_seq in seed_seqs:
-        mobility_ss, _protocol_ss, source_ss = seed_seq.spawn(3)
+        mobility_ss, protocol_ss, source_ss = seed_seq.spawn(3)
         mobility_rngs.append(np.random.default_rng(mobility_ss))
+        protocol_rngs.append(np.random.default_rng(protocol_ss))
         source_rngs.append(np.random.default_rng(source_ss))
 
     model = build_batch_model(config, mobility_rngs)
@@ -246,46 +298,52 @@ def run_flooding_batch(config: FloodingConfig, seed_seqs) -> list:
         ],
         dtype=np.intp,
     )
-    flooding = BatchFloodingState(
-        config.n,
-        config.side,
-        config.radius,
-        sources,
-        backend=config.backend,
-        multi_hop=multi_hop,
-        neighbor_options=config.neighbor_options,
-    )
+    state = build_batch_state(config, sources, protocol_rngs)
     zones = None
     if config.track_zones:
         zones = build_zone_partition(
             config.n, config.side, config.radius, config.threshold_factor
         )
-    simulation = BatchSimulation(model, flooding, zones=zones)
+    simulation = BatchSimulation(model, state, zones=zones)
     n_steps = simulation.run(config.max_steps)
 
     results = []
-    complete = flooding.complete_mask()
+    complete = state.complete_mask()
+    stalled = state.stalled_mask()
     counts = simulation.informed_counts_history
+    extras = state.final_metrics(model.positions_view, zones)
     for b in range(batch):
         history = counts[: n_steps[b] + 1, b].copy()
         completed = bool(complete[b])
         if completed:
-            flooding_time = float(np.nonzero(history >= config.n)[0][0])
+            hits = np.nonzero(history >= config.n)[0]
+            # Fault models can complete without the counts reaching n
+            # (crashed agents never get informed): the completion step is
+            # then the replica's last simulated step, exactly as in the
+            # scalar engine (which stops stepping once complete).
+            flooding_time = float(hits[0]) if hits.size else float(n_steps[b])
         else:
             flooding_time = math.inf
         result = FloodingResult(
             flooding_time=flooding_time,
             completed=completed,
-            stalled=False,  # flooding can always progress until complete
+            stalled=bool(stalled[b]),
             n_steps=int(n_steps[b]),
             informed_history=history,
             source=int(sources[b]),
             final_coverage=float(history[-1]) / config.n,
             extras={"n_agents": config.n, "config": config},
         )
+        result.extras.update(extras[b])
         if zones is not None:
             result.cz_completion_time = float(simulation.cz_completion_time[b])
             result.suburb_completion_time = float(simulation.suburb_completion_time[b])
             result.source_in_central_zone = bool(simulation.source_in_central_zone[b])
         results.append(result)
     return results
+
+
+def run_flooding_batch(config: FloodingConfig, seed_seqs) -> list:
+    """Back-compat alias for :func:`run_protocol_batch` (pre-PR 3 name,
+    when flooding was the only batched protocol)."""
+    return run_protocol_batch(config, seed_seqs)

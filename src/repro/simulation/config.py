@@ -16,10 +16,12 @@ import math
 from dataclasses import dataclass, field, replace
 
 from repro.core import theory
+from repro.protocols import BATCH_PROTOCOL_REGISTRY, PROTOCOL_REGISTRY
 
 __all__ = ["FloodingConfig", "standard_config"]
 
 _SOURCE_MODES = ("uniform", "central", "suburb")
+_ENGINES = ("scalar", "batch", "auto")
 
 
 @dataclass(frozen=True)
@@ -61,10 +63,12 @@ class FloodingConfig:
             admits no grid).
         engine: multi-trial execution engine — ``"scalar"`` (the reference
             :class:`~repro.simulation.engine.Simulation`, one trial at a
-            time) or ``"batch"`` (lock-step
-            :class:`~repro.simulation.batch.BatchSimulation`; flooding
-            protocol only, identical results, markedly faster for many
-            trials).
+            time), ``"batch"`` (lock-step
+            :class:`~repro.simulation.batch.BatchSimulation`; every
+            registered protocol, identical results, markedly faster for
+            many trials), or ``"auto"`` (batch whenever the protocol has a
+            batched implementation, scalar otherwise).  Engine/protocol
+            combinations are validated at construction time.
         batch_size: trials advanced per batch when ``engine="batch"``
             (0 — the default — runs all of a call's or worker's trials in
             one batch).  Has no effect on results, only on peak memory.
@@ -107,8 +111,21 @@ class FloodingConfig:
             )
         if isinstance(self.source, int) and not 0 <= self.source < self.n:
             raise ValueError(f"source index must be in [0, {self.n}), got {self.source}")
-        if self.engine not in ("scalar", "batch"):
-            raise ValueError(f"engine must be 'scalar' or 'batch', got {self.engine!r}")
+        if self.engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, got {self.engine!r}")
+        if self.protocol not in PROTOCOL_REGISTRY:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; registered protocols: "
+                f"{sorted(PROTOCOL_REGISTRY)}"
+            )
+        # Engine/protocol combinations fail here, at construction, with a
+        # clear message — not as a deep ValueError once trials start.
+        if self.engine == "batch" and self.protocol not in BATCH_PROTOCOL_REGISTRY:
+            raise ValueError(
+                f"protocol {self.protocol!r} has no batched implementation "
+                f"(batchable: {sorted(BATCH_PROTOCOL_REGISTRY)}); use "
+                f"engine='scalar', or engine='auto' to fall back automatically"
+            )
         unknown = set(self.neighbor_options) - {"incremental", "prune", "cell_size"}
         if unknown:
             raise ValueError(f"unknown neighbor options: {sorted(unknown)}")
@@ -118,6 +135,14 @@ class FloodingConfig:
     def with_options(self, **changes) -> "FloodingConfig":
         """A copy with the given fields replaced."""
         return replace(self, **changes)
+
+    @property
+    def resolved_engine(self) -> str:
+        """The engine that will actually run: ``"auto"`` picks the batch
+        engine whenever the protocol supports it, else scalar."""
+        if self.engine != "auto":
+            return self.engine
+        return "batch" if self.protocol in BATCH_PROTOCOL_REGISTRY else "scalar"
 
     def assumptions(self, c1: float = theory.PAPER_C1) -> theory.Assumptions:
         """Check this configuration against the paper's hypotheses."""

@@ -41,10 +41,10 @@ def _run_one(args):
 
 
 def _run_batch(args):
-    from repro.simulation.batch import run_flooding_batch
+    from repro.simulation.batch import run_protocol_batch
 
     config, states = args
-    return run_flooding_batch(config, [_rebuild_seed_seq(s) for s in states])
+    return run_protocol_batch(config, [_rebuild_seed_seq(s) for s in states])
 
 
 def _child_states(config: FloodingConfig, n_trials: int) -> list:
@@ -87,7 +87,7 @@ def run_trials_parallel(
     if n_trials < 1:
         raise ValueError(f"n_trials must be positive, got {n_trials}")
     states = _child_states(config, n_trials)
-    if config.engine == "batch":
+    if config.resolved_engine == "batch":
         jobs = _batch_jobs(config, states, max_workers)
         batches = _dispatch(_run_batch, jobs, max_workers)
         return [result for batch in batches for result in batch]
@@ -116,14 +116,14 @@ def sweep_parallel(
     for value in values:
         variant = config.with_options(**{parameter: value})
         states = _child_states(variant, n_trials)
-        if config.engine == "batch":
+        if config.resolved_engine == "batch":
             variant_jobs = _batch_jobs(variant, states, max_workers)
         else:
             variant_jobs = [(variant, state) for state in states]
         start = len(jobs)
         jobs.extend(variant_jobs)
         bounds.append((value, start, start + len(variant_jobs)))
-    if config.engine == "batch":
+    if config.resolved_engine == "batch":
         groups = _dispatch(_run_batch, jobs, max_workers)
     else:
         groups = [[result] for result in _dispatch(_run_one, jobs, max_workers)]

@@ -108,7 +108,11 @@ def run_flooding(config: FloodingConfig, seed_seq: np.random.SeedSequence = None
     history = informed_recorder.informed_history()
     completed = protocol.is_complete()
     if completed:
-        flooding_time = float(np.nonzero(history >= config.n)[0][0])
+        hits = np.nonzero(history >= config.n)[0]
+        # Fault models can complete without the counts reaching n (crashed
+        # agents never get informed): the completion step is then the last
+        # simulated step — the engine stops stepping once complete.
+        flooding_time = float(hits[0]) if hits.size else float(n_steps)
     else:
         flooding_time = math.inf
     stalled = not completed and not protocol.can_progress()
@@ -123,6 +127,7 @@ def run_flooding(config: FloodingConfig, seed_seq: np.random.SeedSequence = None
         final_coverage=protocol.informed_count / config.n,
         extras={"n_agents": config.n, "config": config},
     )
+    result.extras.update(protocol.final_metrics(model.positions, zones))
     if zones is not None:
         zone_recorder = observers[1]
         result.cz_completion_time = zone_recorder.cz_completion_time
@@ -136,22 +141,24 @@ def run_trials(config: FloodingConfig, n_trials: int) -> list:
 
     Trials derive their randomness from ``SeedSequence(config.seed)``; two
     calls with the same configuration produce identical results.  With
-    ``config.engine == "batch"`` the trials are advanced in lock-step by
+    ``engine="batch"`` (or ``engine="auto"`` resolving to it) the trials
+    are advanced in lock-step by
     :class:`~repro.simulation.batch.BatchSimulation` (in slices of
     ``config.batch_size`` trials, all at once when 0) — same seed schedule,
-    same results, one vectorized pass instead of a Python loop.
+    same results, one vectorized pass instead of a Python loop, for every
+    protocol in :data:`~repro.protocols.BATCH_PROTOCOL_REGISTRY`.
     """
     if n_trials < 1:
         raise ValueError(f"n_trials must be positive, got {n_trials}")
     root = np.random.SeedSequence(config.seed)
     children = root.spawn(n_trials)
-    if config.engine == "batch":
-        from repro.simulation.batch import run_flooding_batch
+    if config.resolved_engine == "batch":
+        from repro.simulation.batch import run_protocol_batch
 
         size = config.batch_size if config.batch_size > 0 else n_trials
         out = []
         for start in range(0, n_trials, size):
-            out.extend(run_flooding_batch(config, children[start:start + size]))
+            out.extend(run_protocol_batch(config, children[start:start + size]))
         return out
     return [run_flooding(config, seed_seq=child) for child in children]
 

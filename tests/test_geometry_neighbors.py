@@ -238,3 +238,99 @@ class TestCoarseCoverDivisor:
         brute = BatchNeighborQuery(side, 3, backend="brute")
         expected = brute.any_within(positions, informed, ~informed, radius)
         assert np.array_equal(got, expected)
+
+
+class TestContactsWithin:
+    """Bipartite contact materialization (the neighbor-sampling primitive)."""
+
+    def _reference(self, points, source_idx, query_idx, radius):
+        diff = points[query_idx][:, None, :] - points[source_idx][None, :, :]
+        dist2 = np.sum(diff * diff, axis=-1)
+        qpos, spos = np.nonzero(dist2 <= radius * radius)
+        return set(zip(source_idx[spos].tolist(), query_idx[qpos].tolist()))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matches_brute_pairs(self, backend, rng):
+        points = rng.uniform(0, 10, (150, 2))
+        engine = make_engine(backend, 10.0)
+        snapshot = engine.bind(points, 1.3)
+        informed = rng.uniform(size=150) < 0.4
+        source_idx = np.nonzero(informed)[0]
+        query_idx = np.nonzero(~informed)[0]
+        s, q = snapshot.contacts_within(source_idx, query_idx)
+        assert set(zip(s.tolist(), q.tolist())) == self._reference(
+            points, source_idx, query_idx, 1.3
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_dense_sources_few_queries(self, backend, rng):
+        """The late-round shape (sources ~ n, a handful of queries) — the
+        grid backend's persistent full-index path."""
+        points = rng.uniform(0, 12, (200, 2))
+        engine = make_engine(backend, 12.0)
+        snapshot = engine.bind(points, 1.5)
+        source_idx = np.arange(197)
+        query_idx = np.array([197, 198, 199])
+        s, q = snapshot.contacts_within(source_idx, query_idx)
+        assert set(zip(s.tolist(), q.tolist())) == self._reference(
+            points, source_idx, query_idx, 1.5
+        )
+
+    def test_empty_sides(self, rng):
+        points = rng.uniform(0, 10, (20, 2))
+        snapshot = make_engine("grid", 10.0).bind(points, 1.0)
+        empty = np.empty(0, dtype=np.intp)
+        for source_idx, query_idx in ((empty, np.arange(20)), (np.arange(20), empty)):
+            s, q = snapshot.contacts_within(source_idx, query_idx)
+            assert s.size == 0 and q.size == 0
+
+
+class TestBatchContactsAndPairs:
+    """Batched bipartite contacts and per-replica edge lists."""
+
+    def test_batch_contacts_match_scalar(self, rng):
+        from repro.geometry.neighbors import BatchNeighborQuery
+
+        batch, n, side, radius = 4, 90, 11.0, 1.4
+        positions = rng.uniform(0, side, size=(batch, n, 2))
+        informed = rng.uniform(size=(batch, n)) < 0.4
+        query = BatchNeighborQuery(side, batch)
+        snapshot = query.bind(positions)
+        rep, s, t = snapshot.contacts_within(informed, ~informed, radius)
+        brute = make_engine("brute", side)
+        for b in range(batch):
+            scalar = brute.bind(positions[b], radius).contacts_within(
+                np.nonzero(informed[b])[0], np.nonzero(~informed[b])[0]
+            )
+            expected = set(zip(scalar[0].tolist(), scalar[1].tolist()))
+            got = set(zip(s[rep == b].tolist(), t[rep == b].tolist()))
+            assert got == expected, b
+
+    def test_batch_pairs_match_scalar_engines(self, rng):
+        from repro.geometry.neighbors import BatchNeighborQuery
+
+        batch, n, side, radius = 3, 80, 10.0, 1.2
+        positions = rng.uniform(0, side, size=(batch, n, 2))
+        query = BatchNeighborQuery(side, batch)
+        rep, i, j = query.bind(positions).pairs_within(radius)
+        assert np.all(i < j)
+        brute = make_engine("brute", side)
+        for b in range(batch):
+            expected = {tuple(p) for p in brute.pairs_within(positions[b], radius).tolist()}
+            got = set(zip(i[rep == b].tolist(), j[rep == b].tolist()))
+            assert got == expected, b
+
+    def test_pairs_rows_restriction(self, rng):
+        from repro.geometry.neighbors import BatchNeighborQuery
+
+        batch, n, side, radius = 4, 60, 9.0, 1.5
+        positions = rng.uniform(0, side, size=(batch, n, 2))
+        query = BatchNeighborQuery(side, batch)
+        rows = np.array([1, 3])
+        rep, i, j = query.bind(positions).pairs_within(radius, rows=rows)
+        assert set(np.unique(rep)) <= {1, 3}
+        full_rep, full_i, full_j = query.bind(positions).pairs_within(radius)
+        for b in rows:
+            expected = set(zip(full_i[full_rep == b].tolist(), full_j[full_rep == b].tolist()))
+            got = set(zip(i[rep == b].tolist(), j[rep == b].tolist()))
+            assert got == expected

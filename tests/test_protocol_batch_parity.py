@@ -1,0 +1,213 @@
+"""Batch-vs-scalar seed-for-seed parity for EVERY registered protocol.
+
+PR 3's contract: any protocol in ``PROTOCOL_REGISTRY`` runs under
+``engine="batch"`` and reproduces the scalar reference trial-for-trial —
+flooding times, coverage curves, stall flags, per-agent informed steps,
+and the protocol-specific extras (crashed/recovered counts, zone-resolved
+misses).  The sweep covers every protocol x neighbor backend x mobility
+model, and the retirement semantics that only the non-flooding protocols
+exercise: parsimonious window-close, SIR die-out before coverage, and
+crash-fault completion over survivors only.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.protocols import BATCH_PROTOCOL_REGISTRY, PROTOCOL_REGISTRY
+from repro.simulation import run_trials, standard_config
+
+#: One canonical option set per protocol (non-defaults so the knobs are
+#: exercised too).
+PROTOCOL_OPTIONS = {
+    "flooding": {},
+    "gossip": {"fanout": 2},
+    "push-pull": {},
+    "parsimonious": {"active_window": 2},
+    "probabilistic": {"p": 0.3},
+    "sir": {"recovery_prob": 0.1},
+    "crash-flooding": {"crash_prob": 0.01},
+}
+
+BACKENDS = ["grid", "brute"]
+try:  # pragma: no cover - depends on environment
+    import scipy.spatial  # noqa: F401
+
+    BACKENDS.insert(0, "kdtree")
+except ImportError:
+    pass
+
+
+def fingerprint(result):
+    extras = tuple(
+        sorted((k, v) for k, v in result.extras.items() if k not in ("config", "n_agents"))
+    )
+    return (
+        result.flooding_time,
+        result.completed,
+        result.stalled,
+        result.n_steps,
+        result.source,
+        tuple(np.asarray(result.informed_history).tolist()),
+        result.cz_completion_time,
+        result.suburb_completion_time,
+        result.source_in_central_zone,
+        extras,
+    )
+
+
+def assert_parity(config, trials=3):
+    scalar = [fingerprint(r) for r in run_trials(config.with_options(engine="scalar"), trials)]
+    batch = [fingerprint(r) for r in run_trials(config.with_options(engine="batch"), trials)]
+    assert scalar == batch
+
+
+class TestRegistryCoverage:
+    def test_every_protocol_has_a_batched_state(self):
+        assert set(BATCH_PROTOCOL_REGISTRY) == set(PROTOCOL_REGISTRY)
+
+    def test_batch_registry_names_match_classes(self):
+        for name, cls in BATCH_PROTOCOL_REGISTRY.items():
+            assert cls.name == name
+
+
+class TestProtocolParity:
+    """Every protocol x backend, and every protocol x mobility model."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("protocol", sorted(PROTOCOL_REGISTRY))
+    def test_parity_across_backends(self, protocol, backend):
+        config = standard_config(
+            80,
+            seed=37,
+            protocol=protocol,
+            protocol_options=dict(PROTOCOL_OPTIONS[protocol]),
+            backend=backend,
+            max_steps=400,
+        )
+        assert_parity(config)
+
+    @pytest.mark.parametrize("mobility", ["mrwp", "rwp", "random-walk"])
+    @pytest.mark.parametrize("protocol", sorted(PROTOCOL_REGISTRY))
+    def test_parity_across_mobility_models(self, protocol, mobility):
+        config = standard_config(
+            70,
+            seed=41,
+            protocol=protocol,
+            protocol_options=dict(PROTOCOL_OPTIONS[protocol]),
+            mobility=mobility,
+            max_steps=400,
+        )
+        assert_parity(config)
+
+    @pytest.mark.parametrize("protocol", sorted(PROTOCOL_REGISTRY))
+    def test_parity_through_replicated_mobility_fallback(self, protocol):
+        config = standard_config(
+            60,
+            seed=43,
+            protocol=protocol,
+            protocol_options=dict(PROTOCOL_OPTIONS[protocol]),
+            mobility="random-direction",
+            max_steps=200,
+        )
+        assert_parity(config)
+
+    def test_parity_is_independent_of_batch_size(self):
+        """Stochastic protocols sliced into sub-batches draw identically."""
+        config = standard_config(
+            70, seed=47, protocol="gossip", protocol_options={"fanout": 1},
+            engine="batch", max_steps=400,
+        )
+        whole = [fingerprint(r) for r in run_trials(config, 6)]
+        sliced = [fingerprint(r) for r in run_trials(config.with_options(batch_size=2), 6)]
+        assert whole == sliced
+
+    def test_backend_independent_trajectories_for_randomized_protocols(self):
+        """Canonical pair ordering: gossip/push-pull trajectories no longer
+        depend on the neighbor backend's pair traversal order."""
+        for protocol in ("gossip", "push-pull"):
+            reference = None
+            for backend in BACKENDS:
+                config = standard_config(
+                    70, seed=53, protocol=protocol,
+                    protocol_options=dict(PROTOCOL_OPTIONS[protocol]),
+                    backend=backend, max_steps=400,
+                )
+                got = [fingerprint(r) for r in run_trials(config, 3)]
+                if reference is None:
+                    reference = got
+                assert got == reference, (protocol, backend)
+
+
+class TestRetirementSemantics:
+    """Stalled/died-out replicas retire exactly where the scalar loop stops."""
+
+    def test_parsimonious_window_close_stalls_batch_like_scalar(self):
+        # Sparse network + minimal window: most trials strand the message.
+        config = standard_config(
+            100, radius_factor=0.6, seed=5,
+            protocol="parsimonious", protocol_options={"active_window": 1},
+            max_steps=400,
+        )
+        scalar = run_trials(config, 6)
+        batch = run_trials(config.with_options(engine="batch"), 6)
+        assert [fingerprint(r) for r in scalar] == [fingerprint(r) for r in batch]
+        stalled = [r for r in batch if r.stalled]
+        assert stalled, "workload must exercise the window-close stall"
+        for r in stalled:
+            assert not r.completed
+            assert math.isinf(r.flooding_time)
+            assert r.final_coverage < 1.0
+            # The replica retired before the horizon: no steps after stall.
+            assert r.n_steps < config.max_steps
+
+    def test_sir_die_out_before_coverage(self):
+        config = standard_config(
+            100, radius_factor=0.7, seed=3,
+            protocol="sir", protocol_options={"recovery_prob": 0.9},
+            max_steps=400,
+        )
+        scalar = run_trials(config, 6)
+        batch = run_trials(config.with_options(engine="batch"), 6)
+        assert [fingerprint(r) for r in scalar] == [fingerprint(r) for r in batch]
+        died_out = [r for r in batch if r.stalled]
+        assert died_out, "workload must exercise SIR die-out"
+        for r in died_out:
+            assert r.extras["recovered"] == r.informed_history[-1]  # all informed recovered
+            assert r.final_coverage < 1.0
+
+    def test_crash_fault_completion_over_survivors_only(self):
+        config = standard_config(
+            100, seed=9,
+            protocol="crash-flooding", protocol_options={"crash_prob": 0.02},
+            max_steps=400,
+        )
+        scalar = run_trials(config, 6)
+        batch = run_trials(config.with_options(engine="batch"), 6)
+        assert [fingerprint(r) for r in scalar] == [fingerprint(r) for r in batch]
+        survivors_only = [
+            r for r in batch if r.completed and r.informed_history[-1] < 100
+        ]
+        assert survivors_only, "workload must exercise completion with uninformed crashed agents"
+        for r in survivors_only:
+            # Completed over survivors: counts never reach n, yet the run
+            # completes with a finite time equal to its last step.
+            assert r.extras["crashed"] > 0
+            assert r.flooding_time == r.n_steps
+            assert r.extras["uninformed_survivors"] == 0
+
+    def test_retired_replicas_freeze_generators(self):
+        """A batch mixing fast-stalling and long-running replicas must
+        reproduce the scalar streams — i.e. retired replicas stop drawing
+        while the rest keep lock-stepping."""
+        config = standard_config(
+            90, radius_factor=0.8, seed=61,
+            protocol="sir", protocol_options={"recovery_prob": 0.5},
+            max_steps=400,
+        )
+        scalar = run_trials(config, 8)
+        batch = run_trials(config.with_options(engine="batch"), 8)
+        assert [fingerprint(r) for r in scalar] == [fingerprint(r) for r in batch]
+        n_steps = {r.n_steps for r in batch}
+        assert len(n_steps) > 1, "workload must mix retirement steps"

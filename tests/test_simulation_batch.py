@@ -85,10 +85,27 @@ class TestSeedForSeedParity:
             assert sa == sb
             assert_results_match(ra, rb)
 
-    def test_batch_rejects_non_flooding_protocols(self):
+    def test_batch_supports_every_registered_protocol(self):
+        """PR 3: the batch engine is protocol-agnostic (the old behaviour
+        — a deep ValueError for anything but flooding — is gone)."""
         config = standard_config(80, seed=1, engine="batch", protocol="gossip")
-        with pytest.raises(ValueError, match="flooding"):
-            run_trials(config, 2)
+        results = run_trials(config, 2)
+        assert len(results) == 2
+
+    def test_unknown_protocol_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            standard_config(80, protocol="carrier-pigeon")
+
+    def test_auto_engine_resolves_to_batch_for_batchable_protocols(self):
+        config = standard_config(80, seed=1, engine="auto", protocol="sir")
+        assert config.resolved_engine == "batch"
+        assert standard_config(80, engine="scalar").resolved_engine == "scalar"
+
+    def test_auto_engine_matches_batch_results(self):
+        config = standard_config(80, seed=29)
+        batch = run_trials(config.with_options(engine="batch"), 4)
+        auto = run_trials(config.with_options(engine="auto"), 4)
+        assert_results_match(batch, auto)
 
 
 class TestBatchMobility:
