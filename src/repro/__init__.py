@@ -54,9 +54,13 @@ from repro.simulation import (
     BatchSimulation,
     FloodingConfig,
     FloodingResult,
+    SweepPlan,
+    SweepPoint,
+    SweepPointResult,
     run_flooding,
     run_flooding_batch,
     run_protocol_batch,
+    run_sweep,
     run_trials,
     standard_config,
     summarize,
@@ -95,5 +99,9 @@ __all__ = [
     "BATCH_PROTOCOL_REGISTRY",
     "run_trials",
     "sweep",
+    "SweepPlan",
+    "SweepPoint",
+    "SweepPointResult",
+    "run_sweep",
     "summarize",
 ]

@@ -22,6 +22,11 @@ with a stable schema:
     cross-strategy result equality.  **Timing never fails a run; parity
     errors do** (exit code 1) — CI treats the benchmark as a smoke test,
     not a timing gate.
+``protocols`` / ``experiments``
+    optional sections: per-protocol batch-vs-scalar timings over the
+    ``protocol_baselines`` workload, and the sweep-scheduler experiment
+    suite (quick-scale batch-vs-scalar per migrated experiment, rendered
+    reports compared for parity).
 
 Timings interleave the contestants round-robin (warm-up first, best-of-N)
 so slow machine-wide drift hits every strategy equally — on shared CI
@@ -74,6 +79,24 @@ LEGACY_OPTIONS = {"incremental": False, "prune": False}
 #: trial seeds), timed under both engines.
 PROTOCOLS_SCALE = "quick"
 PROTOCOLS_SMOKE_N = 300
+
+#: The sweep-scheduler experiment suite (every experiment migrated onto
+#: :func:`repro.simulation.sweep.run_sweep`), timed at quick scale under
+#: both engines with table parity gating the run.
+EXPERIMENTS_SUITE_IDS = (
+    "thm3_scaling",
+    "thm3_radius",
+    "thm3_speed",
+    "regime_map",
+    "mobility_ablation",
+    "suburb_vs_cz",
+    "pause_extension",
+    "init_bias",
+    "meeting_suburb",
+    "thm10_growth",
+)
+#: Smoke runs keep CI fast with the cheapest third of the suite.
+EXPERIMENTS_SMOKE_IDS = ("thm3_radius", "mobility_ablation", "suburb_vs_cz")
 
 
 # ----------------------------------------------------------------------
@@ -435,6 +458,59 @@ def _bench_protocols(repeats: int, smoke: bool) -> tuple:
 
 
 # ----------------------------------------------------------------------
+# Experiments suite: the sweep-scheduler experiments, batch vs scalar
+# ----------------------------------------------------------------------
+def _bench_experiments(repeats: int, smoke: bool, seed: int = 0) -> tuple:
+    """Quick-scale batch-vs-scalar timings of the sweep-scheduler suite.
+
+    Returns ``(section, parity)``.  Parity compares each experiment's full
+    rendered report (table, notes, artifacts, verdict) across engines —
+    the "identical tables before vs after migration" acceptance gate: the
+    scalar run *is* the pre-migration point-by-point computation (same
+    seed schedule), so auto == scalar means migrated == unmigrated.
+    Timing is best-of-``repeats`` interleaved, like every other suite;
+    parity gates the run, timing never does.
+    """
+    from repro.experiments.registry import get_spec
+
+    ids = EXPERIMENTS_SMOKE_IDS if smoke else EXPERIMENTS_SUITE_IDS
+    rows = []
+    parity = {}
+    auto_total = scalar_total = 0.0
+    for eid in ids:
+        spec = get_spec(eid)
+        parity[f"experiments:{eid}"] = (
+            spec.run(scale="quick", seed=seed, engine="auto").to_text()
+            == spec.run(scale="quick", seed=seed, engine="scalar").to_text()
+        )
+        best = _interleaved_best(
+            {
+                "auto": lambda s=spec: s.run(scale="quick", seed=seed, engine="auto"),
+                "scalar": lambda s=spec: s.run(scale="quick", seed=seed, engine="scalar"),
+            },
+            repeats,
+        )
+        auto_total += best["auto"]
+        scalar_total += best["scalar"]
+        rows.append(
+            {
+                "id": eid,
+                "auto_seconds": best["auto"],
+                "scalar_seconds": best["scalar"],
+                "speedup": best["scalar"] / best["auto"],
+            }
+        )
+    section = {
+        "workload": {"scale": "quick", "seed": seed, "smoke": smoke, "ids": list(ids)},
+        "experiments": rows,
+        "auto_total_seconds": auto_total,
+        "scalar_total_seconds": scalar_total,
+        "speedup": scalar_total / auto_total,
+    }
+    return section, parity
+
+
+# ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
 def run_benchmarks(
@@ -455,17 +531,24 @@ def run_benchmarks(
             (e.g. a previous PR's engine timed from its own checkout on
             the same host) — stored verbatim and turned into
             ``speedups['batch_vs_<name>']`` ratios against this run's
-            ``batch`` time, or — for names ending in ``"_protocols"`` —
+            ``batch`` time; names ending in ``"_protocols"`` become
             ``speedups['protocols_batch_vs_<name>']`` ratios against the
-            protocol suite's batch total.  Only comparable when measured
-            on the same machine with the same workload; provenance
-            belongs in the label / commit message.
+            protocol suite's batch total, and names ending in
+            ``"_experiments"`` become
+            ``speedups['experiments_auto_vs_<name>']`` ratios against the
+            experiments suite's auto-engine total.  Only comparable when
+            measured on the same machine with the same workload;
+            provenance belongs in the label / commit message.
         suite: ``"core"`` (the kernel + flooding end-to-end suite),
             ``"protocols"`` (every registered protocol, batch vs scalar,
-            parity-gated), or ``"all"``.
+            parity-gated), ``"experiments"`` (the sweep-scheduler
+            experiment suite at quick scale, batch vs scalar, table-parity
+            gated), or ``"all"``.
     """
-    if suite not in ("core", "protocols", "all"):
-        raise ValueError(f"suite must be 'core', 'protocols' or 'all', got {suite!r}")
+    if suite not in ("core", "protocols", "experiments", "all"):
+        raise ValueError(
+            f"suite must be 'core', 'protocols', 'experiments' or 'all', got {suite!r}"
+        )
     if repeats is None:
         repeats = 2 if smoke else 3
     workload = dict(SMOKE if smoke else CANONICAL)
@@ -495,11 +578,21 @@ def run_benchmarks(
         protocols, protocol_parity = _bench_protocols(repeats, smoke)
         parity["checks"].update(protocol_parity)
 
+    experiments = None
+    if suite in ("experiments", "all"):
+        experiments, experiment_parity = _bench_experiments(repeats, smoke)
+        parity["checks"].update(experiment_parity)
+
     for name, seconds in baselines.items():
         if name.endswith("_protocols"):
             if protocols is not None:
                 speedups[f"protocols_batch_vs_{name}"] = (
                     float(seconds) / protocols["batch_total_seconds"]
+                )
+        elif name.endswith("_experiments"):
+            if experiments is not None:
+                speedups[f"experiments_auto_vs_{name}"] = (
+                    float(seconds) / experiments["auto_total_seconds"]
                 )
         elif end_to_end:
             batch_seconds = next(r["seconds"] for r in end_to_end if r["name"] == "batch")
@@ -536,6 +629,10 @@ def run_benchmarks(
         report["workloads"]["protocols"] = protocols["workload"]
         report["protocols"] = protocols
         speedups["protocol_baselines_batch_vs_scalar"] = protocols["speedup"]
+    if experiments is not None:
+        report["workloads"]["experiments"] = experiments["workload"]
+        report["experiments"] = experiments
+        speedups["experiments_auto_vs_scalar"] = experiments["speedup"]
     return report
 
 
@@ -581,6 +678,24 @@ def render_table(report: dict) -> str:
             f"  {'TOTAL':22s} batch {protocols['batch_total_seconds']:7.3f} s  "
             f"scalar {protocols['scalar_total_seconds']:7.3f} s  "
             f"{protocols['speedup']:5.2f}x"
+        )
+    experiments = report.get("experiments")
+    if experiments is not None:
+        workload = experiments["workload"]
+        lines.append("")
+        lines.append(
+            f"experiments suite (sweep scheduler, scale={workload['scale']}, "
+            f"seed={workload['seed']}):"
+        )
+        for row in experiments["experiments"]:
+            lines.append(
+                f"  {row['id']:22s} auto  {row['auto_seconds']:7.3f} s  "
+                f"scalar {row['scalar_seconds']:7.3f} s  {row['speedup']:5.2f}x"
+            )
+        lines.append(
+            f"  {'TOTAL':22s} auto  {experiments['auto_total_seconds']:7.3f} s  "
+            f"scalar {experiments['scalar_total_seconds']:7.3f} s  "
+            f"{experiments['speedup']:5.2f}x"
         )
     for name, ratio in report["speedups"].items():
         lines.append(f"  {name:40s} {ratio:5.2f}x")

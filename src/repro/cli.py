@@ -3,20 +3,26 @@
 Subcommands:
 
 * ``list`` — show all registered experiments;
-* ``run <id> [--scale quick|full] [--seed N] [--csv PATH]`` — run one
-  experiment and print its report;
-* ``all [--scale ...] [--seed N]`` — run the whole suite;
+* ``experiment <id> [--scale quick|full] [--seed N] [--csv PATH]
+  [--engine scalar|batch|auto] [--jobs N]`` (alias: ``run``) — run one
+  experiment and print its report; ``--engine``/``--jobs`` thread through
+  to the sweep-scheduler experiments (engine choice never changes results,
+  only speed);
+* ``all [--scale ...] [--seed N] [--engine ...] [--jobs N]`` — run the
+  whole suite (engine/jobs apply to the experiments that support them);
 * ``flood --n N [--trials T] [--engine scalar|batch] [--batch-size B]
   [--radius-factor C] [--speed-fraction F] ...`` — ad-hoc flooding runs with
   the canonical ``L = sqrt n`` scaling; ``--engine batch`` advances all
   trials in lock-step through the vectorized batch engine (same results,
   faster);
-* ``bench [--smoke] [--suite core|protocols|all] [--out PATH]
+* ``bench [--smoke] [--suite core|protocols|experiments|all] [--out PATH]
   [--repeats N] [--label TAG]`` — the perf-trajectory harness
   (:mod:`repro.bench`): kernel and end-to-end timings, the per-protocol
-  batch-vs-scalar suite, and cross-strategy parity checks, written as
-  machine-readable JSON so future PRs can regress against it.  Exit
-  status reflects **parity only**, never timing.
+  batch-vs-scalar suite, the sweep-scheduler experiments suite
+  (quick-scale batch-vs-scalar per migrated experiment, table-parity
+  gated), and cross-strategy parity checks, written as machine-readable
+  JSON so future PRs can regress against it.  Exit status reflects
+  **parity only**, never timing.
 """
 
 from __future__ import annotations
@@ -49,15 +55,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list registered experiments")
 
-    run_p = sub.add_parser("run", help="run one experiment")
+    def add_engine_jobs(p, scope: str):
+        p.add_argument(
+            "--engine",
+            choices=("scalar", "batch", "auto"),
+            default=None,
+            help=f"execution-engine override for {scope} (sweep-scheduler "
+            "experiments only; results are engine-independent, only speed changes)",
+        )
+        p.add_argument(
+            "--jobs",
+            type=_positive_int,
+            default=1,
+            help="worker processes for the sweep scheduler (default 1: in-process)",
+        )
+
+    run_p = sub.add_parser("experiment", aliases=["run"], help="run one experiment")
     run_p.add_argument("experiment", choices=all_ids())
     run_p.add_argument("--scale", choices=("quick", "full"), default="quick")
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--csv", help="also write the result table to this CSV path")
+    add_engine_jobs(run_p, "the experiment")
 
     all_p = sub.add_parser("all", help="run every experiment")
     all_p.add_argument("--scale", choices=("quick", "full"), default="quick")
     all_p.add_argument("--seed", type=int, default=0)
+    add_engine_jobs(all_p, "every supporting experiment")
 
     flood_p = sub.add_parser("flood", help="ad-hoc flooding runs (L = sqrt n)")
     flood_p.add_argument("--n", type=int, required=True)
@@ -103,11 +126,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_p.add_argument(
         "--suite",
-        choices=("core", "protocols", "all"),
+        choices=("core", "protocols", "experiments", "all"),
         default="all",
         help="benchmark suite: 'core' (kernels + flooding end-to-end), "
         "'protocols' (every registered protocol, batch vs scalar, "
-        "parity-gated), or 'all'",
+        "parity-gated), 'experiments' (the sweep-scheduler experiment "
+        "suite at quick scale, batch vs scalar, table-parity gated), "
+        "or 'all'",
     )
     bench_p.add_argument(
         "--out",
@@ -122,7 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="best-of-N timing repeats (default 3, smoke 2)",
     )
-    bench_p.add_argument("--label", default="PR3", help="free-form tag stored in the report")
+    bench_p.add_argument("--label", default="PR4", help="free-form tag stored in the report")
     bench_p.add_argument(
         "--baseline",
         action="append",
@@ -142,6 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument(
         "--only", nargs="*", default=None, help="subset of experiment ids"
     )
+    add_engine_jobs(report_p, "every supporting experiment")
     return parser
 
 
@@ -153,7 +179,14 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args) -> int:
-    result = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
+    try:
+        result = run_experiment(
+            args.experiment, scale=args.scale, seed=args.seed,
+            engine=args.engine, jobs=args.jobs,
+        )
+    except ValueError as error:
+        # e.g. --engine on a closed-form experiment with no scheduler path.
+        raise SystemExit(str(error))
     print(result.to_text())
     if args.csv:
         write_csv(args.csv, result.headers, result.rows)
@@ -164,7 +197,21 @@ def _cmd_run(args) -> int:
 def _cmd_all(args) -> int:
     failures = 0
     for experiment_id in all_ids():
-        result = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+        spec = get_spec(experiment_id)
+        try:
+            result = spec.run(
+                scale=args.scale,
+                seed=args.seed,
+                engine=args.engine if spec.accepts_engine else None,
+                jobs=args.jobs if spec.accepts_jobs else 1,
+            )
+        except ValueError as error:
+            # e.g. --engine batch on an observer-point experiment that can
+            # only run scalar: report it and keep the suite going.
+            print(f"== {experiment_id}: SKIPPED ({error}) ==")
+            print()
+            failures += 1
+            continue
         print(result.to_text())
         print()
         if result.passed is False:
@@ -234,7 +281,10 @@ def _cmd_bench(args) -> int:
 def _cmd_report(args) -> int:
     from repro.viz.report import write_report
 
-    path = write_report(args.out, scale=args.scale, seed=args.seed, experiment_ids=args.only)
+    path = write_report(
+        args.out, scale=args.scale, seed=args.seed, experiment_ids=args.only,
+        engine=args.engine, jobs=args.jobs,
+    )
     print(f"[report written to {path}]")
     return 0
 
@@ -243,7 +293,7 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
-    if args.command == "run":
+    if args.command in ("experiment", "run"):
         return _cmd_run(args)
     if args.command == "all":
         return _cmd_all(args)

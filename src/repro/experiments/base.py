@@ -16,6 +16,7 @@ Scales:
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 
 from repro.viz.csvout import rows_to_csv_string
@@ -37,16 +38,22 @@ def scale_params(scale: str, quick: dict, full: dict) -> dict:
 
 @dataclass
 class ExperimentResult:
-    """Outcome of one experiment run."""
+    """Outcome of one experiment run.
+
+    ``passed`` is a tri-state: ``True`` / ``False`` for a decided shape
+    check, ``None`` for "not applicable / not evaluated" — compare with
+    ``is True`` / ``is False``, never truthiness (``None`` and ``False``
+    must not collapse into one branch).
+    """
 
     experiment_id: str
     title: str
     paper_ref: str
-    headers: list
-    rows: list
-    notes: list = field(default_factory=list)
-    artifacts: dict = field(default_factory=dict)
-    passed: bool = None
+    headers: list[str]
+    rows: list[list]
+    notes: list[str] = field(default_factory=list)
+    artifacts: dict[str, str] = field(default_factory=dict)
+    passed: bool | None = None
 
     def to_text(self) -> str:
         """Full human-readable report."""
@@ -59,7 +66,7 @@ class ExperimentResult:
         for note in self.notes:
             lines.append(f"note: {note}")
         if self.passed is not None:
-            lines.append(f"shape check: {'PASS' if self.passed else 'FAIL'}")
+            lines.append(f"shape check: {'PASS' if self.passed is True else 'FAIL'}")
         return "\n".join(lines)
 
     def to_csv(self) -> str:
@@ -69,17 +76,67 @@ class ExperimentResult:
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """A registered, runnable experiment."""
+    """A registered, runnable experiment.
+
+    Runners take ``(scale, seed)``; sweep-scheduler experiments additionally
+    accept ``engine`` (execution-engine override) and ``jobs`` (worker
+    processes) — :meth:`run` threads those through only when the runner's
+    signature accepts them, and refuses a non-default request otherwise.
+    """
 
     id: str
     title: str
     paper_ref: str
     description: str
-    runner: object  # callable (scale: str, seed: int) -> ExperimentResult
+    runner: object  # callable (scale, seed[, engine, jobs]) -> ExperimentResult
 
-    def run(self, scale: str = "quick", seed: int = 0) -> ExperimentResult:
-        """Execute the experiment at the given scale."""
-        result = self.runner(scale=scale, seed=seed)
+    def _runner_accepts(self, name: str) -> bool:
+        parameters = inspect.signature(self.runner).parameters
+        return name in parameters or any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+        )
+
+    @property
+    def accepts_engine(self) -> bool:
+        """Whether the runner supports the ``engine`` override."""
+        return self._runner_accepts("engine")
+
+    @property
+    def accepts_jobs(self) -> bool:
+        """Whether the runner supports multi-process ``jobs`` fan-out."""
+        return self._runner_accepts("jobs")
+
+    def run(
+        self, scale: str = "quick", seed: int = 0, engine: str | None = None, jobs: int = 1
+    ) -> ExperimentResult:
+        """Execute the experiment at the given scale.
+
+        Args:
+            scale: ``"quick"`` or ``"full"``.
+            seed: root seed.
+            engine: optional execution-engine override (``"scalar"`` /
+                ``"batch"`` / ``"auto"``) for sweep-scheduler experiments;
+                results are engine-independent by construction.
+            jobs: worker processes for sweep-scheduler experiments.
+        """
+        kwargs = {"scale": scale, "seed": seed}
+        # Only thread a *requested* engine through: runners keep their own
+        # defaults (e.g. protocol_baselines defaults to the batch engine).
+        if engine is not None:
+            if not self.accepts_engine:
+                raise ValueError(
+                    f"experiment {self.id!r} does not run through the sweep scheduler "
+                    "and has no engine selection"
+                )
+            kwargs["engine"] = engine
+        if jobs not in (None, 1):
+            if not self.accepts_jobs:
+                raise ValueError(
+                    f"experiment {self.id!r} does not run through the sweep scheduler "
+                    "and has no multi-process fan-out"
+                )
+            kwargs["jobs"] = jobs
+        result = self.runner(**kwargs)
         if result.experiment_id != self.id:  # defensive consistency check
             raise RuntimeError(f"runner for {self.id!r} returned id {result.experiment_id!r}")
         return result

@@ -20,13 +20,12 @@ from repro.analysis.validation import spatial_distribution_tv
 from repro.experiments.base import ExperimentResult, ExperimentSpec, scale_params
 from repro.mobility.mrwp import ManhattanRandomWaypoint
 from repro.simulation.config import FloodingConfig
-from repro.simulation.results import summarize
-from repro.simulation.runner import run_trials
+from repro.simulation.sweep import SweepPlan, run_sweep
 
 EXPERIMENT_ID = "init_bias"
 
 
-def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+def run(scale: str = "quick", seed: int = 0, engine: str | None = None, jobs: int = 1) -> ExperimentResult:
     params = scale_params(
         scale,
         quick={"agents": 8_000, "checkpoints": [0, 5, 20, 60], "n": 2_000, "trials": 3},
@@ -60,24 +59,29 @@ def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
             ]
         )
 
-    # Flooding-time bias of the cold start.
+    # Flooding-time bias of the cold start, via the sweep scheduler (both
+    # init modes in one plan, batched through engine="auto" by default).
     n = params["n"]
+    plan = SweepPlan()
+    for init in ("stationary", "uniform"):
+        plan.add(
+            FloodingConfig(
+                n=n,
+                side=math.sqrt(n),
+                radius=1.3 * math.sqrt(math.log(n)),
+                speed=0.25 * 1.3 * math.sqrt(math.log(n)),
+                max_steps=30_000,
+                init=init,
+                seed=seed,
+            ),
+            params["trials"],
+            key=init,
+        )
     flood_rows = []
     flood_means = {}
-    for init in ("stationary", "uniform"):
-        config = FloodingConfig(
-            n=n,
-            side=math.sqrt(n),
-            radius=1.3 * math.sqrt(math.log(n)),
-            speed=0.25 * 1.3 * math.sqrt(math.log(n)),
-            max_steps=30_000,
-            init=init,
-            seed=seed,
-        )
-        results = run_trials(config, params["trials"])
-        summary = summarize(r.flooding_time for r in results)
-        flood_means[init] = summary.mean
-        flood_rows.append(f"flooding time from {init} start: {summary.mean:.1f}")
+    for point in run_sweep(plan, engine=engine or "auto", jobs=jobs):
+        flood_means[point.key] = point.summary.mean
+        flood_rows.append(f"flooding time from {point.key} start: {point.summary.mean:.1f}")
 
     stationary_flat = (
         tv_by_init["stationary"][0] <= 2.5 * min(tv_by_init["stationary"])

@@ -6,6 +6,11 @@ Central Zone at the window's start.  The paper's ``tau`` constant is
 proof-driven; we measure the actual first-meeting-time distribution and
 check (a) that every suburban agent is met well within the paper's window
 and (b) the ``1/v`` scaling of meeting times.
+
+A sweep-scheduler cross-check runs live central-source flooding at each
+speed and reports the mean Suburb completion time next to the raw meeting
+medians — the protocol-level consequence of the lemma, batched through
+``engine="auto"``.
 """
 
 from __future__ import annotations
@@ -18,19 +23,24 @@ from repro.core.flooding import build_zone_partition
 from repro.core.meetings import first_meeting_times_from_zone
 from repro.experiments.base import ExperimentResult, ExperimentSpec, scale_params
 from repro.mobility.mrwp import ManhattanRandomWaypoint
+from repro.simulation.config import FloodingConfig
+from repro.simulation.results import summarize
+from repro.simulation.sweep import SweepPlan, run_sweep
 
 EXPERIMENT_ID = "meeting_suburb"
 
 
-def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+def run(scale: str = "quick", seed: int = 0, engine: str | None = None, jobs: int = 1) -> ExperimentResult:
     params = scale_params(
         scale,
-        quick={"n": 2_000, "radius_factor": 1.3, "fractions": [0.25, 0.1], "window_factor": 40},
+        quick={"n": 2_000, "radius_factor": 1.3, "fractions": [0.25, 0.1], "window_factor": 40,
+               "flood_trials": 2},
         full={
             "n": 16_000,
             "radius_factor": 1.3,
             "fractions": [0.25, 0.1, 0.04],
             "window_factor": 60,
+            "flood_trials": 4,
         },
     )
     n = params["n"]
@@ -38,16 +48,40 @@ def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
     radius = params["radius_factor"] * math.sqrt(math.log(n))
     zones = build_zone_partition(n, side, radius)
 
+    # End-to-end cross-check of Lemma 16 through the sweep scheduler: the
+    # Suburb completion time of live central-source flooding runs is the
+    # protocol-level shadow of the meeting-time mechanism, and should show
+    # the same 1/v stretch measured below.
+    plan = SweepPlan()
+    for k, fraction in enumerate(params["fractions"]):
+        plan.add(
+            FloodingConfig(
+                n=n,
+                side=side,
+                radius=radius,
+                speed=fraction * radius,
+                max_steps=30_000,
+                source="central",
+                seed=seed + 500 + k,
+            ),
+            params["flood_trials"],
+            key=fraction,
+        )
+    flood_points = {p.key: p for p in run_sweep(plan, engine=engine or "auto", jobs=jobs)}
+
     rows = []
     medians = []
     checks = []
     for k, fraction in enumerate(params["fractions"]):
         speed = fraction * radius
+        flood = flood_points[fraction]
+        suburb = summarize(r.suburb_completion_time for r in flood.results)
+        suburb_cell = round(suburb.mean, 1) if suburb.n_finite else "never"
         model = ManhattanRandomWaypoint(n, side, speed, rng=np.random.default_rng(seed + k))
         positions = model.positions
         suburb_agents = np.nonzero(zones.in_suburb(positions))[0]
         if suburb_agents.size == 0:
-            rows.append([round(fraction, 3), 0, "-", "-", "-", "no suburb agents"])
+            rows.append([round(fraction, 3), 0, "-", "-", "-", "-", "no suburb agents"])
             continue
         # Window: enough steps for an emissary to cross the empirical suburb
         # extent several times over (paper's 590 S/v is far larger).
@@ -71,6 +105,7 @@ def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
                 round(met_fraction, 4),
                 round(median, 1),
                 round(paper_tau, 0),
+                suburb_cell,
             ]
         )
 
@@ -91,12 +126,16 @@ def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
             "fraction met",
             "median meeting step",
             "paper tau = 590 S/v",
+            "mean suburb completion (flooding)",
         ],
         rows=rows,
         notes=[
             "meeting = distance <= (3/4) R to an agent that was in the CZ at step 0;",
             "the paper's tau constant is enormously conservative — the measured",
-            "medians sit orders of magnitude below it.",
+            "medians sit orders of magnitude below it;",
+            "the last column is live central-source flooding via the sweep",
+            "scheduler: the Suburb completion time is the protocol-level shadow",
+            "of the same meeting mechanism (and stretches as v drops).",
         ],
         passed=bool(checks) and all(checks) and scaling_ok,
     )

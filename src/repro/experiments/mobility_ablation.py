@@ -6,6 +6,11 @@ the same flooding workload under four mobility models isolates the effect
 of MRWP's non-uniform density: the sparse Suburb should make MRWP the
 slowest to finish (its stragglers wait for Lemma-16 meetings), while
 uniform-density models have no corner penalty.
+
+The four models are one sweep-scheduler plan: models with a native batch
+mobility implementation vectorize fully; the rest fall back to replicated
+per-trial models behind the batched protocol kernels — results are
+engine-identical either way.
 """
 
 from __future__ import annotations
@@ -14,15 +19,14 @@ import math
 
 from repro.experiments.base import ExperimentResult, ExperimentSpec, scale_params
 from repro.simulation.config import FloodingConfig
-from repro.simulation.results import summarize
-from repro.simulation.runner import run_trials
+from repro.simulation.sweep import SweepPlan, run_sweep
 
 EXPERIMENT_ID = "mobility_ablation"
 
 _MODELS = ["mrwp", "rwp", "random-walk", "random-direction"]
 
 
-def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+def run(scale: str = "quick", seed: int = 0, engine: str | None = None, jobs: int = 1) -> ExperimentResult:
     params = scale_params(
         scale,
         quick={"n": 2_000, "radius_factor": 1.3, "trials": 3},
@@ -33,25 +37,32 @@ def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
     radius = params["radius_factor"] * math.sqrt(math.log(n))
     speed = 0.25 * radius
 
+    plan = SweepPlan()
+    for model_name in _MODELS:
+        plan.add(
+            FloodingConfig(
+                n=n,
+                side=side,
+                radius=radius,
+                speed=speed,
+                max_steps=30_000,
+                mobility=model_name,
+                seed=seed,
+                track_zones=(model_name == "mrwp"),
+            ),
+            params["trials"],
+            key=model_name,
+        )
+    points = run_sweep(plan, engine=engine or "auto", jobs=jobs)
+
     rows = []
     means = {}
-    for model_name in _MODELS:
-        config = FloodingConfig(
-            n=n,
-            side=side,
-            radius=radius,
-            speed=speed,
-            max_steps=30_000,
-            mobility=model_name,
-            seed=seed,
-            track_zones=(model_name == "mrwp"),
-        )
-        results = run_trials(config, params["trials"])
-        summary = summarize(r.flooding_time for r in results)
-        means[model_name] = summary.mean
+    for point in points:
+        summary = point.summary
+        means[point.key] = summary.mean
         rows.append(
             [
-                model_name,
+                point.key,
                 round(summary.mean, 1) if summary.n_finite else "never",
                 round(summary.std, 1),
                 round(summary.minimum, 1) if summary.n_finite else "-",

@@ -7,6 +7,11 @@ way-point; its stationary law is the closed-form mixture
 We validate the mixture (TV distance, moving-fraction) and measure how
 pausing slows flooding — agents resting in the Suburb neither fetch nor
 ferry the message, so the Suburb tail should stretch with the pause.
+
+The flooding measurement runs through the sweep scheduler (one multi-trial
+point per pause value, config-driven ``mrwp-pause`` mobility) instead of
+the earlier single hand-rolled run per pause, so the reported time is a
+mean with an explicit completed-trials count.
 """
 
 from __future__ import annotations
@@ -26,29 +31,48 @@ from repro.mobility.pause import (
     moving_probability,
     spatial_pdf_with_pause,
 )
-from repro.protocols.flooding import FloodingProtocol
-from repro.simulation.engine import Simulation
+from repro.simulation.config import FloodingConfig
+from repro.simulation.sweep import SweepPlan, run_sweep
 
 EXPERIMENT_ID = "pause_extension"
 SIDE = 45.0
 
 
-def _flooding_time(model, radius, seed):
-    rng = np.random.default_rng(seed)
-    source = int(rng.integers(0, model.n))
-    protocol = FloodingProtocol(model.n, model.side, radius, source)
-    simulation = Simulation(model, protocol)
-    simulation.run(20_000)
-    return simulation.steps_run if protocol.is_complete() else math.inf
-
-
-def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+def run(scale: str = "quick", seed: int = 0, engine: str | None = None, jobs: int = 1) -> ExperimentResult:
     params = scale_params(
         scale,
-        quick={"agents": 20_000, "flood_n": 2_000, "pauses": [0.0, 10.0, 40.0], "steps": 15},
-        full={"agents": 80_000, "flood_n": 8_000, "pauses": [0.0, 5.0, 20.0, 80.0], "steps": 60},
+        quick={"agents": 20_000, "flood_n": 2_000, "pauses": [0.0, 10.0, 40.0], "steps": 15,
+               "trials": 2},
+        full={"agents": 80_000, "flood_n": 8_000, "pauses": [0.0, 5.0, 20.0, 80.0], "steps": 60,
+              "trials": 3},
     )
     speed = 0.02 * SIDE
+
+    # Flooding under pause (same network parameters as quickstart scale):
+    # one sweep-scheduler point per pause value, multi-trial now that the
+    # runs are scheduled work units instead of a hand-rolled single run.
+    flood_n = params["flood_n"]
+    flood_side = math.sqrt(flood_n)
+    flood_radius = 1.4 * math.sqrt(math.log(flood_n))
+    plan = SweepPlan()
+    for k, pause in enumerate(params["pauses"]):
+        plan.add(
+            FloodingConfig(
+                n=flood_n,
+                side=flood_side,
+                radius=flood_radius,
+                speed=0.25 * flood_radius,
+                max_steps=20_000,
+                mobility="mrwp-pause",
+                mobility_options={"pause_time": pause},
+                seed=seed + 100 + k,
+                track_zones=False,
+            ),
+            params["trials"],
+            key=pause,
+        )
+    flood_points = {p.key: p for p in run_sweep(plan, engine=engine or "auto", jobs=jobs)}
+
     bins = 10
     rows = []
     checks = []
@@ -70,15 +94,9 @@ def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
         )
         moving = model.moving_fraction
 
-        # Flooding under pause (same network parameters as quickstart scale).
-        n = params["flood_n"]
-        side = math.sqrt(n)
-        radius = 1.4 * math.sqrt(math.log(n))
-        flood_model = ManhattanRandomWaypointWithPause(
-            n, side, 0.25 * radius, pause_time=pause,
-            rng=np.random.default_rng(seed + 100 + k),
-        )
-        t_flood = _flooding_time(flood_model, radius, seed + 200 + k)
+        point = flood_points[pause]
+        # Points where no trial finished compare as "maximally slow".
+        t_flood = point.summary.mean if point.summary.n_finite else math.inf
         flood_times.append(t_flood)
 
         ok = tv <= 3.0 * noise and abs(moving - w) <= 0.02
@@ -91,6 +109,7 @@ def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
                 round(tv, 4),
                 round(noise, 4),
                 round(t_flood, 0) if math.isfinite(t_flood) else "never",
+                point.completion_label,
                 "ok" if ok else "off",
             ]
         )
@@ -106,7 +125,8 @@ def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
             "measured moving fraction",
             "TV vs mixture pdf",
             "noise floor",
-            "flooding time",
+            "mean flooding time",
+            "completed trials",
             "verdict",
         ],
         rows=rows,

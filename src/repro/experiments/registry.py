@@ -58,11 +58,38 @@ def get_spec(experiment_id: str) -> ExperimentSpec:
     return module.EXPERIMENT
 
 
-def run_experiment(experiment_id: str, scale: str = "quick", seed: int = 0) -> ExperimentResult:
-    """Run one experiment by id."""
-    return get_spec(experiment_id).run(scale=scale, seed=seed)
+def run_experiment(
+    experiment_id: str,
+    scale: str = "quick",
+    seed: int = 0,
+    engine: str | None = None,
+    jobs: int = 1,
+) -> ExperimentResult:
+    """Run one experiment by id.
+
+    ``engine`` / ``jobs`` thread through to sweep-scheduler experiments
+    (see :meth:`~repro.experiments.base.ExperimentSpec.run`); requesting
+    either on an experiment without scheduler support raises.
+    """
+    return get_spec(experiment_id).run(scale=scale, seed=seed, engine=engine, jobs=jobs)
 
 
-def run_all(scale: str = "quick", seed: int = 0) -> list:
-    """Run every registered experiment; returns the results in index order."""
-    return [run_experiment(eid, scale=scale, seed=seed) for eid in all_ids()]
+def run_all(scale: str = "quick", seed: int = 0, engine: str | None = None, jobs: int = 1) -> list:
+    """Run every registered experiment; returns the results in index order.
+
+    ``engine`` / ``jobs`` apply to the experiments that support them (the
+    sweep-scheduler suite) and are skipped for the rest — a whole-suite run
+    must not fail because closed-form experiments have no engine knob.
+    """
+    results = []
+    for eid in all_ids():
+        spec = get_spec(eid)
+        results.append(
+            spec.run(
+                scale=scale,
+                seed=seed,
+                engine=engine if spec.accepts_engine else None,
+                jobs=jobs if spec.accepts_jobs else 1,
+            )
+        )
+    return results

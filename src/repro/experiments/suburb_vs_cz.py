@@ -7,6 +7,10 @@ currently in the Central Zone is informed and the first step at which every
 agent currently in the Suburb is informed, for both source placements
 (Theorem 3's two cases), and report the Suburb/CZ ratio — the claim is that
 it stays O(1), not diverging.
+
+Both source placements are one sweep-scheduler plan (``engine="auto"``
+batch dispatch — the batch engine records the same per-zone completion
+times, seed-for-seed); tables match the pre-scheduler loop exactly.
 """
 
 from __future__ import annotations
@@ -18,12 +22,12 @@ import numpy as np
 from repro.experiments.base import ExperimentResult, ExperimentSpec, scale_params
 from repro.simulation.config import FloodingConfig
 from repro.simulation.results import summarize
-from repro.simulation.runner import run_trials
+from repro.simulation.sweep import SweepPlan, run_sweep
 
 EXPERIMENT_ID = "suburb_vs_cz"
 
 
-def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+def run(scale: str = "quick", seed: int = 0, engine: str | None = None, jobs: int = 1) -> ExperimentResult:
     params = scale_params(
         scale,
         quick={"n": 2_000, "radius_factor": 1.3, "trials": 4},
@@ -34,19 +38,28 @@ def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
     radius = params["radius_factor"] * math.sqrt(math.log(n))
     speed = 0.25 * radius
 
+    plan = SweepPlan()
+    for source_mode in ("central", "suburb"):
+        plan.add(
+            FloodingConfig(
+                n=n,
+                side=side,
+                radius=radius,
+                speed=speed,
+                max_steps=30_000,
+                source=source_mode,
+                seed=seed + (0 if source_mode == "central" else 1),
+            ),
+            params["trials"],
+            key=source_mode,
+        )
+    points = run_sweep(plan, engine=engine or "auto", jobs=jobs)
+
     rows = []
     ratios = []
-    for source_mode in ("central", "suburb"):
-        config = FloodingConfig(
-            n=n,
-            side=side,
-            radius=radius,
-            speed=speed,
-            max_steps=30_000,
-            source=source_mode,
-            seed=seed + (0 if source_mode == "central" else 1),
-        )
-        results = run_trials(config, params["trials"])
+    for point in points:
+        source_mode = point.key
+        results = point.results
         cz_times = [r.cz_completion_time for r in results]
         suburb_times = [r.suburb_completion_time for r in results]
         total = summarize(r.flooding_time for r in results)

@@ -6,6 +6,13 @@ which forces completion within ``5 sqrt(|CZ|) <= 18 L/R`` steps (Claim 11).
 We track ``|Q_t|`` on live flooding runs and measure how often the
 recurrence holds step-by-step, plus the time to all-cells-informed against
 both bounds.
+
+The trials run through the sweep scheduler as one multi-trial point with a
+per-trial :class:`~repro.core.spread.InformedCellTracker` observer
+(``observer_factory`` — observer points execute on the scalar engine,
+``jobs=`` still fans the trials out over processes), replacing the earlier
+hand-rolled model/protocol loop; the seed schedule is the scheduler's
+standard ``SeedSequence(seed).spawn(trials)``.
 """
 
 from __future__ import annotations
@@ -19,14 +26,20 @@ from repro.core.cells import CellGrid
 from repro.core.spread import InformedCellTracker, claim11_completion_steps, growth_deficits
 from repro.core.zones import ZonePartition
 from repro.experiments.base import ExperimentResult, ExperimentSpec, scale_params
-from repro.mobility.mrwp import ManhattanRandomWaypoint
-from repro.protocols.flooding import FloodingProtocol
-from repro.simulation.engine import Simulation
+from repro.simulation.config import FloodingConfig
+from repro.simulation.sweep import SweepPlan, run_sweep
 
 EXPERIMENT_ID = "thm10_growth"
 
 
-def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+def _tracker_factory(config: FloodingConfig) -> list:
+    """Fresh per-trial observer; top-level so process pools can pickle it."""
+    grid = CellGrid.for_radius(config.side, config.radius)
+    zones = ZonePartition(grid, config.n)
+    return [InformedCellTracker(grid, zones)]
+
+
+def run(scale: str = "quick", seed: int = 0, engine: str | None = None, jobs: int = 1) -> ExperimentResult:
     params = scale_params(
         scale,
         quick={"n": 4_000, "radius_factor": 2.6, "trials": 3},
@@ -38,22 +51,28 @@ def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
     speed = theory.speed_assumption_max(radius)
     grid = CellGrid.for_radius(side, radius)
     zones = ZonePartition(grid, n)
+    total = zones.n_central_cells
+
+    # Source near the center so Q_0 >= 1 (Theorem 10's hypothesis) — the
+    # config's "central" placement is exactly the closest-to-center agent.
+    config = FloodingConfig(
+        n=n,
+        side=side,
+        radius=radius,
+        speed=speed,
+        max_steps=2_000,
+        source="central",
+        seed=seed,
+        track_zones=False,
+    )
+    plan = SweepPlan()
+    plan.add(config, params["trials"], key="growth", observer_factory=_tracker_factory)
+    (point,) = run_sweep(plan, engine=engine or "auto", jobs=jobs)
 
     rows = []
     checks = []
-    for trial in range(params["trials"]):
-        rng = np.random.default_rng([seed, trial])
-        model = ManhattanRandomWaypoint(n, side, speed, rng=rng)
-        # Source near the center so Q_0 >= 1 (Theorem 10's hypothesis).
-        center = np.array([side / 2, side / 2])
-        source = int(np.argmin(np.linalg.norm(model.positions - center, axis=1)))
-        protocol = FloodingProtocol(n, side, radius, source)
-        tracker = InformedCellTracker(grid, zones)
-        simulation = Simulation(model, protocol, observers=[tracker])
-        simulation.run(2_000)
-
+    for trial, tracker in enumerate(point.observers()):
         q = tracker.q_series()
-        total = zones.n_central_cells
         complete_steps = np.nonzero(q >= total)[0]
         completion = int(complete_steps[0]) if complete_steps.size else math.inf
         deficits = growth_deficits(q, total)

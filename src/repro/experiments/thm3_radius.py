@@ -5,6 +5,10 @@ With ``L = sqrt n`` and fixed speed, the bound ``O(L/R + S/v)`` falls as
 time across radii, reports the bound alongside, and checks that the measured
 series is (noise-tolerantly) decreasing and stays above the trivial
 information-speed lower bound.
+
+Runs through the sweep scheduler (``engine="auto"`` batch dispatch,
+optional ``jobs=`` fan-out) with the same per-point seed schedule — and
+therefore the same table — as the pre-scheduler loop.
 """
 
 from __future__ import annotations
@@ -16,13 +20,12 @@ import numpy as np
 from repro.core import theory
 from repro.experiments.base import ExperimentResult, ExperimentSpec, scale_params
 from repro.simulation.config import FloodingConfig
-from repro.simulation.results import summarize
-from repro.simulation.runner import run_trials
+from repro.simulation.sweep import SweepPlan, run_sweep
 
 EXPERIMENT_ID = "thm3_radius"
 
 
-def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+def run(scale: str = "quick", seed: int = 0, engine: str | None = None, jobs: int = 1) -> ExperimentResult:
     params = scale_params(
         scale,
         quick={"n": 2_000, "factors": [1.2, 1.6, 2.2, 3.0], "trials": 3},
@@ -32,25 +35,32 @@ def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
     side = math.sqrt(n)
     speed = 0.25 * params["factors"][0] * math.sqrt(math.log(n))  # fixed across the sweep
 
+    plan = SweepPlan()
+    for k, factor in enumerate(params["factors"]):
+        plan.add(
+            FloodingConfig(
+                n=n,
+                side=side,
+                radius=factor * math.sqrt(math.log(n)),
+                speed=speed,
+                max_steps=20_000,
+                seed=seed + 1000 * k,
+            ),
+            params["trials"],
+            key=factor,
+        )
+    points = run_sweep(plan, engine=engine or "auto", jobs=jobs)
+
     rows = []
     means = []
-    for k, factor in enumerate(params["factors"]):
-        radius = factor * math.sqrt(math.log(n))
-        config = FloodingConfig(
-            n=n,
-            side=side,
-            radius=radius,
-            speed=speed,
-            max_steps=20_000,
-            seed=seed + 1000 * k,
-        )
-        results = run_trials(config, params["trials"])
-        summary = summarize(r.flooding_time for r in results)
+    for point in points:
+        summary = point.summary
+        radius = point.config.radius
         means.append(summary.mean)
         lower = theory.geometric_lower_bound(side, radius, speed)
         rows.append(
             [
-                round(factor, 2),
+                round(point.key, 2),
                 round(radius, 2),
                 round(summary.mean, 1),
                 round(summary.minimum, 1),

@@ -4,6 +4,12 @@ With ``R = c sqrt(log n)`` and ``v = Theta(R)``, the bound's dominant term
 is ``L/R = sqrt(n / log n) / c`` — flooding time grows like ``~ n^(1/2)``
 up to the log factor.  The sweep fits a power law to measured flooding
 times across ``n`` and checks the exponent lands near 1/2.
+
+The grid runs through the sweep scheduler
+(:func:`repro.simulation.sweep.run_sweep`): one plan, every point batched
+through ``engine="auto"`` by default, optional ``jobs=`` process fan-out —
+same seed schedule (and therefore the same table) as the pre-scheduler
+point-by-point loop.
 """
 
 from __future__ import annotations
@@ -11,40 +17,46 @@ from __future__ import annotations
 from repro.analysis.scaling import fit_power_law
 from repro.experiments.base import ExperimentResult, ExperimentSpec, scale_params
 from repro.simulation.config import standard_config
-from repro.simulation.results import summarize
-from repro.simulation.runner import run_trials
+from repro.simulation.sweep import SweepPlan, run_sweep
 
 EXPERIMENT_ID = "thm3_scaling"
 
 
-def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+def run(scale: str = "quick", seed: int = 0, engine: str | None = None, jobs: int = 1) -> ExperimentResult:
     params = scale_params(
         scale,
         quick={"ns": [500, 1_000, 2_000, 4_000], "trials": 3, "radius_factor": 1.3},
         full={"ns": [500, 1_000, 2_000, 4_000, 8_000, 16_000, 32_000], "trials": 8,
               "radius_factor": 1.3},
     )
+    plan = SweepPlan()
+    for k, n in enumerate(params["ns"]):
+        plan.add(
+            standard_config(
+                n,
+                radius_factor=params["radius_factor"],
+                speed_fraction=0.25,
+                max_steps=30_000,
+                seed=seed + 1000 * k,
+            ),
+            params["trials"],
+            key=n,
+        )
+    points = run_sweep(plan, engine=engine or "auto", jobs=jobs)
+
     rows = []
     ns = []
     means = []
-    for k, n in enumerate(params["ns"]):
-        config = standard_config(
-            n,
-            radius_factor=params["radius_factor"],
-            speed_fraction=0.25,
-            max_steps=30_000,
-            seed=seed + 1000 * k,
-        )
-        results = run_trials(config, params["trials"])
-        summary = summarize(r.flooding_time for r in results)
-        ns.append(n)
+    for point in points:
+        summary = point.summary
+        ns.append(point.key)
         means.append(summary.mean)
-        predicted = config.side / config.radius
+        predicted = point.config.side / point.config.radius
         rows.append(
             [
-                n,
-                round(config.side, 1),
-                round(config.radius, 2),
+                point.key,
+                round(point.config.side, 1),
+                round(point.config.radius, 2),
                 round(summary.mean, 1),
                 round(summary.std, 1),
                 round(predicted, 1),

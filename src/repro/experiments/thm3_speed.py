@@ -10,6 +10,10 @@ The bound ``O(L/R + S/v)`` has two regimes, both probed here:
   connectivity level): suburban agents are genuinely isolated, and
   flooding time fits ``a + b/v`` with ``b > 0`` — the paper's "flooding
   time must depend on v".
+
+Both panels ride a single sweep-scheduler plan (``engine="auto"`` batch
+dispatch, optional ``jobs=`` fan-out) with the pre-scheduler seed schedule
+— the sparse panel's long horizons are where the batching pays most.
 """
 
 from __future__ import annotations
@@ -20,35 +24,43 @@ from repro.analysis.scaling import fit_affine_inverse
 from repro.core import theory
 from repro.experiments.base import ExperimentResult, ExperimentSpec, scale_params
 from repro.simulation.config import FloodingConfig
-from repro.simulation.results import summarize
-from repro.simulation.runner import run_trials
+from repro.simulation.sweep import SweepPlan, run_sweep
 
 EXPERIMENT_ID = "thm3_speed"
 
 
-def _sweep(n, side, radius, fractions, trials, seed, max_steps):
+def _panel_points(plan, panel, n, side, radius, fractions, trials, seed, max_steps):
+    """Queue one panel's speed sweep on the shared plan (keyed by panel)."""
+    for k, fraction in enumerate(fractions):
+        plan.add(
+            FloodingConfig(
+                n=n,
+                side=side,
+                radius=radius,
+                speed=fraction * radius,
+                max_steps=max_steps,
+                seed=seed + 1000 * k,
+                track_zones=False,
+            ),
+            trials,
+            key=(panel, fraction),
+        )
+
+
+def _panel_rows(points, panel):
     speeds = []
     means = []
     rows = []
-    for k, fraction in enumerate(fractions):
-        speed = fraction * radius
-        config = FloodingConfig(
-            n=n,
-            side=side,
-            radius=radius,
-            speed=speed,
-            max_steps=max_steps,
-            seed=seed + 1000 * k,
-            track_zones=False,
-        )
-        results = run_trials(config, trials)
-        summary = summarize(r.flooding_time for r in results)
-        speeds.append(speed)
+    for point in points:
+        if point.key[0] != panel:
+            continue
+        summary = point.summary
+        speeds.append(point.config.speed)
         means.append(summary.mean)
         rows.append(
             [
-                round(fraction, 3),
-                round(speed, 4),
+                round(point.key[1], 3),
+                round(point.config.speed, 4),
                 round(summary.mean, 1),
                 round(summary.minimum, 1),
                 round(summary.maximum, 1),
@@ -58,7 +70,7 @@ def _sweep(n, side, radius, fractions, trials, seed, max_steps):
     return speeds, means, rows
 
 
-def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+def run(scale: str = "quick", seed: int = 0, engine: str | None = None, jobs: int = 1) -> ExperimentResult:
     params = scale_params(
         scale,
         quick={
@@ -79,19 +91,26 @@ def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
     n = params["n"]
     side = math.sqrt(n)
 
-    # Panel A: assumption regime (optimal window) — flat in v.
+    # Both panels ride one sweep plan: the scheduler batches every point
+    # through engine="auto" and can fan the points out over processes.
     dense_radius = params["dense_factor"] * math.sqrt(math.log(n))
-    _, dense_means, dense_rows = _sweep(
-        n, side, dense_radius, params["fractions"], params["trials"], seed, 30_000
+    sparse_radius = params["sparse_radius_scale"] * side / n ** (1.0 / 3.0)
+    plan = SweepPlan()
+    # Panel A: assumption regime (optimal window) — flat in v.
+    _panel_points(
+        plan, "dense", n, side, dense_radius, params["fractions"], params["trials"], seed, 30_000
     )
-    dense_spread = max(dense_means) / max(min(dense_means), 1.0)
-
     # Panel B: sparse regime — a + b/v.  Radius at the Theorem-18 scale
     # (a fraction of d = L / n^(1/3), below corner connectivity).
-    sparse_radius = params["sparse_radius_scale"] * side / n ** (1.0 / 3.0)
-    speeds, sparse_means, sparse_rows = _sweep(
-        n, side, sparse_radius, params["fractions"], params["trials"], seed + 7, 200_000
+    _panel_points(
+        plan, "sparse", n, side, sparse_radius, params["fractions"], params["trials"],
+        seed + 7, 200_000,
     )
+    points = run_sweep(plan, engine=engine or "auto", jobs=jobs)
+
+    _, dense_means, dense_rows = _panel_rows(points, "dense")
+    dense_spread = max(dense_means) / max(min(dense_means), 1.0)
+    speeds, sparse_means, sparse_rows = _panel_rows(points, "sparse")
     fit = fit_affine_inverse(speeds, sparse_means)
 
     rows = [["-- optimal window --", f"R={dense_radius:.2f}", "", "", "", ""]]

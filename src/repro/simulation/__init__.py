@@ -19,6 +19,13 @@ from repro.simulation.metrics import InformedRecorder, ZoneRecorder
 from repro.simulation.parallel import run_trials_parallel, sweep_parallel
 from repro.simulation.results import FloodingResult, TrialSummary, summarize
 from repro.simulation.rng import make_rng, spawn_rngs, spawn_seeds
+# NOTE: the sweep *module* import must precede the runner import — both
+# bind the package attribute ``sweep`` (the submodule implicitly, the
+# legacy aggregation function explicitly), and the function is the public
+# API here.  Reach the module as ``repro.simulation.sweep`` via a direct
+# ``from repro.simulation.sweep import ...`` (or sys.modules), never via
+# the package attribute.
+from repro.simulation.sweep import SweepPlan, SweepPoint, SweepPointResult, run_sweep
 from repro.simulation.runner import (
     build_model,
     build_protocol,
@@ -49,6 +56,10 @@ __all__ = [
     "run_trials_parallel",
     "sweep",
     "sweep_parallel",
+    "SweepPlan",
+    "SweepPoint",
+    "SweepPointResult",
+    "run_sweep",
     "build_model",
     "build_protocol",
 ]

@@ -77,9 +77,10 @@ def build_batch_model(config: FloodingConfig, rngs) -> BatchMobilityModel:
             config.n, config.side, config.speed, rngs, init=config.init, **options
         )
     if name == "rwp":
-        init = config.init if config.init in ("stationary", "uniform") else "stationary"
+        # config.init is validated at construction; RWP's own error surfaces
+        # for the mrwp-only "closed-form" spec instead of a silent fallback.
         return BatchRandomWaypoint(
-            config.n, config.side, config.speed, rngs, init=init, **options
+            config.n, config.side, config.speed, rngs, init=config.init, **options
         )
     if name == "random-walk":
         return BatchRandomWalk(

@@ -22,6 +22,7 @@ __all__ = ["FloodingConfig", "standard_config"]
 
 _SOURCE_MODES = ("uniform", "central", "suburb")
 _ENGINES = ("scalar", "batch", "auto")
+_INITS = ("stationary", "closed-form", "uniform")
 
 
 @dataclass(frozen=True)
@@ -45,7 +46,11 @@ class FloodingConfig:
             :data:`repro.protocols.PROTOCOL_REGISTRY`.
         protocol_options: extra keyword arguments for the protocol
             constructor (e.g. ``{"fanout": 2}``).
-        init: mobility initialization mode (``"stationary"`` etc.).
+        init: mobility initialization mode — ``"stationary"`` (perfect
+            simulation of the stationary law), ``"closed-form"`` (MRWP
+            only), or ``"uniform"`` (cold start).  Validated here; models
+            with a narrower vocabulary raise their own error at
+            construction instead of silently substituting a default.
         backend: neighbor-engine backend.
         neighbor_options: tuning knobs for the neighbor subsystem —
             ``incremental`` (persistent spatial indexes refreshed from
@@ -113,6 +118,11 @@ class FloodingConfig:
             raise ValueError(f"source index must be in [0, {self.n}), got {self.source}")
         if self.engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, got {self.engine!r}")
+        if self.init not in _INITS:
+            raise ValueError(
+                f"init must be one of {_INITS}, got {self.init!r} "
+                "(mobility models may restrict further: 'closed-form' is mrwp-only)"
+            )
         if self.protocol not in PROTOCOL_REGISTRY:
             raise ValueError(
                 f"unknown protocol {self.protocol!r}; registered protocols: "

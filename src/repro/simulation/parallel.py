@@ -12,6 +12,11 @@ process runs one trial per job (the original layout).  With
 slice of the trial sequence advanced in lock-step by
 :func:`repro.simulation.batch.run_flooding_batch` — so the vectorization
 win multiplies with the process fan-out instead of being sliced away.
+
+The seed-state plumbing (``_child_states`` / ``_rebuild_seed_seq``) and the
+pool dispatcher (``_dispatch``) are shared with the sweep scheduler
+(:mod:`repro.simulation.sweep`), which schedules whole experiment grids —
+many configs at once — over the same worker machinery.
 """
 
 from __future__ import annotations

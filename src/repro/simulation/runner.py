@@ -4,7 +4,10 @@
 :class:`~repro.simulation.config.FloodingConfig` and returns a
 :class:`~repro.simulation.results.FloodingResult`.  :func:`run_trials`
 repeats it over independent seeds; :func:`sweep` varies one parameter and
-aggregates — the workhorse behind every flooding experiment and benchmark.
+aggregates (delegating to the sweep scheduler,
+:mod:`repro.simulation.sweep`, which schedules whole experiment grids as
+batched, parallel work units) — the workhorses behind every flooding
+experiment and benchmark.
 """
 
 from __future__ import annotations
@@ -25,7 +28,7 @@ from repro.protocols import PROTOCOL_REGISTRY, FloodingProtocol
 from repro.simulation.config import FloodingConfig
 from repro.simulation.engine import Simulation
 from repro.simulation.metrics import InformedRecorder, ZoneRecorder
-from repro.simulation.results import FloodingResult, TrialSummary, summarize
+from repro.simulation.results import FloodingResult
 
 __all__ = ["run_flooding", "run_trials", "sweep", "build_model", "build_protocol"]
 
@@ -34,19 +37,22 @@ def build_model(config: FloodingConfig, rng: np.random.Generator):
     """Instantiate the mobility model named by the configuration."""
     name = config.mobility
     options = dict(config.mobility_options)
+    # config.init is validated at FloodingConfig construction; models with a
+    # narrower init vocabulary (rwp / mrwp-pause reject "closed-form") raise
+    # their own ValueError rather than being silently coerced.
     if name == "mrwp":
         return ManhattanRandomWaypoint(
             config.n, config.side, config.speed, rng=rng, init=config.init, **options
         )
     if name == "mrwp-pause":
-        init = config.init if config.init in ("stationary", "uniform") else "stationary"
         options.setdefault("pause_time", 0.0)
         return ManhattanRandomWaypointWithPause(
-            config.n, config.side, config.speed, rng=rng, init=init, **options
+            config.n, config.side, config.speed, rng=rng, init=config.init, **options
         )
     if name == "rwp":
-        init = config.init if config.init in ("stationary", "uniform") else "stationary"
-        return RandomWaypoint(config.n, config.side, config.speed, rng=rng, init=init, **options)
+        return RandomWaypoint(
+            config.n, config.side, config.speed, rng=rng, init=config.init, **options
+        )
     if name == "random-walk":
         return RandomWalk(config.n, config.side, move_radius=config.speed, rng=rng, **options)
     if name == "random-direction":
@@ -77,13 +83,22 @@ def build_protocol(config: FloodingConfig, source: int, rng: np.random.Generator
     )
 
 
-def run_flooding(config: FloodingConfig, seed_seq: np.random.SeedSequence = None) -> FloodingResult:
+def run_flooding(
+    config: FloodingConfig,
+    seed_seq: np.random.SeedSequence = None,
+    extra_observers=None,
+) -> FloodingResult:
     """Execute one flooding run.
 
     Args:
         config: the experiment parameters.
         seed_seq: optional externally supplied seed sequence (used by
             :func:`run_trials`); defaults to ``SeedSequence(config.seed)``.
+        extra_observers: optional additional simulation observers (the
+            :class:`~repro.simulation.engine.Simulation` observer
+            protocol), appended after the built-in recorders and returned
+            on ``result.extras["observers"]`` — the sweep scheduler's
+            per-trial instrumentation hook.
     """
     root = seed_seq if seed_seq is not None else np.random.SeedSequence(config.seed)
     mobility_ss, protocol_ss, source_ss = root.spawn(3)
@@ -100,6 +115,8 @@ def run_flooding(config: FloodingConfig, seed_seq: np.random.SeedSequence = None
         )
         if zones is not None:
             observers.append(ZoneRecorder(zones))
+    extra = list(extra_observers) if extra_observers else []
+    observers.extend(extra)
 
     simulation = Simulation(model, protocol, observers)
     n_steps = simulation.run(config.max_steps)
@@ -127,6 +144,8 @@ def run_flooding(config: FloodingConfig, seed_seq: np.random.SeedSequence = None
         final_coverage=protocol.informed_count / config.n,
         extras={"n_agents": config.n, "config": config},
     )
+    if extra:
+        result.extras["observers"] = extra
     result.extras.update(protocol.final_metrics(model.positions, zones))
     if zones is not None:
         zone_recorder = observers[1]
@@ -166,14 +185,16 @@ def run_trials(config: FloodingConfig, n_trials: int) -> list:
 def sweep(config: FloodingConfig, parameter: str, values, n_trials: int = 5) -> list:
     """Vary one configuration field, running ``n_trials`` repetitions per value.
 
+    Since PR 4 this delegates to the sweep scheduler
+    (:func:`repro.simulation.sweep.run_sweep`) with the legacy call's
+    semantics (config's own engine, in-process execution) — same seed
+    schedule, bit-identical results, plus config deduplication for free.
+
     Returns:
         list of ``(value, TrialSummary, results)`` tuples, in input order,
         where the summary aggregates flooding times.
     """
-    out = []
-    for value in values:
-        variant = config.with_options(**{parameter: value})
-        results = run_trials(variant, n_trials)
-        summary: TrialSummary = summarize(r.flooding_time for r in results)
-        out.append((value, summary, results))
-    return out
+    from repro.simulation.sweep import SweepPlan, run_sweep
+
+    plan = SweepPlan.over_parameter(config, parameter, values, n_trials)
+    return [(point.key, point.summary, point.results) for point in run_sweep(plan)]

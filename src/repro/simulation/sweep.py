@@ -1,0 +1,316 @@
+"""Sweep scheduler: whole parameter sweeps as batched, parallel work units.
+
+Every quantitative claim of the paper is a parameter *sweep* — flooding
+times across ``n`` (Theorem 3 scaling), across ``R`` and ``v``, across
+mobility models and source placements.  Before this module each experiment
+walked its grid point-by-point through :func:`~repro.simulation.runner
+.run_trials`; the scheduler turns a grid into a first-class work plan:
+
+* a :class:`SweepPlan` collects :class:`SweepPoint` entries — one
+  ``(config, n_trials)`` pair per grid point, with an opaque ``key`` the
+  caller uses to find the point again in the output;
+* the **seed schedule is deterministic per point** and identical to
+  :func:`~repro.simulation.runner.run_trials`:
+  ``SeedSequence(config.seed).spawn(n_trials)`` — so scheduling a sweep is
+  bit-for-bit equivalent to hand-looping ``run_trials`` over its points
+  (enforced by ``tests/test_simulation_sweep.py``);
+* **identical configurations are deduplicated**: duplicate points execute
+  once, and a point asking for fewer trials of a config another point also
+  sweeps receives a prefix of the shared trial sequence (seed-schedule
+  prefixes are stable under ``SeedSequence.spawn``);
+* each point dispatches through the configured **execution engine**
+  (``engine="auto"`` resolves to the vectorized batch engine for every
+  protocol with a batched state) in batch slices, exactly like
+  ``run_trials``;
+* ``jobs=`` fans the work units out over processes via the worker
+  machinery of :mod:`repro.simulation.parallel` — batch points ship one
+  batch slice per job, scalar points one trial per job, all sharing one
+  pool;
+* points may attach **per-trial observers** (``observer_factory``), which
+  forces the scalar engine for that point only (observers need the
+  step-by-step :class:`~repro.simulation.engine.Simulation`); the observers
+  ride back on ``FloodingResult.extras["observers"]``.
+
+The output is point-indexed: one :class:`SweepPointResult` per input point
+(in input order) carrying the raw results, the
+:class:`~repro.simulation.results.TrialSummary`, and per-point completion
+fractions — so callers stop silently averaging the finite subset and can
+mask under-completed points.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+
+from repro.simulation.config import FloodingConfig
+from repro.simulation.parallel import _child_states, _dispatch, _rebuild_seed_seq
+from repro.simulation.results import TrialSummary, summarize
+
+__all__ = ["SweepPoint", "SweepPointResult", "SweepPlan", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point of a sweep: a configuration and a trial count.
+
+    Attributes:
+        config: the fully-specified experiment parameters.
+        n_trials: independent repetitions (seed schedule:
+            ``SeedSequence(config.seed).spawn(n_trials)``, as in
+            ``run_trials``).
+        key: opaque caller label (the swept value, a tuple, ...) echoed on
+            the matching :class:`SweepPointResult`.
+        observer_factory: optional picklable callable
+            ``factory(config) -> list`` building fresh per-trial observers
+            (:class:`~repro.simulation.engine.Simulation` observer
+            protocol).  Forces the scalar engine for this point.
+    """
+
+    config: FloodingConfig
+    n_trials: int
+    key: object = None
+    observer_factory: object = None
+
+    def __post_init__(self):
+        if not isinstance(self.config, FloodingConfig):
+            raise TypeError(f"config must be a FloodingConfig, got {type(self.config).__name__}")
+        if self.n_trials < 1:
+            raise ValueError(f"n_trials must be positive, got {self.n_trials}")
+        if self.observer_factory is not None and not callable(self.observer_factory):
+            raise TypeError("observer_factory must be callable")
+
+
+@dataclass
+class SweepPointResult:
+    """Executed point: raw results plus point-level aggregation.
+
+    Attributes:
+        key: the input point's label.
+        config: the configuration **as executed** (engine override applied).
+        n_trials: trials this point asked for (``len(results)``).
+        engine: engine that actually ran the trials (``"scalar"`` or
+            ``"batch"`` — never ``"auto"``).
+        results: per-trial :class:`~repro.simulation.results.FloodingResult`
+            in seed order.
+        summary: flooding-time aggregation over the trials.
+    """
+
+    key: object
+    config: FloodingConfig
+    n_trials: int
+    engine: str
+    results: list = field(default_factory=list)
+    summary: TrialSummary = None
+
+    @property
+    def completed_fraction(self) -> float:
+        """Fraction of trials that reached full coverage."""
+        return sum(1 for r in self.results if r.completed) / self.n_trials
+
+    @property
+    def finite_fraction(self) -> float:
+        """Fraction of trials with a finite flooding time."""
+        return self.summary.n_finite / self.summary.n_trials
+
+    @property
+    def completion_label(self) -> str:
+        """``"finite/total"`` rendering for tables (e.g. ``"3/3"``)."""
+        return f"{self.summary.n_finite}/{self.summary.n_trials}"
+
+    @property
+    def mean(self) -> float:
+        """Mean finite flooding time (NaN when no trial finished)."""
+        return self.summary.mean
+
+    def masked_mean(self, min_finite_fraction: float = 0.5) -> float:
+        """Mean flooding time, masked to NaN below a finite-trial floor.
+
+        The unmasked ``summary.mean`` silently averages whichever subset
+        happened to finish; this helper makes the bias explicit by
+        refusing to report a moment when fewer than
+        ``min_finite_fraction`` of the trials completed.
+        """
+        if self.finite_fraction < min_finite_fraction:
+            return math.nan
+        return self.summary.mean
+
+    def observers(self, index: int = 0) -> list:
+        """The per-trial observers built by the point's factory.
+
+        Args:
+            index: which observer of the factory's list to collect.
+
+        Returns:
+            one observer per trial, in seed order.
+        """
+        return [r.extras["observers"][index] for r in self.results]
+
+
+class SweepPlan:
+    """An ordered collection of sweep points."""
+
+    def __init__(self, points=()):
+        self.points = []
+        for point in points:
+            if isinstance(point, SweepPoint):
+                self.points.append(point)
+            else:  # (config, n_trials[, key]) tuples for convenience
+                self.points.append(SweepPoint(*point))
+
+    def add(
+        self, config: FloodingConfig, n_trials: int, key=None, observer_factory=None
+    ) -> SweepPoint:
+        """Append a point; returns it (its ``key`` indexes the output)."""
+        point = SweepPoint(config, n_trials, key=key, observer_factory=observer_factory)
+        self.points.append(point)
+        return point
+
+    @classmethod
+    def over_parameter(
+        cls, config: FloodingConfig, parameter: str, values, n_trials: int = 5
+    ) -> "SweepPlan":
+        """The classic one-parameter sweep: one point per value, keyed by it."""
+        plan = cls()
+        for value in values:
+            plan.add(config.with_options(**{parameter: value}), n_trials, key=value)
+        return plan
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+
+def _run_sweep_job(args) -> list:
+    """Worker: execute one job — a (config, seed-states, factory) slice.
+
+    Top-level so the process pool can pickle it; batch jobs carry a whole
+    trial slice, scalar jobs a single trial each.
+    """
+    config, states, factory = args
+    seqs = [_rebuild_seed_seq(state) for state in states]
+    if factory is None and config.resolved_engine == "batch":
+        from repro.simulation.batch import run_protocol_batch
+
+        return run_protocol_batch(config, seqs)
+    from repro.simulation.runner import run_flooding
+
+    out = []
+    for seq in seqs:
+        extra = list(factory(config)) if factory is not None else None
+        out.append(run_flooding(config, seed_seq=seq, extra_observers=extra))
+    return out
+
+
+def _executed_config(point: SweepPoint, engine) -> FloodingConfig:
+    """Apply the sweep-level engine override and the observer constraint."""
+    config = point.config
+    if engine is not None:
+        config = config.with_options(engine=engine)
+    if point.observer_factory is not None:
+        if config.engine == "batch":
+            raise ValueError(
+                f"point {point.key!r} attaches observers, which require the scalar "
+                "engine; use engine='auto' or 'scalar' for observer points"
+            )
+        if config.engine != "scalar":  # "auto": observers resolve it to scalar
+            config = config.with_options(engine="scalar")
+    return config
+
+
+def run_sweep(plan, engine: str | None = None, jobs: int | None = 1, batch_size: int | None = None) -> list:
+    """Execute a sweep plan; one :class:`SweepPointResult` per point, in order.
+
+    Args:
+        plan: a :class:`SweepPlan`, or any iterable of :class:`SweepPoint`
+            / ``(config, n_trials[, key])`` tuples.
+        engine: optional engine override applied to every point
+            (``"scalar"`` / ``"batch"`` / ``"auto"``); ``None`` keeps each
+            config's own engine.  Results never depend on the engine (the
+            batch engine is seed-for-seed identical to the scalar one).
+        jobs: worker processes.  ``1`` (default) runs in-process; ``N > 1``
+            fans the work units out over a shared pool of ``N`` processes;
+            ``None`` lets the executor pick.  Results never depend on
+            ``jobs`` — the seed schedule is fixed per point.
+        batch_size: optional override of each config's ``batch_size`` for
+            slicing batch-engine points into work units (``None`` keeps the
+            config's; a config value of 0 means "one slice per point" for
+            serial runs and ``ceil(n_trials / jobs)`` slices under fan-out).
+
+    Returns:
+        list of :class:`SweepPointResult`, aligned with the input points.
+    """
+    points = list(plan.points if isinstance(plan, SweepPlan) else SweepPlan(plan).points)
+    if not points:
+        return []
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be a positive worker count or None, got {jobs}")
+
+    # --- dedup pass: one execution group per distinct (config, factory) ---
+    # FloodingConfig holds dict fields, so grouping is by equality scan, not
+    # hashing; sweeps are tens of points, never millions.
+    groups = []  # [{config, factory, n_trials, point_ids}]
+    point_group = []  # point index -> group index
+    for index, point in enumerate(points):
+        config = _executed_config(point, engine)
+        for gid, group in enumerate(groups):
+            if group["config"] == config and group["factory"] is point.observer_factory:
+                group["n_trials"] = max(group["n_trials"], point.n_trials)
+                point_group.append(gid)
+                break
+        else:
+            point_group.append(len(groups))
+            groups.append(
+                {"config": config, "factory": point.observer_factory, "n_trials": point.n_trials}
+            )
+
+    # --- job construction: batch slices / scalar trials, shared pool ------
+    workers = jobs if jobs is not None else (os.cpu_count() or 1)
+    job_list = []
+    bounds = []  # per group: (start, end) into job_list
+    for group in groups:
+        config = group["config"]
+        states = _child_states(config, group["n_trials"])
+        start = len(job_list)
+        if group["factory"] is None and config.resolved_engine == "batch":
+            # Deliberately NOT parallel._batch_jobs: that helper always
+            # divides by the worker count, while a serial sweep must keep
+            # one slice per point to mirror run_trials' single-batch layout
+            # (slicing is result-invariant either way; this is about memory
+            # and per-batch fixed costs).
+            size = batch_size if batch_size is not None else config.batch_size
+            if size <= 0:
+                size = len(states) if workers <= 1 else math.ceil(len(states) / workers)
+            size = max(1, size)
+            job_list.extend(
+                (config, states[lo:lo + size], None) for lo in range(0, len(states), size)
+            )
+        else:
+            job_list.extend((config, [state], group["factory"]) for state in states)
+        bounds.append((start, len(job_list)))
+
+    job_results = _dispatch(_run_sweep_job, job_list, jobs)
+
+    # --- reassembly: group trials -> per-point prefixes -------------------
+    group_trials = [
+        [result for job in job_results[start:end] for result in job] for start, end in bounds
+    ]
+    out = []
+    for point, gid in zip(points, point_group):
+        group = groups[gid]
+        results = group_trials[gid][: point.n_trials]
+        engine_used = "scalar" if group["factory"] is not None else group["config"].resolved_engine
+        out.append(
+            SweepPointResult(
+                key=point.key,
+                config=group["config"],
+                n_trials=point.n_trials,
+                engine=engine_used,
+                results=results,
+                summary=summarize(r.flooding_time for r in results),
+            )
+        )
+    return out

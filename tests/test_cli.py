@@ -23,6 +23,30 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "bogus"])
 
+    def test_experiment_alias_parses(self):
+        args = build_parser().parse_args(
+            ["experiment", "thm3_radius", "--engine", "auto", "--jobs", "2"]
+        )
+        assert args.command == "experiment"
+        assert args.experiment == "thm3_radius"
+        assert args.engine == "auto"
+        assert args.jobs == 2
+
+    def test_engine_defaults_unset(self):
+        args = build_parser().parse_args(["run", "thm3_radius"])
+        assert args.engine is None
+        assert args.jobs == 1
+
+    def test_all_and_report_take_engine_jobs(self):
+        args = build_parser().parse_args(["all", "--engine", "scalar", "--jobs", "3"])
+        assert args.engine == "scalar" and args.jobs == 3
+        args = build_parser().parse_args(["report", "--engine", "auto"])
+        assert args.engine == "auto"
+
+    def test_bench_experiments_suite_parses(self):
+        args = build_parser().parse_args(["bench", "--suite", "experiments"])
+        assert args.suite == "experiments"
+
     def test_flood_parses(self):
         args = build_parser().parse_args(["flood", "--n", "500", "--seed", "3"])
         assert args.n == 500
@@ -49,6 +73,16 @@ class TestCommands:
         capsys.readouterr()
         assert code == 0
         assert csv_path.exists()
+
+    def test_experiment_alias_runs_with_engine(self, capsys):
+        code = main(["experiment", "thm10_growth", "--engine", "auto", "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Theorem 10" in out
+
+    def test_engine_on_non_scheduler_experiment_errors(self, capsys):
+        with pytest.raises(SystemExit, match="engine"):
+            main(["run", "fig1_spatial", "--engine", "auto"])
 
     def test_flood_command(self, capsys):
         code = main(
