@@ -33,6 +33,8 @@ from repro.core import theory
 from repro.core.cells import CellGrid
 from repro.core.zones import ZonePartition
 from repro.mobility import (
+    BATCH_MOBILITY_REGISTRY,
+    MODEL_REGISTRY,
     ManhattanRandomWaypoint,
     ManhattanRandomWaypointWithPause,
     RandomDirection,
@@ -97,6 +99,8 @@ __all__ = [
     "run_protocol_batch",
     "PROTOCOL_REGISTRY",
     "BATCH_PROTOCOL_REGISTRY",
+    "MODEL_REGISTRY",
+    "BATCH_MOBILITY_REGISTRY",
     "run_trials",
     "sweep",
     "SweepPlan",

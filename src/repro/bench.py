@@ -22,11 +22,13 @@ with a stable schema:
     cross-strategy result equality.  **Timing never fails a run; parity
     errors do** (exit code 1) — CI treats the benchmark as a smoke test,
     not a timing gate.
-``protocols`` / ``experiments``
+``protocols`` / ``experiments`` / ``mobility``
     optional sections: per-protocol batch-vs-scalar timings over the
-    ``protocol_baselines`` workload, and the sweep-scheduler experiment
+    ``protocol_baselines`` workload, the sweep-scheduler experiment
     suite (quick-scale batch-vs-scalar per migrated experiment, rendered
-    reports compared for parity).
+    reports compared for parity), and per-mobility-model batch-vs-scalar
+    timings over the flooding workload (native vectorized models plus the
+    replicated-fallback ``composite`` row, seed-for-seed parity gated).
 
 Timings interleave the contestants round-robin (warm-up first, best-of-N)
 so slow machine-wide drift hits every strategy equally — on shared CI
@@ -97,6 +99,26 @@ EXPERIMENTS_SUITE_IDS = (
 )
 #: Smoke runs keep CI fast with the cheapest third of the suite.
 EXPERIMENTS_SMOKE_IDS = ("thm3_radius", "mobility_ablation", "suburb_vs_cz")
+
+#: The mobility suite: per-model batch-vs-scalar over the canonical
+#: ``L = sqrt n`` flooding workload, one row per registered mobility model
+#: (``ferry`` and ``composite`` ride along as the deliberately-replicated
+#: fallback rows).  ``mrwp-speed`` options are derived from the workload
+#: speed at build time; parity gates every row.
+MOBILITY_MODELS = (
+    ("mrwp", {}),
+    ("mrwp-pause", {"pause_time": 4.0}),
+    ("mrwp-speed", None),  # {v_min, v_max} derived from the config speed
+    ("rwp", {}),
+    ("random-walk", {}),
+    ("random-direction", {}),
+    ("ferry", {}),
+    ("composite", {"ferries": 5}),
+)
+MOBILITY_N = 1_000
+MOBILITY_TRIALS = 8
+MOBILITY_SMOKE_N = 300
+MOBILITY_SMOKE_TRIALS = 4
 
 
 # ----------------------------------------------------------------------
@@ -511,6 +533,79 @@ def _bench_experiments(repeats: int, smoke: bool, seed: int = 0) -> tuple:
 
 
 # ----------------------------------------------------------------------
+# Mobility suite: every registered mobility model, batch vs scalar
+# ----------------------------------------------------------------------
+def _mobility_variant_configs(smoke: bool, seed: int = 42) -> list:
+    """``(name, batch_config, scalar_config, trials)`` per mobility model."""
+    n = MOBILITY_SMOKE_N if smoke else MOBILITY_N
+    trials = MOBILITY_SMOKE_TRIALS if smoke else MOBILITY_TRIALS
+    out = []
+    for name, options in MOBILITY_MODELS:
+        batch = standard_config(
+            n, radius_factor=1.0, seed=seed, mobility=name, engine="batch"
+        )
+        if options is None:  # mrwp-speed: a real range around the workload speed
+            options = {"v_min": 0.5 * batch.speed, "v_max": 1.5 * batch.speed}
+        batch = batch.with_options(mobility_options=dict(options))
+        out.append((name, batch, batch.with_options(engine="scalar"), trials))
+    return out
+
+
+def _bench_mobility(repeats: int, smoke: bool) -> tuple:
+    """Per-mobility-model batch-vs-scalar timings over the flooding workload.
+
+    Returns ``(section, parity)``: the report's ``mobility`` section and the
+    per-model seed-for-seed parity verdicts (parity gates the run, timing
+    never does).  Models outside ``BATCH_MOBILITY_REGISTRY`` run through the
+    replicated fallback — their ``native`` flag is False and their speedup
+    is expected to hover around 1x (the row exists to keep the slow path
+    visible, not to celebrate it).
+    """
+    from repro.mobility import BATCH_MOBILITY_REGISTRY
+
+    parity = {}
+    rows = []
+    batch_total = scalar_total = 0.0
+    for name, batch_config, scalar_config, trials in _mobility_variant_configs(smoke):
+        parity[f"mobility:{name}"] = _result_fingerprint(
+            run_trials(batch_config, trials)
+        ) == _result_fingerprint(run_trials(scalar_config, trials))
+        best = _interleaved_best(
+            {
+                "batch": lambda c=batch_config: run_trials(c, trials),
+                "scalar": lambda c=scalar_config: run_trials(c, trials),
+            },
+            repeats,
+        )
+        batch_total += best["batch"]
+        scalar_total += best["scalar"]
+        rows.append(
+            {
+                "model": name,
+                "native": name in BATCH_MOBILITY_REGISTRY,
+                "trials": trials,
+                "batch_seconds": best["batch"],
+                "scalar_seconds": best["scalar"],
+                "speedup": best["scalar"] / best["batch"],
+            }
+        )
+    section = {
+        "workload": {
+            "n": MOBILITY_SMOKE_N if smoke else MOBILITY_N,
+            "trials": MOBILITY_SMOKE_TRIALS if smoke else MOBILITY_TRIALS,
+            "radius_factor": 1.0,
+            "seed": 42,
+            "smoke": smoke,
+        },
+        "models": rows,
+        "batch_total_seconds": batch_total,
+        "scalar_total_seconds": scalar_total,
+        "speedup": scalar_total / batch_total,
+    }
+    return section, parity
+
+
+# ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
 def run_benchmarks(
@@ -536,18 +631,24 @@ def run_benchmarks(
             protocol suite's batch total, and names ending in
             ``"_experiments"`` become
             ``speedups['experiments_auto_vs_<name>']`` ratios against the
-            experiments suite's auto-engine total.  Only comparable when
+            experiments suite's auto-engine total, and names ending in
+            ``"_mobility"`` become ``speedups['mobility_batch_vs_<name>']``
+            ratios against the mobility suite's batch total; names
+            containing ``":"`` are recorded verbatim with no derived ratio
+            (per-workload provenance annotations).  Only comparable when
             measured on the same machine with the same workload;
             provenance belongs in the label / commit message.
         suite: ``"core"`` (the kernel + flooding end-to-end suite),
             ``"protocols"`` (every registered protocol, batch vs scalar,
             parity-gated), ``"experiments"`` (the sweep-scheduler
             experiment suite at quick scale, batch vs scalar, table-parity
-            gated), or ``"all"``.
+            gated), ``"mobility"`` (per-mobility-model batch vs scalar
+            over the flooding workload, parity-gated), or ``"all"``.
     """
-    if suite not in ("core", "protocols", "experiments", "all"):
+    if suite not in ("core", "protocols", "experiments", "mobility", "all"):
         raise ValueError(
-            f"suite must be 'core', 'protocols', 'experiments' or 'all', got {suite!r}"
+            "suite must be 'core', 'protocols', 'experiments', 'mobility' "
+            f"or 'all', got {suite!r}"
         )
     if repeats is None:
         repeats = 2 if smoke else 3
@@ -583,7 +684,16 @@ def run_benchmarks(
         experiments, experiment_parity = _bench_experiments(repeats, smoke)
         parity["checks"].update(experiment_parity)
 
+    mobility = None
+    if suite in ("mobility", "all"):
+        mobility, mobility_parity = _bench_mobility(repeats, smoke)
+        parity["checks"].update(mobility_parity)
+
     for name, seconds in baselines.items():
+        if ":" in name:
+            # Provenance annotations (e.g. "pr4:pause_extension_auto"):
+            # recorded verbatim in ``baselines`` with no derived ratio.
+            continue
         if name.endswith("_protocols"):
             if protocols is not None:
                 speedups[f"protocols_batch_vs_{name}"] = (
@@ -593,6 +703,11 @@ def run_benchmarks(
             if experiments is not None:
                 speedups[f"experiments_auto_vs_{name}"] = (
                     float(seconds) / experiments["auto_total_seconds"]
+                )
+        elif name.endswith("_mobility"):
+            if mobility is not None:
+                speedups[f"mobility_batch_vs_{name}"] = (
+                    float(seconds) / mobility["batch_total_seconds"]
                 )
         elif end_to_end:
             batch_seconds = next(r["seconds"] for r in end_to_end if r["name"] == "batch")
@@ -633,6 +748,10 @@ def run_benchmarks(
         report["workloads"]["experiments"] = experiments["workload"]
         report["experiments"] = experiments
         speedups["experiments_auto_vs_scalar"] = experiments["speedup"]
+    if mobility is not None:
+        report["workloads"]["mobility"] = mobility["workload"]
+        report["mobility"] = mobility
+        speedups["mobility_batch_vs_scalar"] = mobility["speedup"]
     return report
 
 
@@ -678,6 +797,25 @@ def render_table(report: dict) -> str:
             f"  {'TOTAL':22s} batch {protocols['batch_total_seconds']:7.3f} s  "
             f"scalar {protocols['scalar_total_seconds']:7.3f} s  "
             f"{protocols['speedup']:5.2f}x"
+        )
+    mobility = report.get("mobility")
+    if mobility is not None:
+        workload = mobility["workload"]
+        lines.append("")
+        lines.append(
+            f"mobility suite (flooding, n={workload['n']}, "
+            f"trials={workload['trials']}):"
+        )
+        for row in mobility["models"]:
+            tag = "" if row["native"] else " (replicated)"
+            lines.append(
+                f"  {row['model'] + tag:22s} batch {row['batch_seconds']:7.3f} s  "
+                f"scalar {row['scalar_seconds']:7.3f} s  {row['speedup']:5.2f}x"
+            )
+        lines.append(
+            f"  {'TOTAL':22s} batch {mobility['batch_total_seconds']:7.3f} s  "
+            f"scalar {mobility['scalar_total_seconds']:7.3f} s  "
+            f"{mobility['speedup']:5.2f}x"
         )
     experiments = report.get("experiments")
     if experiments is not None:

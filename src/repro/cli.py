@@ -10,12 +10,12 @@ Subcommands:
   only speed);
 * ``all [--scale ...] [--seed N] [--engine ...] [--jobs N]`` — run the
   whole suite (engine/jobs apply to the experiments that support them);
-* ``flood --n N [--trials T] [--engine scalar|batch] [--batch-size B]
-  [--radius-factor C] [--speed-fraction F] ...`` — ad-hoc flooding runs with
-  the canonical ``L = sqrt n`` scaling; ``--engine batch`` advances all
-  trials in lock-step through the vectorized batch engine (same results,
-  faster);
-* ``bench [--smoke] [--suite core|protocols|experiments|all] [--out PATH]
+* ``flood --n N [--trials T] [--engine scalar|batch|auto] [--batch-size B]
+  [--mobility NAME] [--radius-factor C] [--speed-fraction F] ...`` — ad-hoc
+  flooding runs with the canonical ``L = sqrt n`` scaling; ``--engine
+  batch`` advances all trials in lock-step through the vectorized batch
+  engine (same results, faster), for any registered mobility model;
+* ``bench [--smoke] [--suite core|protocols|experiments|mobility|all] [--out PATH]
   [--repeats N] [--label TAG]`` — the perf-trajectory harness
   (:mod:`repro.bench`): kernel and end-to-end timings, the per-protocol
   batch-vs-scalar suite, the sweep-scheduler experiments suite
@@ -31,6 +31,7 @@ import argparse
 import sys
 
 from repro.experiments.registry import all_ids, get_spec, run_experiment
+from repro.mobility import MODEL_REGISTRY
 from repro.simulation.config import standard_config
 from repro.simulation.results import summarize
 from repro.simulation.runner import run_flooding, run_trials
@@ -101,13 +102,22 @@ def build_parser() -> argparse.ArgumentParser:
         default="scalar",
         help="trial execution engine: 'scalar' (reference, one trial at a time), "
         "'batch' (vectorized lock-step over all trials; same results for every "
-        "registered protocol), or 'auto' (batch whenever the protocol supports it)",
+        "registered protocol and mobility model), or 'auto' (batch when both "
+        "the protocol and the mobility model have native batch implementations)",
     )
     flood_p.add_argument(
         "--protocol",
         default="flooding",
         help="broadcast protocol (any PROTOCOL_REGISTRY name; both engines "
         "support all of them)",
+    )
+    flood_p.add_argument(
+        "--mobility",
+        choices=sorted(MODEL_REGISTRY),
+        default="mrwp",
+        help="mobility model (any MODEL_REGISTRY name; models in "
+        "BATCH_MOBILITY_REGISTRY run natively vectorized under the batch "
+        "engine, the rest through the replicated fallback)",
     )
     flood_p.add_argument(
         "--batch-size",
@@ -126,12 +136,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_p.add_argument(
         "--suite",
-        choices=("core", "protocols", "experiments", "all"),
+        choices=("core", "protocols", "experiments", "mobility", "all"),
         default="all",
         help="benchmark suite: 'core' (kernels + flooding end-to-end), "
         "'protocols' (every registered protocol, batch vs scalar, "
         "parity-gated), 'experiments' (the sweep-scheduler experiment "
         "suite at quick scale, batch vs scalar, table-parity gated), "
+        "'mobility' (per-mobility-model batch vs scalar, parity-gated), "
         "or 'all'",
     )
     bench_p.add_argument(
@@ -147,7 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="best-of-N timing repeats (default 3, smoke 2)",
     )
-    bench_p.add_argument("--label", default="PR4", help="free-form tag stored in the report")
+    bench_p.add_argument("--label", default="PR5", help="free-form tag stored in the report")
     bench_p.add_argument(
         "--baseline",
         action="append",
@@ -232,6 +243,7 @@ def _cmd_flood(args) -> int:
         seed=args.seed,
         max_steps=args.max_steps,
         protocol=args.protocol,
+        mobility=args.mobility,
         engine=args.engine,
         batch_size=args.batch_size,
     )

@@ -34,7 +34,7 @@ def run(scale: str = "quick", seed: int = 0, engine: str | None = None, jobs: in
     params = scale_params(
         scale,
         quick={"n": 2_000, "radius_factor": 1.3, "fractions": [0.25, 0.1], "window_factor": 40,
-               "flood_trials": 2},
+               "flood_trials": 6},
         full={
             "n": 16_000,
             "radius_factor": 1.3,

@@ -7,9 +7,10 @@ of MRWP's non-uniform density: the sparse Suburb should make MRWP the
 slowest to finish (its stragglers wait for Lemma-16 meetings), while
 uniform-density models have no corner penalty.
 
-The four models are one sweep-scheduler plan: models with a native batch
-mobility implementation vectorize fully; the rest fall back to replicated
-per-trial models behind the batched protocol kernels — results are
+The five models are one sweep-scheduler plan; every arm (including the
+``mrwp-speed`` random-speed variant, whose duration-biased stationary law
+shares Theorem 1's geometry) has a native batch mobility implementation,
+so ``engine="auto"`` runs the whole plan vectorized — results are
 engine-identical either way.
 """
 
@@ -23,7 +24,7 @@ from repro.simulation.sweep import SweepPlan, run_sweep
 
 EXPERIMENT_ID = "mobility_ablation"
 
-_MODELS = ["mrwp", "rwp", "random-walk", "random-direction"]
+_MODELS = ["mrwp", "rwp", "mrwp-speed", "random-walk", "random-direction"]
 
 
 def run(scale: str = "quick", seed: int = 0, engine: str | None = None, jobs: int = 1) -> ExperimentResult:
@@ -39,6 +40,14 @@ def run(scale: str = "quick", seed: int = 0, engine: str | None = None, jobs: in
 
     plan = SweepPlan()
     for model_name in _MODELS:
+        # mrwp-speed: a genuine per-trip speed range around v (its
+        # stationary time-average speed is then slightly below v — the
+        # duration bias the speed-decay experiment quantifies).
+        options = (
+            {"v_min": 0.5 * speed, "v_max": 1.5 * speed}
+            if model_name == "mrwp-speed"
+            else {}
+        )
         plan.add(
             FloodingConfig(
                 n=n,
@@ -47,6 +56,7 @@ def run(scale: str = "quick", seed: int = 0, engine: str | None = None, jobs: in
                 speed=speed,
                 max_steps=30_000,
                 mobility=model_name,
+                mobility_options=options,
                 seed=seed,
                 track_zones=(model_name == "mrwp"),
             ),

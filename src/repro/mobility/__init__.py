@@ -22,17 +22,24 @@ from repro.mobility.distributions import (
     spatial_pdf_max,
     spatial_pdf_min,
 )
-from repro.mobility.ferry import CompositeMobility, FerryPatrol, rectangle_route
+from repro.mobility.ferry import (
+    CompositeMobility,
+    FerryPatrol,
+    composite_with_ferries,
+    rectangle_route,
+)
 from repro.mobility.mrwp import BatchManhattanRandomWaypoint, ManhattanRandomWaypoint
 from repro.mobility.pause import (
+    BatchManhattanRandomWaypointWithPause,
     ManhattanRandomWaypointWithPause,
     moving_probability,
     spatial_pdf_with_pause,
 )
-from repro.mobility.random_direction import RandomDirection
+from repro.mobility.random_direction import BatchRandomDirection, RandomDirection
 from repro.mobility.random_walk import BatchRandomWalk, RandomWalk
 from repro.mobility.rwp import BatchRandomWaypoint, RandomWaypoint
 from repro.mobility.speed_range import (
+    BatchRandomSpeedManhattanWaypoint,
     RandomSpeedManhattanWaypoint,
     cold_start_speed_decay,
     sample_stationary_speeds,
@@ -49,17 +56,40 @@ from repro.mobility.stationary import (
 MODEL_REGISTRY = {
     "mrwp": ManhattanRandomWaypoint,
     "mrwp-pause": ManhattanRandomWaypointWithPause,
+    "mrwp-speed": RandomSpeedManhattanWaypoint,
     "rwp": RandomWaypoint,
     "random-walk": RandomWalk,
     "random-direction": RandomDirection,
+    "ferry": FerryPatrol,
+    "composite": composite_with_ferries,
 }
-"""Name -> class mapping used by the CLI and the ablation experiments."""
+"""Name -> constructor mapping used by the config/CLI layer and the
+ablation experiments (``composite`` maps to a config-shaped factory)."""
+
+BATCH_MOBILITY_REGISTRY = {
+    "mrwp": BatchManhattanRandomWaypoint,
+    "mrwp-pause": BatchManhattanRandomWaypointWithPause,
+    "mrwp-speed": BatchRandomSpeedManhattanWaypoint,
+    "rwp": BatchRandomWaypoint,
+    "random-walk": BatchRandomWalk,
+    "random-direction": BatchRandomDirection,
+}
+"""Models with a *native* vectorized batch implementation, key-compatible
+with :data:`MODEL_REGISTRY` (the batch counterpart of
+``repro.protocols.BATCH_PROTOCOL_REGISTRY``).  Every batch class is
+seed-for-seed bit-identical to its scalar sibling.  Names absent here
+(ferry / composite — deliberately exotic kinematics) run through
+:class:`~repro.mobility.base.ReplicatedBatchMobility` under the batch
+engine, and ``engine="auto"`` keeps them on the scalar engine."""
 
 __all__ = [
     "MobilityModel",
     "BatchMobilityModel",
     "ReplicatedBatchMobility",
     "BatchManhattanRandomWaypoint",
+    "BatchManhattanRandomWaypointWithPause",
+    "BatchRandomSpeedManhattanWaypoint",
+    "BatchRandomDirection",
     "BatchRandomWaypoint",
     "BatchRandomWalk",
     "record_trajectory",
@@ -76,8 +106,10 @@ __all__ = [
     "cold_start_speed_decay",
     "FerryPatrol",
     "CompositeMobility",
+    "composite_with_ferries",
     "rectangle_route",
     "MODEL_REGISTRY",
+    "BATCH_MOBILITY_REGISTRY",
     "KinematicState",
     "PalmStationarySampler",
     "ClosedFormStationarySampler",

@@ -126,20 +126,28 @@ class BatchMobilityModel(abc.ABC):
         return len(self.rngs)
 
     @property
-    @abc.abstractmethod
     def positions(self) -> np.ndarray:
-        """Copy of the current positions, shape ``(B, n, 2)``."""
+        """Copy of the current positions, shape ``(B, n, 2)``.
+
+        Vectorized implementations keep their kinematic state in a flat
+        ``(B * n, 2)`` float array ``self._pos``, which the base accessors
+        read; models with a different storage layout override both
+        :attr:`positions` and :attr:`positions_view`.
+        """
+        return self._pos.reshape(self.batch_size, self.n, 2).copy()
 
     @property
     def positions_view(self) -> np.ndarray:
         """Read-only ``(B, n, 2)`` positions, without the defensive copy.
 
         The lock-step driver reads the snapshot once per step and never
-        mutates it, so vectorized models override this with a
-        non-writeable view of their state; the base implementation falls
-        back to :attr:`positions`.
+        mutates it, so this is a non-writeable view of the flat state —
+        valid only until the next ``step`` call (models may refresh the
+        underlying buffer in place or rebind it).
         """
-        return self.positions
+        view = self._pos.reshape(self.batch_size, self.n, 2)
+        view.flags.writeable = False
+        return view
 
     @abc.abstractmethod
     def step(self, dt: float = 1.0, active=None, copy: bool = True) -> np.ndarray:
@@ -203,6 +211,11 @@ class ReplicatedBatchMobility(BatchMobilityModel):
     @property
     def positions(self) -> np.ndarray:
         return np.stack([model.positions for model in self.models], axis=0)
+
+    @property
+    def positions_view(self) -> np.ndarray:
+        # The per-replica stack is a fresh array either way; nothing to view.
+        return self.positions
 
     def step(self, dt: float = 1.0, active=None, copy: bool = True) -> np.ndarray:
         if dt <= 0:

@@ -15,7 +15,12 @@ import numpy as np
 
 from repro.mobility.base import MobilityModel
 
-__all__ = ["FerryPatrol", "CompositeMobility", "rectangle_route"]
+__all__ = [
+    "FerryPatrol",
+    "CompositeMobility",
+    "composite_with_ferries",
+    "rectangle_route",
+]
 
 
 def rectangle_route(side: float, inset: float) -> np.ndarray:
@@ -38,11 +43,19 @@ class FerryPatrol(MobilityModel):
         side: region side (route points must lie inside).
         speed: ferry speed.
         route: ``(k, 2)`` way-points of the closed loop (the segment from
-            the last point back to the first is implied).
+            the last point back to the first is implied); defaults to
+            :func:`rectangle_route` at distance ``inset`` from the walls.
+        inset: wall distance of the default rectangular route (only used
+            when ``route`` is omitted); defaults to ``side / 8``.
     """
 
-    def __init__(self, n: int, side: float, speed: float, route: np.ndarray, rng=None):
+    def __init__(
+        self, n: int, side: float, speed: float, route: np.ndarray = None,
+        rng=None, inset: float = None,
+    ):
         super().__init__(n, side, speed, rng)
+        if route is None:
+            route = rectangle_route(side, side / 8.0 if inset is None else inset)
         route = np.asarray(route, dtype=np.float64)
         if route.ndim != 2 or route.shape[1] != 2 or route.shape[0] < 2:
             raise ValueError(f"route must have shape (k>=2, 2), got {route.shape}")
@@ -116,3 +129,42 @@ class CompositeMobility(MobilityModel):
             out.append(slice(start, start + model.n))
             start += model.n
         return out
+
+
+def composite_with_ferries(
+    n: int,
+    side: float,
+    speed: float,
+    rng: np.random.Generator = None,
+    ferries: int = 1,
+    inset: float = None,
+    init="stationary",
+) -> CompositeMobility:
+    """An MRWP background population with a ferry patrol block appended.
+
+    The config-shaped constructor behind ``mobility="composite"``: the
+    delay-tolerant-routing composition (MRWP agents ``0..n-ferries-1``,
+    ferries after) as a single registered model, so experiments can select
+    it by name.  Ferries are deterministic, so all randomness (and hence
+    seed-for-seed reproducibility under the replicated batch adapter)
+    lives in the MRWP block.
+
+    Args:
+        n: total agents, ferries included.
+        side, speed, rng: as for :class:`~repro.mobility.base.MobilityModel`
+            (both blocks share the speed).
+        ferries: ferry count (at least 1, leaving at least 2 MRWP agents).
+        inset: wall distance of the rectangular patrol route
+            (default ``side / 8``).
+        init: MRWP-block initialization mode.
+    """
+    from repro.mobility.mrwp import ManhattanRandomWaypoint
+
+    ferries = int(ferries)
+    if not 1 <= ferries <= n - 2:
+        raise ValueError(
+            f"ferries must be in [1, n - 2] (need an MRWP background), got {ferries}"
+        )
+    background = ManhattanRandomWaypoint(n - ferries, side, speed, rng=rng, init=init)
+    patrol = FerryPatrol(ferries, side, speed, inset=inset)
+    return CompositeMobility([background, patrol])

@@ -17,8 +17,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.geometry.paths import choose_corners, path_corner
+from repro.geometry.paths import choose_corners
 from repro.mobility.base import BatchMobilityModel, MobilityModel
+from repro.mobility.kinematics import (
+    DenseLegScratch,
+    advance_legs,
+    advance_legs_dense,
+    redraw_manhattan_trips,
+    split_completed_legs,
+)
 from repro.mobility.stationary import (
     ClosedFormStationarySampler,
     KinematicState,
@@ -130,36 +137,20 @@ class ManhattanRandomWaypoint(MobilityModel):
         budget = np.full(self.n, self.speed * dt, dtype=np.float64)
         eps = self._eps
         for _ in range(_MAX_LEGS_PER_STEP):
-            active = budget > eps
-            idx = np.nonzero(active)[0]
+            idx = np.nonzero(budget > eps)[0]
             if idx.size == 0:
                 break
-            delta = self._target[idx] - self._pos[idx]
-            dist = np.abs(delta).sum(axis=1)  # legs are axis-aligned
-            b = budget[idx]
-            move = np.minimum(b, dist)
-            with np.errstate(invalid="ignore", divide="ignore"):
-                frac = np.where(dist > eps, move / np.where(dist > eps, dist, 1.0), 1.0)
-            self._pos[idx] += delta * frac[:, None]
-            budget[idx] = b - move
-            reached = move >= dist - eps
-            if not np.any(reached):
+            done = advance_legs(self._pos, self._target, budget, idx, eps)
+            if done.size == 0:
                 break
-            done = idx[reached]
-            self._pos[done] = self._target[done]
-            second = self._on_second_leg[done]
-            corner_done = done[~second]
-            if corner_done.size:
-                self._on_second_leg[corner_done] = True
-                self._target[corner_done] = self._dest[corner_done]
-                self.turn_counts[corner_done] += 1
-            trip_done = done[second]
+            _corner_done, trip_done = split_completed_legs(
+                done, self._on_second_leg, self._target, self._dest, self.turn_counts
+            )
             if trip_done.size:
-                new_dest = self.rng.uniform(0.0, self.side, size=(trip_done.size, 2))
-                corners, _choice = choose_corners(self._pos[trip_done], new_dest, self.rng)
-                self._dest[trip_done] = new_dest
-                self._target[trip_done] = corners
-                self._on_second_leg[trip_done] = False
+                redraw_manhattan_trips(
+                    self._pos, self._dest, self._target, self._on_second_leg,
+                    trip_done, self.side, [self.rng], self.n,
+                )
                 self.turn_counts[trip_done] += 1
                 self.arrival_counts[trip_done] += 1
         else:  # pragma: no cover - defensive
@@ -214,51 +205,9 @@ class BatchManhattanRandomWaypoint(BatchMobilityModel):
         self.turn_counts = np.zeros(self.batch_size * self.n, dtype=np.int64)
         self.arrival_counts = np.zeros(self.batch_size * self.n, dtype=np.int64)
         self._eps = 1e-9 * max(self.side, 1.0)
-        # Dense-pass scratch, reused every step: at (B * n)-scale a step's
-        # temporaries are fresh mmap'd pages each time, and the page faults
-        # cost more than the arithmetic.
         total = self.batch_size * self.n
         self._budget = np.empty(total, dtype=np.float64)
-        self._delta = np.empty((total, 2), dtype=np.float64)
-        self._dist = np.empty(total, dtype=np.float64)
-        self._dist_safe = np.empty(total, dtype=np.float64)
-        self._move = np.empty(total, dtype=np.float64)
-        self._frac = np.empty(total, dtype=np.float64)
-        self._scratch = np.empty(total, dtype=np.float64)
-        self._far = np.empty(total, dtype=bool)
-        self._notfar = np.empty(total, dtype=bool)
-
-    @property
-    def positions(self) -> np.ndarray:
-        return self._pos.reshape(self.batch_size, self.n, 2).copy()
-
-    @property
-    def positions_view(self) -> np.ndarray:
-        view = self._pos.reshape(self.batch_size, self.n, 2)
-        view.flags.writeable = False
-        return view
-
-    def _resample_trips(self, trip_done: np.ndarray) -> None:
-        """Draw new trips for completed agents, replica by replica.
-
-        ``trip_done`` is ascending over the flat index, so slicing by
-        replica preserves the scalar model's per-replica draw order
-        (destination uniforms, then the path coin flips, per replica); the
-        corner arithmetic itself is batched across replicas afterwards.
-        """
-        replicas = trip_done // self.n
-        starts = np.searchsorted(replicas, np.arange(self.batch_size + 1))
-        dests = np.empty((trip_done.size, 2), dtype=np.float64)
-        choices = np.empty(trip_done.size, dtype=np.int64)
-        for b in range(self.batch_size):
-            lo, hi = starts[b], starts[b + 1]
-            if lo == hi:
-                continue
-            rng = self.rngs[b]
-            dests[lo:hi] = rng.uniform(0.0, self.side, size=(hi - lo, 2))
-            choices[lo:hi] = rng.integers(0, 2, size=hi - lo)
-        self._dest[trip_done] = dests
-        self._target[trip_done] = path_corner(self._pos[trip_done], dests, choices)
+        self._scratch = DenseLegScratch(total)
 
     def step(self, dt: float = 1.0, active=None, copy: bool = True) -> np.ndarray:
         if dt <= 0:
@@ -271,74 +220,37 @@ class BatchManhattanRandomWaypoint(BatchMobilityModel):
         else:
             np.multiply(np.repeat(active, self.n), self.speed * dt, out=budget)
         eps = self._eps
-        with np.errstate(invalid="ignore", divide="ignore"):
-            for _ in range(_MAX_LEGS_PER_STEP):
-                moving = budget > eps
-                n_moving = int(np.count_nonzero(moving))
-                if n_moving == 0:
-                    break
-                if 2 * n_moving >= total:
-                    # Dense pass (typically the first carry-over iteration,
-                    # where every unfrozen agent moves): full-array
-                    # arithmetic into preallocated scratch avoids both the
-                    # gather/scatter of a fancy-indexed pass and fresh
-                    # temporaries.  Masked rows see exact no-ops (frac and
-                    # move forced to 0), so the per-agent arithmetic is
-                    # identical to the sparse pass.
-                    delta = np.subtract(self._target, self._pos, out=self._delta)
-                    dist = np.abs(delta[:, 0], out=self._dist)  # legs are axis-aligned
-                    dist += np.abs(delta[:, 1], out=self._scratch)
-                    move = np.minimum(budget, dist, out=self._move)
-                    far = np.greater(dist, eps, out=self._far)
-                    notfar = np.logical_not(far, out=self._notfar)
-                    dist_safe = self._dist_safe
-                    np.copyto(dist_safe, dist)
-                    dist_safe[notfar] = 1.0
-                    frac = np.divide(move, dist_safe, out=self._frac)
-                    frac[notfar] = 1.0
-                    if n_moving == total:
-                        # Everyone moves: the masking below would be an
-                        # exact identity, so skip it.
-                        delta *= frac[:, None]
-                        self._pos += delta
-                        budget -= move
-                        done = np.nonzero(move >= dist - eps)[0]
-                    else:
-                        frac[~moving] = 0.0
-                        delta *= frac[:, None]
-                        self._pos += delta
-                        budget -= np.where(moving, move, 0.0)
-                        done = np.nonzero(moving & (move >= dist - eps))[0]
-                else:
-                    idx = np.nonzero(moving)[0]
-                    delta = self._target[idx] - self._pos[idx]
-                    dist = np.abs(delta).sum(axis=1)  # legs are axis-aligned
-                    b = budget[idx]
-                    move = np.minimum(b, dist)
-                    frac = np.where(dist > eps, move / np.where(dist > eps, dist, 1.0), 1.0)
-                    self._pos[idx] += delta * frac[:, None]
-                    budget[idx] = b - move
-                    done = idx[move >= dist - eps]
-                if done.size == 0:
-                    break
-                self._pos[done] = self._target[done]
-                second = self._on_second_leg[done]
-                corner_done = done[~second]
-                if corner_done.size:
-                    self._on_second_leg[corner_done] = True
-                    self._target[corner_done] = self._dest[corner_done]
-                    self.turn_counts[corner_done] += 1
-                trip_done = done[second]
-                if trip_done.size:
-                    self._resample_trips(trip_done)
-                    self._on_second_leg[trip_done] = False
-                    self.turn_counts[trip_done] += 1
-                    self.arrival_counts[trip_done] += 1
-            else:  # pragma: no cover - defensive
-                raise RuntimeError(
-                    "carry-over loop did not converge; speed is implausibly large "
-                    f"relative to the square (speed={self.speed}, side={self.side})"
+        for _ in range(_MAX_LEGS_PER_STEP):
+            moving = budget > eps
+            n_moving = int(np.count_nonzero(moving))
+            if n_moving == 0:
+                break
+            if 2 * n_moving >= total:
+                # Dense pass — typically the first carry-over iteration,
+                # where every unfrozen agent moves.
+                done = advance_legs_dense(
+                    self._pos, self._target, budget, moving, n_moving, eps, self._scratch
                 )
+            else:
+                idx = np.nonzero(moving)[0]
+                done = advance_legs(self._pos, self._target, budget, idx, eps)
+            if done.size == 0:
+                break
+            _corner_done, trip_done = split_completed_legs(
+                done, self._on_second_leg, self._target, self._dest, self.turn_counts
+            )
+            if trip_done.size:
+                redraw_manhattan_trips(
+                    self._pos, self._dest, self._target, self._on_second_leg,
+                    trip_done, self.side, self.rngs, self.n,
+                )
+                self.turn_counts[trip_done] += 1
+                self.arrival_counts[trip_done] += 1
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(
+                "carry-over loop did not converge; speed is implausibly large "
+                f"relative to the square (speed={self.speed}, side={self.side})"
+            )
         self.time += dt
         return self.positions if copy else self.positions_view
 

@@ -26,13 +26,22 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.paths import choose_corners
-from repro.mobility.base import MobilityModel
+from repro.mobility.base import BatchMobilityModel, MobilityModel
 from repro.mobility.distributions import mean_trip_length, spatial_pdf
+from repro.mobility.kinematics import (
+    DenseLegScratch,
+    advance_legs,
+    advance_legs_dense,
+    countdown_pauses,
+    redraw_manhattan_trips,
+    split_completed_legs,
+)
 from repro.mobility.mrwp import _MAX_LEGS_PER_STEP
 from repro.mobility.stationary import PalmStationarySampler
 
 __all__ = [
     "ManhattanRandomWaypointWithPause",
+    "BatchManhattanRandomWaypointWithPause",
     "moving_probability",
     "spatial_pdf_with_pause",
 ]
@@ -84,53 +93,14 @@ class ManhattanRandomWaypointWithPause(MobilityModel):
             raise ValueError("pause-MRWP requires positive speed")
         self.pause_time = float(pause_time)
         self._eps = 1e-9 * max(self.side, 1.0)
-        if init == "stationary":
-            self._init_stationary()
-        elif init == "uniform":
-            self._init_uniform()
-        else:
-            raise ValueError(f"init must be 'stationary' or 'uniform', got {init!r}")
-
-    # ------------------------------------------------------------------
-    # Initialization
-    # ------------------------------------------------------------------
-    def _init_uniform(self) -> None:
-        self._pos = self.rng.uniform(0.0, self.side, size=(self.n, 2))
-        self._dest = self.rng.uniform(0.0, self.side, size=(self.n, 2))
-        corners, _ = choose_corners(self._pos, self._dest, self.rng)
-        self._target = corners
-        self._on_second_leg = np.zeros(self.n, dtype=bool)
-        self._pause_left = np.zeros(self.n, dtype=np.float64)
-
-    def _init_stationary(self) -> None:
-        """Perfect simulation: Bernoulli(moving) mixture of the two phases."""
-        w = moving_probability(self.side, self.speed, self.pause_time)
-        moving = self.rng.uniform(size=self.n) < w
-        k = int(np.count_nonzero(moving))
-
-        self._pos = np.empty((self.n, 2))
-        self._dest = np.empty((self.n, 2))
-        self._target = np.empty((self.n, 2))
-        self._on_second_leg = np.zeros(self.n, dtype=bool)
-        self._pause_left = np.zeros(self.n, dtype=np.float64)
-
-        if k:
-            state = PalmStationarySampler(self.side).sample(k, self.rng)
-            self._pos[moving] = state.positions
-            self._dest[moving] = state.destinations
-            self._target[moving] = state.targets
-            self._on_second_leg[moving] = state.on_second_leg
-        rest = self.n - k
-        if rest:
-            # Paused at a uniform way-point; residual pause uniform.
-            spots = self.rng.uniform(0.0, self.side, size=(rest, 2))
-            self._pos[~moving] = spots
-            self._dest[~moving] = spots  # next trip drawn when the pause ends
-            self._target[~moving] = spots
-            self._on_second_leg[~moving] = True
-            self._pause_left[~moving] = self.rng.uniform(
-                0.0, self.pause_time, size=rest
-            )
+        (
+            self._pos,
+            self._dest,
+            self._target,
+            self._on_second_leg,
+            self._pause_left,
+        ) = _initial_pause_state(self.n, self.side, self.speed, self.pause_time, init, self.rng)
+        self._scratch = DenseLegScratch(self.n)
 
     # ------------------------------------------------------------------
     # State access
@@ -157,58 +127,171 @@ class ManhattanRandomWaypointWithPause(MobilityModel):
         if dt <= 0:
             raise ValueError(f"dt must be positive, got {dt}")
         time_budget = np.full(self.n, float(dt))
-        eps = self._eps / max(self.speed, 1.0)
-        for _ in range(_MAX_LEGS_PER_STEP):
-            # Phase 1: paused agents burn pause before moving.
-            pausing = (self._pause_left > 0) & (time_budget > eps)
-            if np.any(pausing):
-                spend = np.minimum(self._pause_left[pausing], time_budget[pausing])
-                self._pause_left[pausing] -= spend
-                time_budget[pausing] -= spend
-                # A pause that just ended starts a fresh trip.
-                ended = np.nonzero(pausing)[0][self._pause_left[pausing] <= 0]
-                if ended.size:
-                    new_dest = self.rng.uniform(0.0, self.side, size=(ended.size, 2))
-                    corners, _ = choose_corners(self._pos[ended], new_dest, self.rng)
-                    self._dest[ended] = new_dest
-                    self._target[ended] = corners
-                    self._on_second_leg[ended] = False
-            # Phase 2: moving agents walk their Manhattan legs.
-            moving = (self._pause_left <= 0) & (time_budget > eps)
-            idx = np.nonzero(moving)[0]
-            if idx.size == 0:
-                break
-            delta = self._target[idx] - self._pos[idx]
-            dist = np.abs(delta).sum(axis=1)
-            can_move = time_budget[idx] * self.speed
-            move = np.minimum(can_move, dist)
-            with np.errstate(invalid="ignore", divide="ignore"):
-                frac = np.where(dist > self._eps, move / np.where(dist > self._eps, dist, 1.0), 1.0)
-            self._pos[idx] += delta * frac[:, None]
-            time_budget[idx] -= move / self.speed
-            reached = move >= dist - self._eps
-            if not np.any(reached):
-                break
-            done = idx[reached]
-            self._pos[done] = self._target[done]
-            second = self._on_second_leg[done]
-            corner_done = done[~second]
-            if corner_done.size:
-                self._on_second_leg[corner_done] = True
-                self._target[corner_done] = self._dest[corner_done]
-            trip_done = done[second]
-            if trip_done.size:
-                # Arrived: rest.  The new trip is drawn when the pause ends
-                # (phase 1), or immediately when pause_time == 0.
-                if self.pause_time > 0:
-                    self._pause_left[trip_done] = self.pause_time
-                else:
-                    new_dest = self.rng.uniform(0.0, self.side, size=(trip_done.size, 2))
-                    corners, _ = choose_corners(self._pos[trip_done], new_dest, self.rng)
-                    self._dest[trip_done] = new_dest
-                    self._target[trip_done] = corners
-                    self._on_second_leg[trip_done] = False
-        else:  # pragma: no cover - defensive
-            raise RuntimeError("carry-over loop did not converge")
+        _advance_pause_mrwp(
+            self._pos, self._dest, self._target, self._on_second_leg,
+            self._pause_left, time_budget,
+            self.side, self.speed, self.pause_time, self._eps, [self.rng], self.n,
+            scratch=self._scratch,
+        )
         self.time += dt
         return self.positions
+
+
+class BatchManhattanRandomWaypointWithPause(BatchMobilityModel):
+    """Pause-MRWP for ``B`` independent replicas, advanced in lock-step.
+
+    Same layout and RNG discipline as
+    :class:`~repro.mobility.mrwp.BatchManhattanRandomWaypoint`: flat
+    ``(B * n, 2)`` state, the shared kinematics helpers for the two-phase
+    (pause burn, then Manhattan legs) carry-over iteration, and all trip
+    redraws grouped by replica in the scalar model's draw order — both the
+    phase-1 draws (pauses that just ended) and the phase-2 draws
+    (``pause_time == 0`` arrivals), in that per-iteration order, exactly
+    as the scalar model interleaves them.
+
+    Args:
+        n, side, speed, rngs: see :class:`~repro.mobility.base.BatchMobilityModel`.
+        pause_time: deterministic rest duration (scalar semantics, per replica).
+        init: ``"stationary"`` or ``"uniform"``, applied per replica.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        side: float,
+        speed: float,
+        rngs,
+        pause_time: float = 0.0,
+        init: str = "stationary",
+    ):
+        super().__init__(n, side, speed, rngs)
+        if pause_time < 0:
+            raise ValueError(f"pause_time must be non-negative, got {pause_time}")
+        if speed <= 0:
+            raise ValueError("pause-MRWP requires positive speed")
+        self.pause_time = float(pause_time)
+        self._eps = 1e-9 * max(self.side, 1.0)
+        states = [
+            _initial_pause_state(self.n, self.side, self.speed, self.pause_time, init, rng)
+            for rng in self.rngs
+        ]
+        self._pos = np.concatenate([s[0] for s in states], axis=0)
+        self._dest = np.concatenate([s[1] for s in states], axis=0)
+        self._target = np.concatenate([s[2] for s in states], axis=0)
+        self._on_second_leg = np.concatenate([s[3] for s in states], axis=0)
+        self._pause_left = np.concatenate([s[4] for s in states], axis=0)
+        self._scratch = DenseLegScratch(self.batch_size * self.n)
+
+    @property
+    def paused_mask(self) -> np.ndarray:
+        """``(B, n)`` bool — agents currently resting at a way-point."""
+        return (self._pause_left > 0).reshape(self.batch_size, self.n)
+
+    @property
+    def moving_fraction(self) -> np.ndarray:
+        """``(B,)`` fraction of each replica's agents mid-trip."""
+        return 1.0 - self.paused_mask.mean(axis=1)
+
+    def step(self, dt: float = 1.0, active=None, copy: bool = True) -> np.ndarray:
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        active = self._active_mask(active)
+        time_budget = np.where(np.repeat(active, self.n), float(dt), 0.0)
+        _advance_pause_mrwp(
+            self._pos, self._dest, self._target, self._on_second_leg,
+            self._pause_left, time_budget,
+            self.side, self.speed, self.pause_time, self._eps, self.rngs, self.n,
+            scratch=self._scratch,
+        )
+        self.time += dt
+        return self.positions if copy else self.positions_view
+
+
+def _advance_pause_mrwp(
+    pos, dest, target, on_second_leg, pause_left, time_budget,
+    side, speed, pause_time, eps, rngs, n, scratch=None,
+):
+    """Spend ``time_budget`` through the two-phase pause-MRWP carry-over loop.
+
+    The single driver behind the scalar and batch models (``len(rngs)``
+    replicas over flat arrays).  Frozen replicas enter with zero budget:
+    they neither pause-burn nor move, and their generators see no draws.
+    """
+    eps_t = eps / max(speed, 1.0)
+    total = time_budget.shape[0]
+    for _ in range(_MAX_LEGS_PER_STEP):
+        # Phase 1: paused agents burn pause before moving; a pause that
+        # just ended starts a fresh trip.
+        ended = countdown_pauses(pause_left, time_budget, min_budget=eps_t)
+        if ended.size:
+            redraw_manhattan_trips(pos, dest, target, on_second_leg, ended, side, rngs, n)
+        # Phase 2: moving agents walk their Manhattan legs.
+        moving = (pause_left <= 0) & (time_budget > eps_t)
+        n_moving = int(np.count_nonzero(moving))
+        if n_moving == 0:
+            break
+        if scratch is not None and 2 * n_moving >= total:
+            done = advance_legs_dense(
+                pos, target, time_budget, moving, n_moving, eps, scratch, speed=speed
+            )
+        else:
+            idx = np.nonzero(moving)[0]
+            done = advance_legs(pos, target, time_budget, idx, eps, speed=speed)
+        if done.size == 0:
+            break
+        _corner_done, trip_done = split_completed_legs(done, on_second_leg, target, dest)
+        if trip_done.size:
+            # Arrived: rest.  The new trip is drawn when the pause ends
+            # (phase 1), or immediately when pause_time == 0.
+            if pause_time > 0:
+                pause_left[trip_done] = pause_time
+            else:
+                redraw_manhattan_trips(
+                    pos, dest, target, on_second_leg, trip_done, side, rngs, n
+                )
+    else:  # pragma: no cover - defensive
+        raise RuntimeError("carry-over loop did not converge")
+
+
+def _initial_pause_state(
+    n: int, side: float, speed: float, pause_time: float, init, rng: np.random.Generator
+) -> tuple:
+    """One replica's initial pause-MRWP state — the scalar model's recipe.
+
+    Returns:
+        ``(positions, destinations, targets, on_second_leg, pause_left)``.
+    """
+    if init == "uniform":
+        pos = rng.uniform(0.0, side, size=(n, 2))
+        dest = rng.uniform(0.0, side, size=(n, 2))
+        target, _ = choose_corners(pos, dest, rng)
+        return pos, dest, target, np.zeros(n, dtype=bool), np.zeros(n, dtype=np.float64)
+    if init != "stationary":
+        raise ValueError(f"init must be 'stationary' or 'uniform', got {init!r}")
+    # Perfect simulation: Bernoulli(moving) mixture of the two phases.
+    w = moving_probability(side, speed, pause_time)
+    moving = rng.uniform(size=n) < w
+    k = int(np.count_nonzero(moving))
+
+    pos = np.empty((n, 2))
+    dest = np.empty((n, 2))
+    target = np.empty((n, 2))
+    on_second_leg = np.zeros(n, dtype=bool)
+    pause_left = np.zeros(n, dtype=np.float64)
+
+    if k:
+        state = PalmStationarySampler(side).sample(k, rng)
+        pos[moving] = state.positions
+        dest[moving] = state.destinations
+        target[moving] = state.targets
+        on_second_leg[moving] = state.on_second_leg
+    rest = n - k
+    if rest:
+        # Paused at a uniform way-point; residual pause uniform.
+        spots = rng.uniform(0.0, side, size=(rest, 2))
+        pos[~moving] = spots
+        dest[~moving] = spots  # next trip drawn when the pause ends
+        target[~moving] = spots
+        on_second_leg[~moving] = True
+        pause_left[~moving] = rng.uniform(0.0, pause_time, size=rest)
+    return pos, dest, target, on_second_leg, pause_left

@@ -106,16 +106,6 @@ class BatchRandomWalk(BatchMobilityModel):
             [rng.uniform(0.0, self.side, size=(self.n, 2)) for rng in self.rngs], axis=0
         )
 
-    @property
-    def positions(self) -> np.ndarray:
-        return self._pos.reshape(self.batch_size, self.n, 2).copy()
-
-    @property
-    def positions_view(self) -> np.ndarray:
-        view = self._pos.reshape(self.batch_size, self.n, 2)
-        view.flags.writeable = False
-        return view
-
     def step(self, dt: float = 1.0, active=None, copy: bool = True) -> np.ndarray:
         if dt <= 0:
             raise ValueError(f"dt must be positive, got {dt}")

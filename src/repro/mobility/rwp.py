@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.mobility.base import BatchMobilityModel, MobilityModel
+from repro.mobility.kinematics import advance_legs, countdown_pauses, redraw_destinations
 
 __all__ = ["RandomWaypoint", "BatchRandomWaypoint"]
 
@@ -95,38 +96,10 @@ class RandomWaypoint(MobilityModel):
         if dt <= 0:
             raise ValueError(f"dt must be positive, got {dt}")
         time_budget = np.full(self.n, float(dt))
-        eps = self._eps
-        for _ in range(_MAX_LEGS_PER_STEP):
-            # Spend pause time first.
-            pausing = (self._pause_left > 0) & (time_budget > 0)
-            if np.any(pausing):
-                spend = np.minimum(self._pause_left[pausing], time_budget[pausing])
-                self._pause_left[pausing] -= spend
-                time_budget[pausing] -= spend
-            if self.speed <= 0:
-                break
-            moving = (self._pause_left <= 0) & (time_budget * self.speed > eps)
-            idx = np.nonzero(moving)[0]
-            if idx.size == 0:
-                break
-            delta = self._dest[idx] - self._pos[idx]
-            dist = np.sqrt(np.sum(delta * delta, axis=1))
-            can_move = time_budget[idx] * self.speed
-            move = np.minimum(can_move, dist)
-            with np.errstate(invalid="ignore", divide="ignore"):
-                frac = np.where(dist > eps, move / np.where(dist > eps, dist, 1.0), 1.0)
-            self._pos[idx] += delta * frac[:, None]
-            time_budget[idx] -= move / self.speed
-            reached = move >= dist - eps
-            if not np.any(reached):
-                break
-            done = idx[reached]
-            self._pos[done] = self._dest[done]
-            self._dest[done] = self.rng.uniform(0.0, self.side, size=(done.size, 2))
-            self._pause_left[done] = self.pause_time
-            self.arrival_counts[done] += 1
-        else:  # pragma: no cover - defensive
-            raise RuntimeError("carry-over loop did not converge")
+        _advance_rwp(
+            self._pos, self._dest, self._pause_left, self.arrival_counts, time_budget,
+            self.side, self.speed, self.pause_time, self._eps, [self.rng], self.n,
+        )
         self.time += dt
         return self.positions
 
@@ -177,58 +150,42 @@ class BatchRandomWaypoint(BatchMobilityModel):
         self.arrival_counts = np.zeros(total, dtype=np.int64)
         self._eps = 1e-9 * max(self.side, 1.0)
 
-    @property
-    def positions(self) -> np.ndarray:
-        return self._pos.reshape(self.batch_size, self.n, 2).copy()
-
-    @property
-    def positions_view(self) -> np.ndarray:
-        view = self._pos.reshape(self.batch_size, self.n, 2)
-        view.flags.writeable = False
-        return view
-
-    def _redraw_destinations(self, done: np.ndarray) -> None:
-        replicas = done // self.n
-        starts = np.searchsorted(replicas, np.arange(self.batch_size + 1))
-        for b in np.unique(replicas):
-            sub = done[starts[b]:starts[b + 1]]
-            self._dest[sub] = self.rngs[b].uniform(0.0, self.side, size=(sub.size, 2))
-
     def step(self, dt: float = 1.0, active=None, copy: bool = True) -> np.ndarray:
         if dt <= 0:
             raise ValueError(f"dt must be positive, got {dt}")
         active = self._active_mask(active)
         time_budget = np.where(np.repeat(active, self.n), float(dt), 0.0)
-        eps = self._eps
-        for _ in range(_MAX_LEGS_PER_STEP):
-            pausing = (self._pause_left > 0) & (time_budget > 0)
-            if np.any(pausing):
-                spend = np.minimum(self._pause_left[pausing], time_budget[pausing])
-                self._pause_left[pausing] -= spend
-                time_budget[pausing] -= spend
-            if self.speed <= 0:
-                break
-            moving = (self._pause_left <= 0) & (time_budget * self.speed > eps)
-            idx = np.nonzero(moving)[0]
-            if idx.size == 0:
-                break
-            delta = self._dest[idx] - self._pos[idx]
-            dist = np.sqrt(np.sum(delta * delta, axis=1))
-            can_move = time_budget[idx] * self.speed
-            move = np.minimum(can_move, dist)
-            with np.errstate(invalid="ignore", divide="ignore"):
-                frac = np.where(dist > eps, move / np.where(dist > eps, dist, 1.0), 1.0)
-            self._pos[idx] += delta * frac[:, None]
-            time_budget[idx] -= move / self.speed
-            reached = move >= dist - eps
-            if not np.any(reached):
-                break
-            done = idx[reached]
-            self._pos[done] = self._dest[done]
-            self._redraw_destinations(done)
-            self._pause_left[done] = self.pause_time
-            self.arrival_counts[done] += 1
-        else:  # pragma: no cover - defensive
-            raise RuntimeError("carry-over loop did not converge")
+        _advance_rwp(
+            self._pos, self._dest, self._pause_left, self.arrival_counts, time_budget,
+            self.side, self.speed, self.pause_time, self._eps, self.rngs, self.n,
+        )
         self.time += dt
         return self.positions if copy else self.positions_view
+
+
+def _advance_rwp(
+    pos, dest, pause_left, arrival_counts, time_budget,
+    side, speed, pause_time, eps, rngs, n,
+):
+    """Spend ``time_budget`` through the straight-line RWP carry-over loop.
+
+    The single driver behind the scalar and batch models: pause burn, one
+    Euclidean leg per trip, arrival redraws grouped by replica.  Frozen
+    replicas enter with zero budget and their generators see no draws.
+    """
+    for _ in range(_MAX_LEGS_PER_STEP):
+        # Spend pause time first (RWP redraws on arrival, not on pause end).
+        countdown_pauses(pause_left, time_budget)
+        if speed <= 0:
+            break
+        idx = np.nonzero((pause_left <= 0) & (time_budget * speed > eps))[0]
+        if idx.size == 0:
+            break
+        done = advance_legs(pos, dest, time_budget, idx, eps, speed=speed, metric="euclidean")
+        if done.size == 0:
+            break
+        redraw_destinations(dest, done, side, rngs, n)
+        pause_left[done] = pause_time
+        arrival_counts[done] += 1
+    else:  # pragma: no cover - defensive
+        raise RuntimeError("carry-over loop did not converge")

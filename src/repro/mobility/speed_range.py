@@ -29,12 +29,21 @@ import math
 import numpy as np
 
 from repro.geometry.paths import choose_corners
-from repro.mobility.base import MobilityModel
+from repro.mobility.base import BatchMobilityModel, MobilityModel
+from repro.mobility.kinematics import (
+    DenseLegScratch,
+    advance_legs,
+    advance_legs_dense,
+    redraw_manhattan_trips,
+    replica_slices,
+    split_completed_legs,
+)
 from repro.mobility.mrwp import _MAX_LEGS_PER_STEP
 from repro.mobility.stationary import PalmStationarySampler
 
 __all__ = [
     "RandomSpeedManhattanWaypoint",
+    "BatchRandomSpeedManhattanWaypoint",
     "stationary_mean_speed",
     "sample_stationary_speeds",
     "cold_start_speed_decay",
@@ -103,24 +112,14 @@ class RandomSpeedManhattanWaypoint(MobilityModel):
         self.v_min = float(v_min)
         self.v_max = float(v_max)
         self._eps = 1e-9 * max(self.side, 1.0)
-        if init == "stationary":
-            state = PalmStationarySampler(self.side).sample(self.n, self.rng)
-            self._pos = state.positions
-            self._dest = state.destinations
-            self._target = state.targets
-            self._on_second_leg = state.on_second_leg
-            self._trip_speed = sample_stationary_speeds(
-                self.n, self.v_min, self.v_max, self.rng
-            )
-        elif init == "uniform":
-            self._pos = self.rng.uniform(0.0, self.side, size=(self.n, 2))
-            self._dest = self.rng.uniform(0.0, self.side, size=(self.n, 2))
-            corners, _ = choose_corners(self._pos, self._dest, self.rng)
-            self._target = corners
-            self._on_second_leg = np.zeros(self.n, dtype=bool)
-            self._trip_speed = self.rng.uniform(self.v_min, self.v_max, size=self.n)
-        else:
-            raise ValueError(f"init must be 'stationary' or 'uniform', got {init!r}")
+        (
+            self._pos,
+            self._dest,
+            self._target,
+            self._on_second_leg,
+            self._trip_speed,
+        ) = _initial_speed_state(self.n, self.side, self.v_min, self.v_max, init, self.rng)
+        self._scratch = DenseLegScratch(self.n)
 
     @property
     def positions(self) -> np.ndarray:
@@ -140,46 +139,128 @@ class RandomSpeedManhattanWaypoint(MobilityModel):
         if dt <= 0:
             raise ValueError(f"dt must be positive, got {dt}")
         time_budget = np.full(self.n, float(dt))
-        eps_t = self._eps / self.v_max
-        for _ in range(_MAX_LEGS_PER_STEP):
-            active = time_budget > eps_t
-            idx = np.nonzero(active)[0]
-            if idx.size == 0:
-                break
-            delta = self._target[idx] - self._pos[idx]
-            dist = np.abs(delta).sum(axis=1)
-            can_move = time_budget[idx] * self._trip_speed[idx]
-            move = np.minimum(can_move, dist)
-            with np.errstate(invalid="ignore", divide="ignore"):
-                frac = np.where(dist > self._eps, move / np.where(dist > self._eps, dist, 1.0), 1.0)
-            self._pos[idx] += delta * frac[:, None]
-            time_budget[idx] -= move / self._trip_speed[idx]
-            reached = move >= dist - self._eps
-            if not np.any(reached):
-                break
-            done = idx[reached]
-            self._pos[done] = self._target[done]
-            second = self._on_second_leg[done]
-            corner_done = done[~second]
-            if corner_done.size:
-                self._on_second_leg[corner_done] = True
-                self._target[corner_done] = self._dest[corner_done]
-            trip_done = done[second]
-            if trip_done.size:
-                new_dest = self.rng.uniform(0.0, self.side, size=(trip_done.size, 2))
-                corners, _ = choose_corners(self._pos[trip_done], new_dest, self.rng)
-                self._dest[trip_done] = new_dest
-                self._target[trip_done] = corners
-                self._on_second_leg[trip_done] = False
-                # Fresh trips draw *uniform* speeds — the 1/v bias emerges
-                # from time-averaging, not from the per-trip law.
-                self._trip_speed[trip_done] = self.rng.uniform(
-                    self.v_min, self.v_max, size=trip_done.size
-                )
-        else:  # pragma: no cover - defensive
-            raise RuntimeError("carry-over loop did not converge")
+        _advance_random_speed(
+            self._pos, self._dest, self._target, self._on_second_leg,
+            self._trip_speed, time_budget,
+            self.side, self.v_min, self.v_max, self._eps, [self.rng], self.n,
+            scratch=self._scratch,
+        )
         self.time += dt
         return self.positions
+
+
+class BatchRandomSpeedManhattanWaypoint(BatchMobilityModel):
+    """Random-speed MRWP for ``B`` independent replicas, in lock-step.
+
+    Same layout and RNG discipline as the other batch way-point models:
+    flat ``(B * n, 2)`` state, shared kinematics helpers (here with a
+    per-agent speed array), and arrival redraws grouped by replica in the
+    scalar draw order — destination uniforms, path coin flips, then the
+    fresh *uniform* trip speeds, per replica per iteration.
+
+    Args:
+        n, side, rngs: see :class:`~repro.mobility.base.BatchMobilityModel`.
+        v_min, v_max: per-trip speed range (scalar semantics, per replica).
+        init: ``"stationary"`` or ``"uniform"``, applied per replica.
+    """
+
+    def __init__(self, n: int, side: float, v_min: float, v_max: float, rngs, init="stationary"):
+        _validate_range(v_min, v_max)
+        super().__init__(n, side, stationary_mean_speed(v_min, v_max), rngs)
+        self.v_min = float(v_min)
+        self.v_max = float(v_max)
+        self._eps = 1e-9 * max(self.side, 1.0)
+        states = [
+            _initial_speed_state(self.n, self.side, self.v_min, self.v_max, init, rng)
+            for rng in self.rngs
+        ]
+        self._pos = np.concatenate([s[0] for s in states], axis=0)
+        self._dest = np.concatenate([s[1] for s in states], axis=0)
+        self._target = np.concatenate([s[2] for s in states], axis=0)
+        self._on_second_leg = np.concatenate([s[3] for s in states], axis=0)
+        self._trip_speed = np.concatenate([s[4] for s in states], axis=0)
+        self._scratch = DenseLegScratch(self.batch_size * self.n)
+
+    @property
+    def trip_speeds(self) -> np.ndarray:
+        """``(B, n)`` copy of the per-agent current-trip speeds."""
+        return self._trip_speed.reshape(self.batch_size, self.n).copy()
+
+    @property
+    def mean_current_speed(self) -> np.ndarray:
+        """``(B,)`` population-average current speed per replica."""
+        return self._trip_speed.reshape(self.batch_size, self.n).mean(axis=1)
+
+    def step(self, dt: float = 1.0, active=None, copy: bool = True) -> np.ndarray:
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        active = self._active_mask(active)
+        time_budget = np.where(np.repeat(active, self.n), float(dt), 0.0)
+        _advance_random_speed(
+            self._pos, self._dest, self._target, self._on_second_leg,
+            self._trip_speed, time_budget,
+            self.side, self.v_min, self.v_max, self._eps, self.rngs, self.n,
+            scratch=self._scratch,
+        )
+        self.time += dt
+        return self.positions if copy else self.positions_view
+
+
+def _advance_random_speed(
+    pos, dest, target, on_second_leg, trip_speed, time_budget,
+    side, v_min, v_max, eps, rngs, n, scratch=None,
+):
+    """Spend ``time_budget`` through the random-speed carry-over loop.
+
+    The single driver behind the scalar and batch models.  Frozen replicas
+    enter with zero budget and their generators see no draws.
+    """
+    eps_t = eps / v_max
+    total = time_budget.shape[0]
+    for _ in range(_MAX_LEGS_PER_STEP):
+        moving = time_budget > eps_t
+        n_moving = int(np.count_nonzero(moving))
+        if n_moving == 0:
+            break
+        if scratch is not None and 2 * n_moving >= total:
+            done = advance_legs_dense(
+                pos, target, time_budget, moving, n_moving, eps, scratch, speed=trip_speed
+            )
+        else:
+            idx = np.nonzero(moving)[0]
+            done = advance_legs(pos, target, time_budget, idx, eps, speed=trip_speed)
+        if done.size == 0:
+            break
+        _corner_done, trip_done = split_completed_legs(done, on_second_leg, target, dest)
+        if trip_done.size:
+            redraw_manhattan_trips(pos, dest, target, on_second_leg, trip_done, side, rngs, n)
+            # Fresh trips draw *uniform* speeds — the 1/v bias emerges
+            # from time-averaging, not from the per-trip law.
+            for b, lo, hi in replica_slices(trip_done, n, len(rngs)):
+                trip_speed[trip_done[lo:hi]] = rngs[b].uniform(v_min, v_max, size=hi - lo)
+    else:  # pragma: no cover - defensive
+        raise RuntimeError("carry-over loop did not converge")
+
+
+def _initial_speed_state(
+    n: int, side: float, v_min: float, v_max: float, init, rng: np.random.Generator
+) -> tuple:
+    """One replica's initial random-speed state — the scalar model's recipe.
+
+    Returns:
+        ``(positions, destinations, targets, on_second_leg, trip_speed)``.
+    """
+    if init == "stationary":
+        state = PalmStationarySampler(side).sample(n, rng)
+        trip_speed = sample_stationary_speeds(n, v_min, v_max, rng)
+        return state.positions, state.destinations, state.targets, state.on_second_leg, trip_speed
+    if init == "uniform":
+        pos = rng.uniform(0.0, side, size=(n, 2))
+        dest = rng.uniform(0.0, side, size=(n, 2))
+        target, _ = choose_corners(pos, dest, rng)
+        trip_speed = rng.uniform(v_min, v_max, size=n)
+        return pos, dest, target, np.zeros(n, dtype=bool), trip_speed
+    raise ValueError(f"init must be 'stationary' or 'uniform', got {init!r}")
 
 
 def cold_start_speed_decay(

@@ -38,10 +38,8 @@ import numpy as np
 
 from repro.core.flooding import build_zone_partition, select_source
 from repro.mobility import (
-    BatchManhattanRandomWaypoint,
+    BATCH_MOBILITY_REGISTRY,
     BatchMobilityModel,
-    BatchRandomWalk,
-    BatchRandomWaypoint,
     ReplicatedBatchMobility,
 )
 from repro.protocols import BATCH_PROTOCOL_REGISTRY
@@ -61,34 +59,25 @@ __all__ = [
 def build_batch_model(config: FloodingConfig, rngs) -> BatchMobilityModel:
     """Instantiate the batch mobility model named by the configuration.
 
-    Models with a native vectorized implementation (``mrwp``, ``rwp``,
-    ``random-walk``) get it; every other registered model falls back to
-    :class:`~repro.mobility.base.ReplicatedBatchMobility`, which is correct
-    (bit-identical to the scalar models) but not faster.
+    Every model in :data:`~repro.mobility.BATCH_MOBILITY_REGISTRY` gets its
+    native vectorized implementation (same constructor arguments as the
+    scalar model, via :func:`~repro.simulation.runner.mobility_arguments`);
+    the deliberately-exotic models outside it (ferry / composite) fall back
+    to :class:`~repro.mobility.base.ReplicatedBatchMobility`, which is
+    correct (bit-identical to the scalar models) but not faster — the
+    fallback is flagged in the results so slow paths stay visible.
 
     Args:
         config: the experiment parameters.
         rngs: one mobility generator per trial (defines the batch size).
     """
-    name = config.mobility
-    options = dict(config.mobility_options)
-    if name == "mrwp":
-        return BatchManhattanRandomWaypoint(
-            config.n, config.side, config.speed, rngs, init=config.init, **options
-        )
-    if name == "rwp":
-        # config.init is validated at construction; RWP's own error surfaces
-        # for the mrwp-only "closed-form" spec instead of a silent fallback.
-        return BatchRandomWaypoint(
-            config.n, config.side, config.speed, rngs, init=config.init, **options
-        )
-    if name == "random-walk":
-        return BatchRandomWalk(
-            config.n, config.side, move_radius=config.speed, rngs=rngs, **options
-        )
-    from repro.simulation.runner import build_model
+    from repro.simulation.runner import build_model, mobility_arguments
 
-    return ReplicatedBatchMobility([build_model(config, rng) for rng in rngs])
+    cls = BATCH_MOBILITY_REGISTRY.get(config.mobility)
+    if cls is None:
+        return ReplicatedBatchMobility([build_model(config, rng) for rng in rngs])
+    args, kwargs = mobility_arguments(config)
+    return cls(config.n, config.side, *args, rngs=rngs, **kwargs)
 
 
 def build_batch_state(config: FloodingConfig, sources, rngs) -> BatchBroadcastState:
@@ -313,6 +302,12 @@ def run_protocol_batch(config: FloodingConfig, seed_seqs) -> list:
     stalled = state.stalled_mask()
     counts = simulation.informed_counts_history
     extras = state.final_metrics(model.positions_view, zones)
+    if isinstance(model, ReplicatedBatchMobility):
+        # One-time note per batch (on the first trial's extras): the
+        # mobility ran as a per-replica Python loop, so this batch saw no
+        # mobility vectorization win — visible in results, not buried in
+        # logs.
+        extras[0]["mobility_execution"] = "replicated (not vectorized)"
     for b in range(batch):
         history = counts[: n_steps[b] + 1, b].copy()
         completed = bool(complete[b])

@@ -16,6 +16,7 @@ import math
 from dataclasses import dataclass, field, replace
 
 from repro.core import theory
+from repro.mobility import BATCH_MOBILITY_REGISTRY, MODEL_REGISTRY
 from repro.protocols import BATCH_PROTOCOL_REGISTRY, PROTOCOL_REGISTRY
 
 __all__ = ["FloodingConfig", "standard_config"]
@@ -23,6 +24,20 @@ __all__ = ["FloodingConfig", "standard_config"]
 _SOURCE_MODES = ("uniform", "central", "suburb")
 _ENGINES = ("scalar", "batch", "auto")
 _INITS = ("stationary", "closed-form", "uniform")
+
+#: Option vocabulary per mobility model, enforced at construction so a
+#: typo'd option fails here with the model name in the message — not as a
+#: TypeError deep inside trial one.
+_MOBILITY_OPTION_KEYS = {
+    "mrwp": frozenset(),
+    "mrwp-pause": frozenset({"pause_time"}),
+    "mrwp-speed": frozenset({"v_min", "v_max"}),
+    "rwp": frozenset({"pause_time"}),
+    "random-walk": frozenset({"boundary"}),
+    "random-direction": frozenset({"mean_leg"}),
+    "ferry": frozenset({"inset"}),
+    "composite": frozenset({"ferries", "inset"}),
+}
 
 
 @dataclass(frozen=True)
@@ -71,9 +86,10 @@ class FloodingConfig:
             time), ``"batch"`` (lock-step
             :class:`~repro.simulation.batch.BatchSimulation`; every
             registered protocol, identical results, markedly faster for
-            many trials), or ``"auto"`` (batch whenever the protocol has a
-            batched implementation, scalar otherwise).  Engine/protocol
-            combinations are validated at construction time.
+            many trials), or ``"auto"`` (batch whenever both the protocol
+            and the mobility model have native batched implementations,
+            scalar otherwise).  Engine/protocol combinations are validated
+            at construction time.
         batch_size: trials advanced per batch when ``engine="batch"``
             (0 — the default — runs all of a call's or worker's trials in
             one batch).  Has no effect on results, only on peak memory.
@@ -123,6 +139,12 @@ class FloodingConfig:
                 f"init must be one of {_INITS}, got {self.init!r} "
                 "(mobility models may restrict further: 'closed-form' is mrwp-only)"
             )
+        if self.mobility not in MODEL_REGISTRY:
+            raise ValueError(
+                f"unknown mobility model {self.mobility!r}; registered models: "
+                f"{sorted(MODEL_REGISTRY)}"
+            )
+        self._validate_mobility_options()
         if self.protocol not in PROTOCOL_REGISTRY:
             raise ValueError(
                 f"unknown protocol {self.protocol!r}; registered protocols: "
@@ -142,17 +164,66 @@ class FloodingConfig:
         if self.batch_size < 0:
             raise ValueError(f"batch_size must be non-negative, got {self.batch_size}")
 
+    def _validate_mobility_options(self) -> None:
+        """Per-model option vocabulary and value checks, at config time."""
+        allowed = _MOBILITY_OPTION_KEYS.get(self.mobility)
+        if allowed is None:
+            raise ValueError(
+                f"mobility model {self.mobility!r} is registered but has no "
+                "declared option vocabulary; add it to "
+                "_MOBILITY_OPTION_KEYS in repro/simulation/config.py"
+            )
+        unknown = set(self.mobility_options) - allowed
+        if unknown:
+            raise ValueError(
+                f"unknown mobility options for {self.mobility!r}: {sorted(unknown)} "
+                f"(accepted: {sorted(allowed) or 'none'})"
+            )
+        options = self.mobility_options
+        pause_time = options.get("pause_time")
+        if pause_time is not None and pause_time < 0:
+            raise ValueError(f"pause_time must be non-negative, got {pause_time}")
+        if self.mobility == "mrwp-speed":
+            v_min = options.get("v_min", self.speed)
+            v_max = options.get("v_max", self.speed)
+            if not 0 < v_min <= v_max:
+                raise ValueError(
+                    f"mrwp-speed needs 0 < v_min <= v_max, got [{v_min}, {v_max}]"
+                )
+        mean_leg = options.get("mean_leg")
+        if mean_leg is not None and mean_leg <= 0:
+            raise ValueError(f"mean_leg must be positive, got {mean_leg}")
+        inset = options.get("inset")
+        if inset is not None and not 0 <= inset < self.side / 2:
+            raise ValueError(f"inset must be in [0, side/2), got {inset}")
+        ferries = options.get("ferries")
+        if ferries is not None and not 1 <= int(ferries) <= self.n - 2:
+            raise ValueError(
+                f"ferries must be in [1, n - 2] (need an MRWP background), got {ferries}"
+            )
+
     def with_options(self, **changes) -> "FloodingConfig":
         """A copy with the given fields replaced."""
         return replace(self, **changes)
 
     @property
     def resolved_engine(self) -> str:
-        """The engine that will actually run: ``"auto"`` picks the batch
-        engine whenever the protocol supports it, else scalar."""
+        """The engine that will actually run.
+
+        ``"auto"`` picks the batch engine exactly when **both** the
+        protocol and the mobility model have native vectorized
+        implementations (:data:`~repro.protocols.BATCH_PROTOCOL_REGISTRY`
+        and :data:`~repro.mobility.BATCH_MOBILITY_REGISTRY`); anything
+        else runs scalar — the replicated mobility fallback is a
+        per-replica Python loop, so batching it buys nothing.  An explicit
+        ``engine="batch"`` still forces the batch engine (with the
+        fallback, flagged in the results) for non-native mobility.
+        """
         if self.engine != "auto":
             return self.engine
-        return "batch" if self.protocol in BATCH_PROTOCOL_REGISTRY else "scalar"
+        if self.protocol not in BATCH_PROTOCOL_REGISTRY:
+            return "scalar"
+        return "batch" if self.mobility in BATCH_MOBILITY_REGISTRY else "scalar"
 
     def assumptions(self, c1: float = theory.PAPER_C1) -> theory.Assumptions:
         """Check this configuration against the paper's hypotheses."""

@@ -17,47 +17,66 @@ import math
 import numpy as np
 
 from repro.core.flooding import build_zone_partition, select_source
-from repro.mobility import (
-    ManhattanRandomWaypoint,
-    ManhattanRandomWaypointWithPause,
-    RandomDirection,
-    RandomWalk,
-    RandomWaypoint,
-)
+from repro.mobility import MODEL_REGISTRY
 from repro.protocols import PROTOCOL_REGISTRY, FloodingProtocol
 from repro.simulation.config import FloodingConfig
 from repro.simulation.engine import Simulation
 from repro.simulation.metrics import InformedRecorder, ZoneRecorder
 from repro.simulation.results import FloodingResult
 
-__all__ = ["run_flooding", "run_trials", "sweep", "build_model", "build_protocol"]
+__all__ = [
+    "run_flooding",
+    "run_trials",
+    "sweep",
+    "build_model",
+    "build_protocol",
+    "mobility_arguments",
+]
+
+#: Models whose constructors take no ``init`` argument (their stationary
+#: law needs no warm-up state beyond uniform positions).
+_NO_INIT_MODELS = frozenset({"random-walk", "random-direction", "ferry"})
+
+
+def mobility_arguments(config: FloodingConfig) -> tuple:
+    """Constructor arguments shared by the scalar and batch model builders.
+
+    The single place config fields map onto per-model constructor
+    signatures (speed vs ``move_radius``, ``init`` vocabulary, option
+    defaults).  Returns ``(args, kwargs)`` such that
+    ``ModelClass(config.n, config.side, *args, rng=rng, **kwargs)`` builds
+    the scalar model and the registered batch class accepts the same call
+    with ``rngs=`` — which is what keeps
+    :func:`~repro.simulation.batch.build_batch_model` a registry lookup
+    instead of a second if/elif chain.
+
+    ``config.init`` is validated at ``FloodingConfig`` construction;
+    models with a narrower init vocabulary (rwp / mrwp-pause / mrwp-speed
+    reject ``"closed-form"``) raise their own ValueError rather than being
+    silently coerced.
+    """
+    name = config.mobility
+    options = dict(config.mobility_options)
+    if name == "random-walk":
+        return (), {"move_radius": config.speed, **options}
+    if name == "mrwp-pause":
+        options.setdefault("pause_time", 0.0)
+    elif name == "mrwp-speed":
+        # Degenerate default: a constant-speed trip law at config.speed.
+        options.setdefault("v_min", config.speed)
+        options.setdefault("v_max", config.speed)
+        return (), {"init": config.init, **options}
+    if name in _NO_INIT_MODELS:
+        return (config.speed,), options
+    return (config.speed,), {"init": config.init, **options}
 
 
 def build_model(config: FloodingConfig, rng: np.random.Generator):
     """Instantiate the mobility model named by the configuration."""
-    name = config.mobility
-    options = dict(config.mobility_options)
-    # config.init is validated at FloodingConfig construction; models with a
-    # narrower init vocabulary (rwp / mrwp-pause reject "closed-form") raise
-    # their own ValueError rather than being silently coerced.
-    if name == "mrwp":
-        return ManhattanRandomWaypoint(
-            config.n, config.side, config.speed, rng=rng, init=config.init, **options
-        )
-    if name == "mrwp-pause":
-        options.setdefault("pause_time", 0.0)
-        return ManhattanRandomWaypointWithPause(
-            config.n, config.side, config.speed, rng=rng, init=config.init, **options
-        )
-    if name == "rwp":
-        return RandomWaypoint(
-            config.n, config.side, config.speed, rng=rng, init=config.init, **options
-        )
-    if name == "random-walk":
-        return RandomWalk(config.n, config.side, move_radius=config.speed, rng=rng, **options)
-    if name == "random-direction":
-        return RandomDirection(config.n, config.side, config.speed, rng=rng, **options)
-    raise ValueError(f"unknown mobility model {name!r}")
+    if config.mobility not in MODEL_REGISTRY:
+        raise ValueError(f"unknown mobility model {config.mobility!r}")
+    args, kwargs = mobility_arguments(config)
+    return MODEL_REGISTRY[config.mobility](config.n, config.side, *args, rng=rng, **kwargs)
 
 
 def build_protocol(config: FloodingConfig, source: int, rng: np.random.Generator):

@@ -19,9 +19,9 @@ walked its grid point-by-point through :func:`~repro.simulation.runner
   sweeps receives a prefix of the shared trial sequence (seed-schedule
   prefixes are stable under ``SeedSequence.spawn``);
 * each point dispatches through the configured **execution engine**
-  (``engine="auto"`` resolves to the vectorized batch engine for every
-  protocol with a batched state) in batch slices, exactly like
-  ``run_trials``;
+  (``engine="auto"`` resolves to the vectorized batch engine whenever both
+  the protocol and the mobility model have native batched implementations)
+  in batch slices, exactly like ``run_trials``;
 * ``jobs=`` fans the work units out over processes via the worker
   machinery of :mod:`repro.simulation.parallel` — batch points ship one
   batch slice per job, scalar points one trial per job, all sharing one

@@ -40,10 +40,23 @@ def fingerprints(config, trials=4):
 class TestStrategyParity:
     """{incremental, rebuild} x {pruned, unpruned} x engines x mobility."""
 
-    @pytest.mark.parametrize("mobility", ["mrwp", "rwp", "random-walk"])
+    @pytest.mark.parametrize(
+        "mobility,mobility_options",
+        [
+            ("mrwp", {}),
+            ("rwp", {}),
+            ("random-walk", {}),
+            ("mrwp-pause", {"pause_time": 2.0}),
+            ("mrwp-speed", {"v_min": 0.4, "v_max": 1.6}),
+            ("random-direction", {}),
+        ],
+    )
     @pytest.mark.parametrize("engine", ["scalar", "batch"])
-    def test_option_grid_is_invisible_in_results(self, mobility, engine):
-        base = standard_config(90, seed=23, mobility=mobility, engine=engine)
+    def test_option_grid_is_invisible_in_results(self, mobility, mobility_options, engine):
+        base = standard_config(
+            90, seed=23, mobility=mobility,
+            mobility_options=dict(mobility_options), engine=engine,
+        )
         reference = fingerprints(base)
         for options in OPTION_GRID[1:]:
             variant = base.with_options(neighbor_options=dict(options))
