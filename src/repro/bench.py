@@ -45,6 +45,7 @@ from __future__ import annotations
 import json
 import math
 import platform
+import re
 import time
 
 import numpy as np
@@ -99,6 +100,15 @@ EXPERIMENTS_SUITE_IDS = (
 )
 #: Smoke runs keep CI fast with the cheapest third of the suite.
 EXPERIMENTS_SMOKE_IDS = ("thm3_radius", "mobility_ablation", "suburb_vs_cz")
+
+#: The adaptive arm: sweep experiments re-run under sequential stopping
+#: (PR 6).  The acceptance gate is *unchanged verdicts with fewer trials*:
+#: each experiment's pass/fail must match its fixed-budget run, and the
+#: executed trial count (parsed from the experiment's adaptive note) must
+#: not exceed the fixed budget.
+EXPERIMENTS_ADAPTIVE_IDS = ("thm3_scaling", "thm3_radius", "thm3_speed", "regime_map")
+ADAPTIVE_RULE = {"ci_width": 0.15, "min_trials": 2}
+_ADAPTIVE_NOTE = re.compile(r"adaptive stopping: (\d+) trials vs (\d+) fixed budget")
 
 #: The mobility suite: per-model batch-vs-scalar over the canonical
 #: ``L = sqrt n`` flooding workload, one row per registered mobility model
@@ -492,19 +502,28 @@ def _bench_experiments(repeats: int, smoke: bool, seed: int = 0) -> tuple:
     seed schedule), so auto == scalar means migrated == unmigrated.
     Timing is best-of-``repeats`` interleaved, like every other suite;
     parity gates the run, timing never does.
+
+    Experiments in :data:`EXPERIMENTS_ADAPTIVE_IDS` additionally run an
+    **adaptive arm** under :data:`ADAPTIVE_RULE` sequential stopping: the
+    parity gate there is *unchanged verdict* (the adaptive run's pass/fail
+    must match the fixed-budget run's) plus *no extra trials* (the
+    executed count, parsed from the experiment's adaptive note, never
+    exceeds the fixed budget) — the PR 6 acceptance criterion.
     """
     from repro.experiments.registry import get_spec
+    from repro.simulation.sweep import StoppingRule
 
     ids = EXPERIMENTS_SMOKE_IDS if smoke else EXPERIMENTS_SUITE_IDS
     rows = []
     parity = {}
     auto_total = scalar_total = 0.0
+    adaptive_total = 0.0
+    adaptive_trials = fixed_trials = 0
     for eid in ids:
         spec = get_spec(eid)
-        parity[f"experiments:{eid}"] = (
-            spec.run(scale="quick", seed=seed, engine="auto").to_text()
-            == spec.run(scale="quick", seed=seed, engine="scalar").to_text()
-        )
+        auto_result = spec.run(scale="quick", seed=seed, engine="auto")
+        scalar_result = spec.run(scale="quick", seed=seed, engine="scalar")
+        parity[f"experiments:{eid}"] = auto_result.to_text() == scalar_result.to_text()
         best = _interleaved_best(
             {
                 "auto": lambda s=spec: s.run(scale="quick", seed=seed, engine="auto"),
@@ -514,20 +533,52 @@ def _bench_experiments(repeats: int, smoke: bool, seed: int = 0) -> tuple:
         )
         auto_total += best["auto"]
         scalar_total += best["scalar"]
-        rows.append(
-            {
-                "id": eid,
-                "auto_seconds": best["auto"],
-                "scalar_seconds": best["scalar"],
-                "speedup": best["scalar"] / best["auto"],
-            }
-        )
+        row = {
+            "id": eid,
+            "auto_seconds": best["auto"],
+            "scalar_seconds": best["scalar"],
+            "speedup": best["scalar"] / best["auto"],
+        }
+        if eid in EXPERIMENTS_ADAPTIVE_IDS:
+            rule = StoppingRule(**ADAPTIVE_RULE)
+            t0 = time.perf_counter()
+            adaptive = spec.run(scale="quick", seed=seed, engine="auto", stopping=rule)
+            seconds = time.perf_counter() - t0
+            match = _ADAPTIVE_NOTE.search("\n".join(adaptive.notes))
+            executed, budget = (
+                (int(match.group(1)), int(match.group(2))) if match else (-1, -1)
+            )
+            parity[f"experiments:{eid}:adaptive"] = (
+                adaptive.passed == auto_result.passed
+                and match is not None
+                and executed <= budget
+            )
+            adaptive_total += seconds
+            adaptive_trials += max(executed, 0)
+            fixed_trials += max(budget, 0)
+            row.update(
+                {
+                    "adaptive_seconds": seconds,
+                    "adaptive_trials": executed,
+                    "fixed_trials": budget,
+                    "adaptive_passed": adaptive.passed,
+                    "fixed_passed": auto_result.passed,
+                }
+            )
+        rows.append(row)
     section = {
         "workload": {"scale": "quick", "seed": seed, "smoke": smoke, "ids": list(ids)},
         "experiments": rows,
         "auto_total_seconds": auto_total,
         "scalar_total_seconds": scalar_total,
         "speedup": scalar_total / auto_total,
+        "adaptive": {
+            "rule": dict(ADAPTIVE_RULE),
+            "ids": [eid for eid in ids if eid in EXPERIMENTS_ADAPTIVE_IDS],
+            "total_seconds": adaptive_total,
+            "adaptive_trials": adaptive_trials,
+            "fixed_trials": fixed_trials,
+        },
     }
     return section, parity
 
@@ -835,6 +886,14 @@ def render_table(report: dict) -> str:
             f"scalar {experiments['scalar_total_seconds']:7.3f} s  "
             f"{experiments['speedup']:5.2f}x"
         )
+        adaptive = experiments.get("adaptive")
+        if adaptive and adaptive["ids"]:
+            lines.append(
+                f"  adaptive arm ({', '.join(adaptive['ids'])}): "
+                f"{adaptive['adaptive_trials']} trials vs "
+                f"{adaptive['fixed_trials']} fixed "
+                f"({adaptive['total_seconds']:.3f} s, verdict-parity gated)"
+            )
     for name, ratio in report["speedups"].items():
         lines.append(f"  {name:40s} {ratio:5.2f}x")
     lines.append("")

@@ -4,12 +4,24 @@ Subcommands:
 
 * ``list`` — show all registered experiments;
 * ``experiment <id> [--scale quick|full] [--seed N] [--csv PATH]
-  [--engine scalar|batch|auto] [--jobs N]`` (alias: ``run``) — run one
-  experiment and print its report; ``--engine``/``--jobs`` thread through
-  to the sweep-scheduler experiments (engine choice never changes results,
-  only speed);
-* ``all [--scale ...] [--seed N] [--engine ...] [--jobs N]`` — run the
-  whole suite (engine/jobs apply to the experiments that support them);
+  [--engine scalar|batch|auto] [--jobs N] [--adaptive] [--ci-width W]
+  [--min-trials N] [--max-trials N] [--checkpoint DIR] [--resume [DIR]]``
+  (alias: ``run``) — run one experiment and print its report;
+  ``--engine``/``--jobs`` thread through to the sweep-scheduler
+  experiments (engine choice never changes results, only speed);
+  ``--adaptive`` switches those experiments to sequential stopping (stop
+  sampling a point once its CI is narrow enough — a bit-exact prefix of
+  the fixed-budget tables), and ``--checkpoint``/``--resume`` persist and
+  continue partial sweeps bit-exactly;
+* ``all [--scale ...] [--seed N] [--engine ...] [--jobs N] [--adaptive ...]``
+  — run the whole suite (engine/jobs/adaptive apply to the experiments
+  that support them);
+* ``sweep --n N --parameter NAME --values V1 V2 ... [--trials T]
+  [--adaptive ...] [--checkpoint DIR] [--resume [DIR]] [--csv PATH]`` —
+  ad-hoc one-parameter sweeps over the canonical ``L = sqrt n``
+  configuration through the sweep scheduler, with the same adaptive and
+  checkpoint/resume controls; ``repro sweep --resume DIR`` continues a
+  killed or budget-capped sweep exactly where it stopped;
 * ``flood --n N [--trials T] [--engine scalar|batch|auto] [--batch-size B]
   [--mobility NAME] [--radius-factor C] [--speed-fraction F] ...`` — ad-hoc
   flooding runs with the canonical ``L = sqrt n`` scaling; ``--engine
@@ -28,6 +40,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 
 from repro.experiments.registry import all_ids, get_spec, run_experiment
@@ -35,6 +48,7 @@ from repro.mobility import MODEL_REGISTRY
 from repro.simulation.config import standard_config
 from repro.simulation.results import summarize
 from repro.simulation.runner import run_flooding, run_trials
+from repro.simulation.sweep import SweepPlan, StoppingRule, run_sweep
 from repro.viz.csvout import write_csv
 
 __all__ = ["main", "build_parser"]
@@ -71,17 +85,104 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes for the sweep scheduler (default 1: in-process)",
         )
 
+    def add_adaptive(p):
+        p.add_argument(
+            "--adaptive",
+            action="store_true",
+            help="sequential stopping: stop sampling a sweep point once its "
+            "CI half-width is below --ci-width (results are a bit-exact "
+            "prefix of the fixed-budget run)",
+        )
+        p.add_argument(
+            "--ci-width",
+            type=float,
+            default=None,
+            metavar="W",
+            help="relative CI half-width target for --adaptive (default 0.1); "
+            "implies --adaptive",
+        )
+        p.add_argument(
+            "--min-trials",
+            type=_positive_int,
+            default=None,
+            metavar="N",
+            help="trials always run before adaptive stopping may fire "
+            "(default min(2, fixed budget)); implies --adaptive",
+        )
+        p.add_argument(
+            "--max-trials",
+            type=_positive_int,
+            default=None,
+            metavar="N",
+            help="adaptive trial cap per point (default: the point's fixed "
+            "budget); implies --adaptive",
+        )
+
+    def add_checkpoint(p):
+        p.add_argument(
+            "--checkpoint",
+            default=None,
+            metavar="DIR",
+            help="persist partial sweep results to DIR (atomic, after every "
+            "trial batch) so a killed run can be continued with --resume",
+        )
+        p.add_argument(
+            "--resume",
+            nargs="?",
+            const=True,
+            default=False,
+            metavar="DIR",
+            help="continue the checkpoint in DIR (or in --checkpoint) "
+            "bit-exactly from where the previous run stopped",
+        )
+
     run_p = sub.add_parser("experiment", aliases=["run"], help="run one experiment")
     run_p.add_argument("experiment", choices=all_ids())
     run_p.add_argument("--scale", choices=("quick", "full"), default="quick")
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--csv", help="also write the result table to this CSV path")
     add_engine_jobs(run_p, "the experiment")
+    add_adaptive(run_p)
+    add_checkpoint(run_p)
 
     all_p = sub.add_parser("all", help="run every experiment")
     all_p.add_argument("--scale", choices=("quick", "full"), default="quick")
     all_p.add_argument("--seed", type=int, default=0)
     add_engine_jobs(all_p, "every supporting experiment")
+    add_adaptive(all_p)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="ad-hoc one-parameter sweep through the sweep scheduler"
+    )
+    sweep_p.add_argument("--n", type=_positive_int, required=True)
+    sweep_p.add_argument(
+        "--parameter",
+        required=True,
+        help="FloodingConfig field to sweep (e.g. radius, speed, max_steps)",
+    )
+    sweep_p.add_argument(
+        "--values",
+        nargs="+",
+        required=True,
+        help="values to sweep over (parsed as int, then float, else string)",
+    )
+    sweep_p.add_argument("--trials", type=_positive_int, default=5)
+    sweep_p.add_argument("--radius-factor", type=float, default=2.0)
+    sweep_p.add_argument("--speed-fraction", type=float, default=0.25)
+    sweep_p.add_argument("--max-steps", type=int, default=20_000)
+    sweep_p.add_argument("--seed", type=int, default=0)
+    sweep_p.add_argument(
+        "--trial-budget",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="global trial ceiling across the sweep; minimum counts are "
+        "always funded, the rest flows to the neediest unfinished points",
+    )
+    sweep_p.add_argument("--csv", help="also write the sweep table to this CSV path")
+    add_engine_jobs(sweep_p, "the sweep")
+    add_adaptive(sweep_p)
+    add_checkpoint(sweep_p)
 
     flood_p = sub.add_parser("flood", help="ad-hoc flooding runs (L = sqrt n)")
     flood_p.add_argument("--n", type=int, required=True)
@@ -158,7 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="best-of-N timing repeats (default 3, smoke 2)",
     )
-    bench_p.add_argument("--label", default="PR5", help="free-form tag stored in the report")
+    bench_p.add_argument("--label", default="PR6", help="free-form tag stored in the report")
     bench_p.add_argument(
         "--baseline",
         action="append",
@@ -189,11 +290,50 @@ def _cmd_list() -> int:
     return 0
 
 
+def _stopping_from_args(args) -> StoppingRule | None:
+    """Build the stopping rule requested by --adaptive and friends."""
+    requested = args.adaptive or any(
+        value is not None for value in (args.ci_width, args.min_trials, args.max_trials)
+    )
+    if not requested:
+        return None
+    kwargs = {}
+    if args.ci_width is not None:
+        kwargs["ci_width"] = args.ci_width
+    if args.min_trials is not None:
+        kwargs["min_trials"] = args.min_trials
+    if args.max_trials is not None:
+        kwargs["max_trials"] = args.max_trials
+    try:
+        return StoppingRule(**kwargs)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
+def _checkpoint_from_args(args) -> tuple:
+    """``(checkpoint_dir, resume)`` from --checkpoint / --resume [DIR]."""
+    checkpoint = args.checkpoint
+    resume = args.resume is not False
+    if isinstance(args.resume, str):
+        if checkpoint is not None and checkpoint != args.resume:
+            raise SystemExit(
+                f"--resume {args.resume!r} conflicts with --checkpoint "
+                f"{checkpoint!r}; pass the directory once"
+            )
+        checkpoint = args.resume
+    if resume and checkpoint is None:
+        raise SystemExit("--resume needs a checkpoint directory (--resume DIR)")
+    return checkpoint, resume
+
+
 def _cmd_run(args) -> int:
+    checkpoint, resume = _checkpoint_from_args(args)
     try:
         result = run_experiment(
             args.experiment, scale=args.scale, seed=args.seed,
             engine=args.engine, jobs=args.jobs,
+            stopping=_stopping_from_args(args),
+            checkpoint=checkpoint, resume=resume,
         )
     except ValueError as error:
         # e.g. --engine on a closed-form experiment with no scheduler path.
@@ -206,6 +346,7 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_all(args) -> int:
+    stopping = _stopping_from_args(args)
     failures = 0
     for experiment_id in all_ids():
         spec = get_spec(experiment_id)
@@ -215,6 +356,7 @@ def _cmd_all(args) -> int:
                 seed=args.seed,
                 engine=args.engine if spec.accepts_engine else None,
                 jobs=args.jobs if spec.accepts_jobs else 1,
+                stopping=stopping if spec.accepts_stopping else None,
             )
         except ValueError as error:
             # e.g. --engine batch on an observer-point experiment that can
@@ -267,6 +409,71 @@ def _cmd_flood(args) -> int:
     return 0 if result.completed else 1
 
 
+def _parse_sweep_value(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _cmd_sweep(args) -> int:
+    checkpoint, resume = _checkpoint_from_args(args)
+    config = standard_config(
+        args.n,
+        radius_factor=args.radius_factor,
+        speed_fraction=args.speed_fraction,
+        seed=args.seed,
+        max_steps=args.max_steps,
+    )
+    values = [_parse_sweep_value(v) for v in args.values]
+    try:
+        plan = SweepPlan.over_parameter(config, args.parameter, values, n_trials=args.trials)
+    except TypeError as error:
+        raise SystemExit(f"cannot sweep {args.parameter!r}: {error}")
+    from repro.simulation.checkpoint import CheckpointError
+    from repro.viz.tables import format_table
+
+    try:
+        points = run_sweep(
+            plan,
+            engine=args.engine or "auto",
+            jobs=args.jobs,
+            stopping=_stopping_from_args(args),
+            checkpoint=checkpoint,
+            resume=resume,
+            trial_budget=args.trial_budget,
+        )
+    except (CheckpointError, ValueError) as error:
+        raise SystemExit(str(error))
+    headers = [args.parameter, "mean T_flood", "min", "max", "completed", "engine"]
+    rows = []
+    for point in points:
+        mean = point.masked_mean()
+        rows.append(
+            [
+                point.key,
+                round(mean, 1) if math.isfinite(mean) else "masked",
+                round(point.summary.minimum, 1),
+                round(point.summary.maximum, 1),
+                point.completion_label,
+                point.engine,
+            ]
+        )
+    print(format_table(headers, rows))
+    total = sum(p.n_trials for p in points)
+    budget = sum(p.n_trials for p in plan)
+    if total != budget:
+        print(f"[adaptive stopping: {total} trials vs {budget} fixed budget]")
+    if checkpoint:
+        print(f"[checkpoint in {checkpoint}; continue with --resume {checkpoint}]")
+    if args.csv:
+        write_csv(args.csv, headers, rows)
+        print(f"[table written to {args.csv}]")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from repro.bench import render_table, run_benchmarks, write_report
 
@@ -311,6 +518,8 @@ def main(argv=None) -> int:
         return _cmd_all(args)
     if args.command == "flood":
         return _cmd_flood(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "report":

@@ -22,7 +22,13 @@ from dataclasses import dataclass, field
 from repro.viz.csvout import rows_to_csv_string
 from repro.viz.tables import format_table
 
-__all__ = ["ExperimentSpec", "ExperimentResult", "scale_params", "SCALES"]
+__all__ = [
+    "ExperimentSpec",
+    "ExperimentResult",
+    "scale_params",
+    "adaptive_note",
+    "SCALES",
+]
 
 SCALES = ("quick", "full")
 
@@ -34,6 +40,18 @@ def scale_params(scale: str, quick: dict, full: dict) -> dict:
     if scale == "full":
         return dict(full)
     raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+
+
+def adaptive_note(points, plan) -> str:
+    """The standard adaptive-savings note for sweep experiments.
+
+    Reports executed vs fixed-budget trial totals in a fixed format —
+    ``repro.bench`` parses it to record adaptive savings, so the wording
+    is load-bearing.
+    """
+    executed = sum(p.n_trials for p in points)
+    fixed = sum(p.n_trials for p in plan)
+    return f"adaptive stopping: {executed} trials vs {fixed} fixed budget"
 
 
 @dataclass
@@ -88,7 +106,7 @@ class ExperimentSpec:
     title: str
     paper_ref: str
     description: str
-    runner: object  # callable (scale, seed[, engine, jobs]) -> ExperimentResult
+    runner: object  # callable (scale, seed[, engine, jobs, stopping, ...]) -> ExperimentResult
 
     def _runner_accepts(self, name: str) -> bool:
         parameters = inspect.signature(self.runner).parameters
@@ -106,8 +124,25 @@ class ExperimentSpec:
         """Whether the runner supports multi-process ``jobs`` fan-out."""
         return self._runner_accepts("jobs")
 
+    @property
+    def accepts_stopping(self) -> bool:
+        """Whether the runner supports adaptive sequential stopping."""
+        return self._runner_accepts("stopping")
+
+    @property
+    def accepts_checkpoint(self) -> bool:
+        """Whether the runner supports checkpoint/resume."""
+        return self._runner_accepts("checkpoint")
+
     def run(
-        self, scale: str = "quick", seed: int = 0, engine: str | None = None, jobs: int = 1
+        self,
+        scale: str = "quick",
+        seed: int = 0,
+        engine: str | None = None,
+        jobs: int = 1,
+        stopping=None,
+        checkpoint: str | None = None,
+        resume: bool = False,
     ) -> ExperimentResult:
         """Execute the experiment at the given scale.
 
@@ -118,6 +153,13 @@ class ExperimentSpec:
                 ``"batch"`` / ``"auto"``) for sweep-scheduler experiments;
                 results are engine-independent by construction.
             jobs: worker processes for sweep-scheduler experiments.
+            stopping: optional
+                :class:`~repro.simulation.sweep.StoppingRule` — adaptive
+                sequential stopping for sweep-scheduler experiments (the
+                result is a bit-exact prefix of the fixed-budget run).
+            checkpoint: optional checkpoint directory for sweep-scheduler
+                experiments (partial results persisted after each batch).
+            resume: continue the checkpoint in ``checkpoint`` bit-exactly.
         """
         kwargs = {"scale": scale, "seed": seed}
         # Only thread a *requested* engine through: runners keep their own
@@ -136,6 +178,21 @@ class ExperimentSpec:
                     "and has no multi-process fan-out"
                 )
             kwargs["jobs"] = jobs
+        if stopping is not None:
+            if not self.accepts_stopping:
+                raise ValueError(
+                    f"experiment {self.id!r} does not run through the sweep scheduler "
+                    "and has no adaptive stopping"
+                )
+            kwargs["stopping"] = stopping
+        if checkpoint is not None or resume:
+            if not self.accepts_checkpoint:
+                raise ValueError(
+                    f"experiment {self.id!r} does not run through the sweep scheduler "
+                    "and cannot checkpoint or resume"
+                )
+            kwargs["checkpoint"] = checkpoint
+            kwargs["resume"] = resume
         result = self.runner(**kwargs)
         if result.experiment_id != self.id:  # defensive consistency check
             raise RuntimeError(f"runner for {self.id!r} returned id {result.experiment_id!r}")

@@ -64,22 +64,42 @@ def run_experiment(
     seed: int = 0,
     engine: str | None = None,
     jobs: int = 1,
+    stopping=None,
+    checkpoint: str | None = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Run one experiment by id.
 
-    ``engine`` / ``jobs`` thread through to sweep-scheduler experiments
-    (see :meth:`~repro.experiments.base.ExperimentSpec.run`); requesting
-    either on an experiment without scheduler support raises.
+    ``engine`` / ``jobs`` / ``stopping`` / ``checkpoint`` / ``resume``
+    thread through to sweep-scheduler experiments (see
+    :meth:`~repro.experiments.base.ExperimentSpec.run`); requesting any of
+    them on an experiment without scheduler support raises.
     """
-    return get_spec(experiment_id).run(scale=scale, seed=seed, engine=engine, jobs=jobs)
+    return get_spec(experiment_id).run(
+        scale=scale,
+        seed=seed,
+        engine=engine,
+        jobs=jobs,
+        stopping=stopping,
+        checkpoint=checkpoint,
+        resume=resume,
+    )
 
 
-def run_all(scale: str = "quick", seed: int = 0, engine: str | None = None, jobs: int = 1) -> list:
+def run_all(
+    scale: str = "quick",
+    seed: int = 0,
+    engine: str | None = None,
+    jobs: int = 1,
+    stopping=None,
+) -> list:
     """Run every registered experiment; returns the results in index order.
 
-    ``engine`` / ``jobs`` apply to the experiments that support them (the
-    sweep-scheduler suite) and are skipped for the rest — a whole-suite run
-    must not fail because closed-form experiments have no engine knob.
+    ``engine`` / ``jobs`` / ``stopping`` apply to the experiments that
+    support them (the sweep-scheduler suite) and are skipped for the rest —
+    a whole-suite run must not fail because closed-form experiments have no
+    engine knob.  Checkpoints are per-sweep (one directory per plan), so
+    ``run_all`` deliberately has no checkpoint parameter.
     """
     results = []
     for eid in all_ids():
@@ -90,6 +110,7 @@ def run_all(scale: str = "quick", seed: int = 0, engine: str | None = None, jobs
                 seed=seed,
                 engine=engine if spec.accepts_engine else None,
                 jobs=jobs if spec.accepts_jobs else 1,
+                stopping=stopping if spec.accepts_stopping else None,
             )
         )
     return results

@@ -15,14 +15,27 @@ point-by-point loop.
 from __future__ import annotations
 
 from repro.analysis.scaling import fit_power_law
-from repro.experiments.base import ExperimentResult, ExperimentSpec, scale_params
+from repro.experiments.base import (
+    ExperimentResult,
+    ExperimentSpec,
+    adaptive_note,
+    scale_params,
+)
 from repro.simulation.config import standard_config
 from repro.simulation.sweep import SweepPlan, run_sweep
 
 EXPERIMENT_ID = "thm3_scaling"
 
 
-def run(scale: str = "quick", seed: int = 0, engine: str | None = None, jobs: int = 1) -> ExperimentResult:
+def run(
+    scale: str = "quick",
+    seed: int = 0,
+    engine: str | None = None,
+    jobs: int = 1,
+    stopping=None,
+    checkpoint: str | None = None,
+    resume: bool = False,
+) -> ExperimentResult:
     params = scale_params(
         scale,
         quick={"ns": [500, 1_000, 2_000, 4_000], "trials": 3, "radius_factor": 1.3},
@@ -42,7 +55,14 @@ def run(scale: str = "quick", seed: int = 0, engine: str | None = None, jobs: in
             params["trials"],
             key=n,
         )
-    points = run_sweep(plan, engine=engine or "auto", jobs=jobs)
+    points = run_sweep(
+        plan,
+        engine=engine or "auto",
+        jobs=jobs,
+        stopping=stopping,
+        checkpoint=checkpoint,
+        resume=resume,
+    )
 
     rows = []
     ns = []
@@ -88,7 +108,8 @@ def run(scale: str = "quick", seed: int = 0, engine: str | None = None, jobs: in
             f"theory predicts exponent ~{theory_exponent} (sqrt(n/log n) has effective "
             "slope slightly below 1/2 over this range);",
             "T / (L/R) staying bounded is the bound-tightness signal.",
-        ],
+        ]
+        + ([adaptive_note(points, plan)] if stopping is not None else []),
         passed=passed,
     )
 

@@ -16,7 +16,12 @@ from repro.simulation.batch import (
 from repro.simulation.config import FloodingConfig, standard_config
 from repro.simulation.engine import Simulation
 from repro.simulation.metrics import InformedRecorder, ZoneRecorder
-from repro.simulation.parallel import run_trials_parallel, sweep_parallel
+from repro.simulation.checkpoint import (
+    CheckpointError,
+    SweepCheckpoint,
+    config_fingerprint,
+)
+from repro.simulation.parallel import WorkerPool, run_trials_parallel, sweep_parallel
 from repro.simulation.results import FloodingResult, TrialSummary, summarize
 from repro.simulation.rng import make_rng, spawn_rngs, spawn_seeds
 # NOTE: the sweep *module* import must precede the runner import — both
@@ -25,7 +30,13 @@ from repro.simulation.rng import make_rng, spawn_rngs, spawn_seeds
 # API here.  Reach the module as ``repro.simulation.sweep`` via a direct
 # ``from repro.simulation.sweep import ...`` (or sys.modules), never via
 # the package attribute.
-from repro.simulation.sweep import SweepPlan, SweepPoint, SweepPointResult, run_sweep
+from repro.simulation.sweep import (
+    StoppingRule,
+    SweepPlan,
+    SweepPoint,
+    SweepPointResult,
+    run_sweep,
+)
 from repro.simulation.runner import (
     build_model,
     build_protocol,
@@ -56,10 +67,15 @@ __all__ = [
     "run_trials_parallel",
     "sweep",
     "sweep_parallel",
+    "StoppingRule",
     "SweepPlan",
     "SweepPoint",
     "SweepPointResult",
     "run_sweep",
+    "SweepCheckpoint",
+    "CheckpointError",
+    "config_fingerprint",
+    "WorkerPool",
     "build_model",
     "build_protocol",
 ]

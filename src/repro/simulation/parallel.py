@@ -31,7 +31,7 @@ from repro.simulation.config import FloodingConfig
 from repro.simulation.results import summarize
 from repro.simulation.runner import run_flooding
 
-__all__ = ["run_trials_parallel", "sweep_parallel"]
+__all__ = ["WorkerPool", "run_trials_parallel", "sweep_parallel"]
 
 
 def _rebuild_seed_seq(state) -> np.random.SeedSequence:
@@ -60,6 +60,17 @@ def _child_states(config: FloodingConfig, n_trials: int) -> list:
     ]
 
 
+def _child_states_range(config: FloodingConfig, start: int, stop: int) -> list:
+    """Seed states for trials ``[start, stop)`` of a configuration.
+
+    ``SeedSequence.spawn`` keys children by index, so the state of trial
+    ``i`` never depends on how many trials a run asks for — the property
+    that makes sequential (adaptive / checkpoint-resumed) execution
+    bit-identical to a single uninterrupted pass.
+    """
+    return _child_states(config, stop)[start:]
+
+
 def _batch_jobs(config: FloodingConfig, states: list, max_workers) -> list:
     """Slice per-trial seed states into contiguous batch-per-worker jobs."""
     workers = max_workers if max_workers else (os.cpu_count() or 1)
@@ -76,6 +87,47 @@ def _dispatch(runner, jobs: list, max_workers) -> list:
         return [runner(job) for job in jobs]
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
         return list(pool.map(runner, jobs))
+
+
+class WorkerPool:
+    """Reusable job dispatcher: serial for one worker, pooled otherwise.
+
+    :func:`_dispatch` spins a :class:`ProcessPoolExecutor` up and down per
+    call — fine for a single-pass sweep, wasteful for the sequential
+    (adaptive / checkpointed) scheduler that dispatches many small rounds.
+    This wrapper keeps one pool alive across rounds, created lazily on the
+    first round that actually has two or more jobs, and preserves
+    ``_dispatch``'s semantics exactly: single-job or single-worker rounds
+    run in-process, results come back in job order.
+
+    Args:
+        max_workers: worker processes; ``1`` never forks, ``None`` lets
+            the executor pick.
+    """
+
+    def __init__(self, max_workers: int | None = 1):
+        self.max_workers = max_workers
+        self._pool = None
+
+    def map(self, runner, jobs: list) -> list:
+        """Run one round of jobs; results in job order."""
+        if len(jobs) <= 1 or self.max_workers == 1:
+            return [runner(job) for job in jobs]
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return list(self._pool.map(runner, jobs))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
 
 def run_trials_parallel(

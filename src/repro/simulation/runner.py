@@ -174,7 +174,7 @@ def run_flooding(
     return result
 
 
-def run_trials(config: FloodingConfig, n_trials: int) -> list:
+def run_trials(config: FloodingConfig, n_trials: int, stopping=None) -> list:
     """Run ``n_trials`` independent repetitions of a configuration.
 
     Trials derive their randomness from ``SeedSequence(config.seed)``; two
@@ -185,9 +185,21 @@ def run_trials(config: FloodingConfig, n_trials: int) -> list:
     ``config.batch_size`` trials, all at once when 0) — same seed schedule,
     same results, one vectorized pass instead of a Python loop, for every
     protocol in :data:`~repro.protocols.BATCH_PROTOCOL_REGISTRY`.
+
+    Args:
+        stopping: optional
+            :class:`~repro.simulation.sweep.StoppingRule` — run trials
+            sequentially and stop once the rule fires, treating
+            ``n_trials`` as the fixed budget the rule's bounds resolve
+            against.  The result is a bit-exact prefix of the fixed run.
     """
     if n_trials < 1:
         raise ValueError(f"n_trials must be positive, got {n_trials}")
+    if stopping is not None:
+        from repro.simulation.sweep import SweepPoint, run_sweep
+
+        (point,) = run_sweep([SweepPoint(config, n_trials, stopping=stopping)])
+        return point.results
     root = np.random.SeedSequence(config.seed)
     children = root.spawn(n_trials)
     if config.resolved_engine == "batch":

@@ -17,7 +17,11 @@ walked its grid point-by-point through :func:`~repro.simulation.runner
 * **identical configurations are deduplicated**: duplicate points execute
   once, and a point asking for fewer trials of a config another point also
   sweeps receives a prefix of the shared trial sequence (seed-schedule
-  prefixes are stable under ``SeedSequence.spawn``);
+  prefixes are stable under ``SeedSequence.spawn``).  Config identity is
+  the canonical fingerprint of
+  :func:`~repro.simulation.checkpoint.config_fingerprint`, which
+  serializes dict-valued fields with sorted keys — two configs differing
+  only in ``neighbor_options`` insertion order share trials;
 * each point dispatches through the configured **execution engine**
   (``engine="auto"`` resolves to the vectorized batch engine whenever both
   the protocol and the mobility model have native batched implementations)
@@ -30,6 +34,27 @@ walked its grid point-by-point through :func:`~repro.simulation.runner
   forces the scalar engine for that point only (observers need the
   step-by-step :class:`~repro.simulation.engine.Simulation`); the observers
   ride back on ``FloodingResult.extras["observers"]``.
+
+**Adaptive sampling.**  A :class:`StoppingRule` (per point, or sweep-wide
+via ``run_sweep(stopping=...)``) switches a point from a fixed trial count
+to *sequential stopping*: trials run in batches until the relative
+confidence-interval half-width undercuts a target (or the trial cap is
+hit), so converged points stop early and the interesting ones — the
+regime-map boundary, threshold radii — keep sampling.  With
+``trial_budget=`` the scheduler additionally reallocates a global trial
+budget each round toward the neediest unfinished points, ranked by a
+GreenPod-style TOPSIS score over CI width, completion deficit, and
+per-trial cost.  Adaptive results are always a **bit-exact prefix** of the
+fixed-budget run (same seed schedule); fixed-budget mode — the default —
+is byte-identical to the pre-adaptive scheduler.
+
+**Checkpoint / resume.**  ``checkpoint=DIR`` persists every point's
+partial results atomically after each trial batch
+(:class:`~repro.simulation.checkpoint.SweepCheckpoint`);
+``resume=True`` continues a killed, crashed, or budget-capped run
+bit-exactly — trial ``i`` of a point always draws seed child ``i``, so the
+segmentation of a run is invisible in its results (enforced by the
+fault-injection tests in ``tests/test_sweep_checkpoint.py``).
 
 The output is point-indexed: one :class:`SweepPointResult` per input point
 (in input order) carrying the raw results, the
@@ -44,11 +69,140 @@ import math
 import os
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.simulation.checkpoint import SweepCheckpoint, config_fingerprint
 from repro.simulation.config import FloodingConfig
-from repro.simulation.parallel import _child_states, _dispatch, _rebuild_seed_seq
+from repro.simulation.parallel import (
+    WorkerPool,
+    _child_states,
+    _child_states_range,
+    _dispatch,
+    _rebuild_seed_seq,
+)
 from repro.simulation.results import TrialSummary, summarize
 
-__all__ = ["SweepPoint", "SweepPointResult", "SweepPlan", "run_sweep"]
+__all__ = [
+    "StoppingRule",
+    "SweepPoint",
+    "SweepPointResult",
+    "SweepPlan",
+    "run_sweep",
+]
+
+
+@dataclass(frozen=True)
+class StoppingRule:
+    """Sequential-stopping policy for one sweep point.
+
+    A point under a stopping rule runs its first ``min_trials`` trials,
+    then keeps appending batches of ``batch`` trials until either the
+    normal-approximation confidence interval of the mean flooding time is
+    narrow enough — relative half-width ``(ci_high - ci_low) / 2 / mean``
+    at or below ``ci_width`` — or ``max_trials`` is reached.  The CI is
+    only trusted once at least two trials finished (``n_finite >= 2``);
+    until then the point keeps sampling.
+
+    ``min_trials`` / ``max_trials`` left as ``None`` resolve against the
+    point's own ``n_trials`` (its fixed budget): the minimum defaults to
+    ``min(2, n_trials)`` and the cap to ``n_trials`` — so attaching a rule
+    to an existing sweep can only *save* trials, never change the
+    available seed schedule, and the adaptive result is a bit-exact prefix
+    of the fixed-budget result.
+
+    Attributes:
+        ci_width: relative CI half-width target (e.g. ``0.1`` = stop once
+            the mean is known to ±10%).  Compared absolutely when the mean
+            is zero.
+        min_trials: trials always run before the rule may fire (``None``:
+            ``min(2, n_trials)``).  The rule never stops below this floor.
+        max_trials: hard trial cap (``None``: the point's ``n_trials``).
+        batch: trials appended per sequential round after the minimum.
+        confidence: confidence level of the interval (0.90 / 0.95 / 0.99
+            supported by :func:`~repro.simulation.results.summarize`).
+    """
+
+    ci_width: float = 0.1
+    min_trials: int | None = None
+    max_trials: int | None = None
+    batch: int = 2
+    confidence: float = 0.95
+
+    def __post_init__(self):
+        if not self.ci_width > 0:
+            raise ValueError(f"ci_width must be positive, got {self.ci_width}")
+        if self.batch < 1:
+            raise ValueError(f"batch must be a positive trial count, got {self.batch}")
+        if self.min_trials is not None and self.min_trials < 1:
+            raise ValueError(f"min_trials must be positive, got {self.min_trials}")
+        if self.max_trials is not None and self.max_trials < 1:
+            raise ValueError(f"max_trials must be positive, got {self.max_trials}")
+        if (
+            self.min_trials is not None
+            and self.max_trials is not None
+            and self.min_trials > self.max_trials
+        ):
+            raise ValueError(
+                f"min_trials ({self.min_trials}) must not exceed max_trials "
+                f"({self.max_trials})"
+            )
+        if not 0 < self.confidence < 1:
+            raise ValueError(f"confidence must be in (0, 1), got {self.confidence}")
+
+    def bounds(self, n_trials: int) -> tuple:
+        """``(minimum, cap)`` resolved against a point's fixed budget."""
+        lo = self.min_trials if self.min_trials is not None else min(2, n_trials)
+        hi = self.max_trials if self.max_trials is not None else n_trials
+        return lo, max(lo, hi)
+
+    def should_stop(self, summary: TrialSummary, lo: int, hi: int) -> bool:
+        """Whether a point with this summary stops sampling.
+
+        Args:
+            summary: aggregation of the trials run so far (computed at
+                this rule's ``confidence``).
+            lo: resolved minimum trial count (never stop below it).
+            hi: resolved trial cap (always stop at it).
+        """
+        n = summary.n_trials
+        if n < lo:
+            return False
+        if n >= hi:
+            return True
+        if summary.n_finite < 2:
+            return False
+        half = (summary.ci_high - summary.ci_low) / 2.0
+        if summary.mean > 0:
+            return half / summary.mean <= self.ci_width
+        return half <= self.ci_width
+
+    def trials_until_stop(self, values, n_trials: int | None = None) -> int:
+        """The trial count at which this rule first fires on a value stream.
+
+        Simulates the scheduler's accumulation — ``lo`` trials, then
+        batches of ``batch`` — over a fixed sequence of flooding times.
+        The property-test surface: deterministic for a fixed sequence,
+        never below the minimum, monotone in the target width.
+
+        Args:
+            values: per-trial flooding times, in seed order (must cover
+                the cap).
+            n_trials: fixed budget the bounds resolve against (default:
+                ``len(values)``).
+        """
+        values = list(values)
+        if n_trials is None:
+            n_trials = len(values)
+        lo, hi = self.bounds(n_trials)
+        if hi > len(values):
+            raise ValueError(
+                f"need at least {hi} values to simulate the rule, got {len(values)}"
+            )
+        n = lo
+        while True:
+            if self.should_stop(summarize(values[:n], confidence=self.confidence), lo, hi):
+                return n
+            n = min(n + self.batch, hi)
 
 
 @dataclass(frozen=True)
@@ -59,19 +213,24 @@ class SweepPoint:
         config: the fully-specified experiment parameters.
         n_trials: independent repetitions (seed schedule:
             ``SeedSequence(config.seed).spawn(n_trials)``, as in
-            ``run_trials``).
+            ``run_trials``).  Under a stopping rule this is the *fixed
+            budget* the rule's default bounds resolve against.
         key: opaque caller label (the swept value, a tuple, ...) echoed on
             the matching :class:`SweepPointResult`.
         observer_factory: optional picklable callable
             ``factory(config) -> list`` building fresh per-trial observers
             (:class:`~repro.simulation.engine.Simulation` observer
-            protocol).  Forces the scalar engine for this point.
+            protocol).  Forces the scalar engine for this point; observer
+            results are not checkpointed (recomputed on resume).
+        stopping: optional per-point :class:`StoppingRule`, overriding the
+            sweep-wide rule passed to :func:`run_sweep`.
     """
 
     config: FloodingConfig
     n_trials: int
     key: object = None
     observer_factory: object = None
+    stopping: StoppingRule | None = None
 
     def __post_init__(self):
         if not isinstance(self.config, FloodingConfig):
@@ -80,6 +239,10 @@ class SweepPoint:
             raise ValueError(f"n_trials must be positive, got {self.n_trials}")
         if self.observer_factory is not None and not callable(self.observer_factory):
             raise TypeError("observer_factory must be callable")
+        if self.stopping is not None and not isinstance(self.stopping, StoppingRule):
+            raise TypeError(
+                f"stopping must be a StoppingRule, got {type(self.stopping).__name__}"
+            )
 
 
 @dataclass
@@ -89,7 +252,9 @@ class SweepPointResult:
     Attributes:
         key: the input point's label.
         config: the configuration **as executed** (engine override applied).
-        n_trials: trials this point asked for (``len(results)``).
+        n_trials: trials this point actually ran (``len(results)`` — under
+            a stopping rule this is where the rule stopped, otherwise the
+            requested fixed budget).
         engine: engine that actually ran the trials (``"scalar"`` or
             ``"batch"`` — never ``"auto"``).
         results: per-trial :class:`~repro.simulation.results.FloodingResult`
@@ -160,10 +325,17 @@ class SweepPlan:
                 self.points.append(SweepPoint(*point))
 
     def add(
-        self, config: FloodingConfig, n_trials: int, key=None, observer_factory=None
+        self,
+        config: FloodingConfig,
+        n_trials: int,
+        key=None,
+        observer_factory=None,
+        stopping: StoppingRule | None = None,
     ) -> SweepPoint:
         """Append a point; returns it (its ``key`` indexes the output)."""
-        point = SweepPoint(config, n_trials, key=key, observer_factory=observer_factory)
+        point = SweepPoint(
+            config, n_trials, key=key, observer_factory=observer_factory, stopping=stopping
+        )
         self.points.append(point)
         return point
 
@@ -221,7 +393,284 @@ def _executed_config(point: SweepPoint, engine) -> FloodingConfig:
     return config
 
 
-def run_sweep(plan, engine: str | None = None, jobs: int | None = 1, batch_size: int | None = None) -> list:
+def _build_groups(points, engine, stopping) -> tuple:
+    """Dedup pass: one execution group per distinct (config, factory, rule).
+
+    Grouping is keyed by the canonical config fingerprint
+    (:func:`~repro.simulation.checkpoint.config_fingerprint`), so configs
+    that differ only in dict-field key order — which compare equal — share
+    one trial sequence.  Observer factories group by identity (the
+    pre-fingerprint behaviour); stopping rules by value.
+    """
+    groups = []
+    point_group = []
+    by_key = {}
+    for point in points:
+        config = _executed_config(point, engine)
+        rule = point.stopping if point.stopping is not None else stopping
+        fingerprint = config_fingerprint(config)
+        factory = point.observer_factory
+        key = (fingerprint, None if factory is None else id(factory), rule)
+        gid = by_key.get(key)
+        if gid is None:
+            by_key[key] = gid = len(groups)
+            groups.append(
+                {
+                    "config": config,
+                    "factory": factory,
+                    "n_trials": point.n_trials,
+                    "rule": rule,
+                    "fingerprint": fingerprint,
+                }
+            )
+        else:
+            groups[gid]["n_trials"] = max(groups[gid]["n_trials"], point.n_trials)
+        point_group.append(gid)
+    return groups, point_group
+
+
+def _batch_slices(config, states, want, batch_size, workers) -> list:
+    """Slice a batch-engine group's seed states into job tuples.
+
+    Deliberately NOT parallel._batch_jobs: that helper always divides by
+    the worker count, while a serial sweep must keep one slice per point
+    to mirror run_trials' single-batch layout (slicing is result-invariant
+    either way; this is about memory and per-batch fixed costs).
+    """
+    size = batch_size if batch_size is not None else config.batch_size
+    if size <= 0:
+        size = want if workers <= 1 else math.ceil(want / workers)
+    size = max(1, size)
+    return [(config, states[lo:lo + size], None) for lo in range(0, want, size)]
+
+
+def _assemble(points, point_group, groups) -> list:
+    """Point-indexed results: fixed points take their prefix, adaptive all."""
+    out = []
+    for point, gid in zip(points, point_group):
+        group = groups[gid]
+        if group["rule"] is None:
+            results = group["results"][: point.n_trials]
+        else:
+            results = list(group["results"])
+        engine_used = "scalar" if group["factory"] is not None else group["config"].resolved_engine
+        out.append(
+            SweepPointResult(
+                key=point.key,
+                config=group["config"],
+                n_trials=len(results),
+                engine=engine_used,
+                results=results,
+                summary=summarize(r.flooding_time for r in results),
+            )
+        )
+    return out
+
+
+def _run_single_pass(points, point_group, groups, jobs, batch_size) -> list:
+    """The fixed-budget fast path: one job list, one dispatch, no rounds."""
+    workers = jobs if jobs is not None else (os.cpu_count() or 1)
+    job_list = []
+    bounds = []  # per group: (start, end) into job_list
+    for group in groups:
+        config = group["config"]
+        states = _child_states(config, group["n_trials"])
+        start = len(job_list)
+        if group["factory"] is None and config.resolved_engine == "batch":
+            job_list.extend(
+                _batch_slices(config, states, len(states), batch_size, workers)
+            )
+        else:
+            job_list.extend((config, [state], group["factory"]) for state in states)
+        bounds.append((start, len(job_list)))
+
+    job_results = _dispatch(_run_sweep_job, job_list, jobs)
+
+    for group, (start, end) in zip(groups, bounds):
+        group["results"] = [result for job in job_results[start:end] for result in job]
+    return _assemble(points, point_group, groups)
+
+
+def _group_finished(group) -> bool:
+    """Whether a group needs no further trials (cap, target, or rule)."""
+    n = len(group["results"])
+    if n >= group["hi"]:
+        return True
+    if n < group["lo"]:
+        return False
+    rule = group["rule"]
+    if rule is None:
+        return n >= group["hi"]
+    summary = summarize(
+        (r.flooding_time for r in group["results"]), confidence=rule.confidence
+    )
+    return rule.should_stop(summary, group["lo"], group["hi"])
+
+
+def _topsis(matrix: np.ndarray, benefit: tuple) -> np.ndarray:
+    """TOPSIS scores in [0, 1]: closeness to the ideal candidate.
+
+    Each row is a candidate, each column a criterion; ``benefit[j]`` marks
+    whether criterion ``j`` is better high (True) or low (False).  Equal
+    weights; vector-normalized.  The GreenPod scheduling template from
+    PAPERS.md, reduced to the three criteria the sweep needs.
+    """
+    m = np.asarray(matrix, dtype=np.float64)
+    norms = np.sqrt((m * m).sum(axis=0))
+    norms[norms == 0.0] = 1.0
+    v = m / norms
+    benefit = np.asarray(benefit, dtype=bool)
+    ideal = np.where(benefit, v.max(axis=0), v.min(axis=0))
+    worst = np.where(benefit, v.min(axis=0), v.max(axis=0))
+    d_ideal = np.sqrt(((v - ideal) ** 2).sum(axis=1))
+    d_worst = np.sqrt(((v - worst) ** 2).sum(axis=1))
+    denom = d_ideal + d_worst
+    denom[denom == 0.0] = 1.0
+    return d_worst / denom
+
+
+def _reallocation_scores(candidates: list) -> np.ndarray:
+    """Who deserves the next trial batch: a multi-criteria need score.
+
+    Criteria per unfinished group: relative CI half-width (high = the
+    mean is still uncertain — the regime-boundary points), completion
+    deficit (high = trials keep timing out, the mean is biased toward the
+    easy subset), and mean per-trial cost in steps (low = cheap to refine).
+    """
+    rows = []
+    for group in candidates:
+        results = group["results"]
+        summary = summarize(r.flooding_time for r in results)
+        if summary.n_finite >= 2 and summary.mean > 0:
+            need = min((summary.ci_high - summary.ci_low) / 2.0 / summary.mean, 1.0)
+        else:
+            need = 1.0  # no trusted CI yet: maximal need
+        n = max(summary.n_trials, 1)
+        deficit = 1.0 - summary.n_finite / n
+        cost = sum(r.n_steps for r in results) / n if results else 1.0
+        rows.append([need, deficit, cost])
+    return _topsis(np.asarray(rows), benefit=(True, True, False))
+
+
+def _allocate_round(groups, budget_left) -> list:
+    """Next round's ``(group_id, n_new_trials)`` allocations.
+
+    Below-minimum groups are funded first and unconditionally (a stopping
+    rule never fires below its floor, and fixed-budget groups must always
+    reach their requested count).  Remaining budget then flows to
+    unfinished groups one rule-batch at a time, neediest first by the
+    TOPSIS score — deterministic (ties break on plan order), so trial
+    counts at a fixed seed never depend on timing.
+    """
+    wants = [
+        (gid, group["lo"] - len(group["results"]))
+        for gid, group in enumerate(groups)
+        if not group["done"] and len(group["results"]) < group["lo"]
+    ]
+    if wants:
+        return wants
+    candidates = [gid for gid, group in enumerate(groups) if not group["done"]]
+    if not candidates or (budget_left is not None and budget_left <= 0):
+        return []
+    if len(candidates) > 1:
+        scores = _reallocation_scores([groups[gid] for gid in candidates])
+        candidates = [
+            gid for _, gid in sorted(zip(-scores, candidates), key=lambda t: (t[0], t[1]))
+        ]
+    wants = []
+    left = budget_left
+    for gid in candidates:
+        group = groups[gid]
+        batch = group["rule"].batch if group["rule"] is not None else group["hi"]
+        want = min(batch, group["hi"] - len(group["results"]))
+        if left is not None:
+            if left <= 0:
+                break
+            want = min(want, left)
+            left -= want
+        if want > 0:
+            wants.append((gid, want))
+    return wants
+
+
+def _run_sequential(
+    points, point_group, groups, jobs, batch_size, checkpoint, resume, trial_budget
+) -> list:
+    """Round-based scheduler: adaptive stopping + checkpoint/resume.
+
+    Each round allocates new trials per group (:func:`_allocate_round`),
+    dispatches them over one shared worker pool, appends the results in
+    seed order, atomically persists every touched group, and re-evaluates
+    the stopping rules.  Trial ``i`` of a group always draws seed child
+    ``i`` (:func:`~repro.simulation.parallel._child_states_range`), so the
+    round structure — and any crash/resume boundary — is invisible in the
+    results.
+    """
+    workers = jobs if jobs is not None else (os.cpu_count() or 1)
+    store = None
+    if checkpoint is not None:
+        store = SweepCheckpoint(checkpoint)
+        store.open([group["fingerprint"] for group in groups], resume=resume)
+
+    for gid, group in enumerate(groups):
+        rule = group["rule"]
+        if rule is None:
+            group["lo"] = group["hi"] = group["n_trials"]
+        else:
+            group["lo"], group["hi"] = rule.bounds(group["n_trials"])
+        group["results"] = []
+        if store is not None and group["factory"] is None:
+            loaded = store.load_group(gid, group["fingerprint"], group["config"])
+            group["results"] = loaded[: group["hi"]]
+        group["done"] = False
+
+    budget_left = None
+    if trial_budget is not None:
+        budget_left = max(0, trial_budget - sum(len(g["results"]) for g in groups))
+
+    with WorkerPool(jobs) as pool:
+        while True:
+            for group in groups:
+                group["done"] = _group_finished(group)
+            wants = _allocate_round(groups, budget_left)
+            if not wants:
+                break
+            job_list = []
+            spans = []  # (gid, start, end) into job_list
+            for gid, want in wants:
+                group = groups[gid]
+                config = group["config"]
+                done_trials = len(group["results"])
+                states = _child_states_range(config, done_trials, done_trials + want)
+                start = len(job_list)
+                if group["factory"] is None and config.resolved_engine == "batch":
+                    job_list.extend(_batch_slices(config, states, want, batch_size, workers))
+                else:
+                    job_list.extend((config, [state], group["factory"]) for state in states)
+                spans.append((gid, start, len(job_list)))
+            job_results = pool.map(_run_sweep_job, job_list)
+            for gid, start, end in spans:
+                group = groups[gid]
+                group["results"].extend(
+                    result for job in job_results[start:end] for result in job
+                )
+                if store is not None and group["factory"] is None:
+                    store.write_group(gid, group["fingerprint"], group["results"])
+            if budget_left is not None:
+                budget_left = max(0, budget_left - sum(want for _, want in wants))
+    return _assemble(points, point_group, groups)
+
+
+def run_sweep(
+    plan,
+    engine: str | None = None,
+    jobs: int | None = 1,
+    batch_size: int | None = None,
+    stopping: StoppingRule | None = None,
+    checkpoint: str | None = None,
+    resume: bool = False,
+    trial_budget: int | None = None,
+) -> list:
     """Execute a sweep plan; one :class:`SweepPointResult` per point, in order.
 
     Args:
@@ -239,6 +688,22 @@ def run_sweep(plan, engine: str | None = None, jobs: int | None = 1, batch_size:
             slicing batch-engine points into work units (``None`` keeps the
             config's; a config value of 0 means "one slice per point" for
             serial runs and ``ceil(n_trials / jobs)`` slices under fan-out).
+        stopping: optional sweep-wide :class:`StoppingRule` (points may
+            override with their own).  ``None`` keeps every point on its
+            fixed trial budget — byte-identical to the pre-adaptive
+            scheduler.
+        checkpoint: optional checkpoint directory.  Partial results are
+            persisted atomically after every trial batch; a killed or
+            crashed run continues bit-exactly via ``resume=True``.
+        resume: continue the checkpoint already in ``checkpoint`` (which
+            must exist and match this plan's configurations — a loud
+            :class:`~repro.simulation.checkpoint.CheckpointError`
+            otherwise).
+        trial_budget: optional global trial ceiling across the whole
+            sweep.  Minimum trial counts are always funded; the remainder
+            flows to the neediest unfinished points (TOPSIS over CI width,
+            completion deficit, per-trial cost) until the budget is spent.
+            On resume, previously completed trials count against it.
 
     Returns:
         list of :class:`SweepPointResult`, aligned with the input points.
@@ -248,69 +713,19 @@ def run_sweep(plan, engine: str | None = None, jobs: int | None = 1, batch_size:
         return []
     if jobs is not None and jobs < 1:
         raise ValueError(f"jobs must be a positive worker count or None, got {jobs}")
+    if stopping is not None and not isinstance(stopping, StoppingRule):
+        raise TypeError(f"stopping must be a StoppingRule, got {type(stopping).__name__}")
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint directory")
+    if trial_budget is not None and trial_budget < 1:
+        raise ValueError(f"trial_budget must be positive, got {trial_budget}")
 
-    # --- dedup pass: one execution group per distinct (config, factory) ---
-    # FloodingConfig holds dict fields, so grouping is by equality scan, not
-    # hashing; sweeps are tens of points, never millions.
-    groups = []  # [{config, factory, n_trials, point_ids}]
-    point_group = []  # point index -> group index
-    for index, point in enumerate(points):
-        config = _executed_config(point, engine)
-        for gid, group in enumerate(groups):
-            if group["config"] == config and group["factory"] is point.observer_factory:
-                group["n_trials"] = max(group["n_trials"], point.n_trials)
-                point_group.append(gid)
-                break
-        else:
-            point_group.append(len(groups))
-            groups.append(
-                {"config": config, "factory": point.observer_factory, "n_trials": point.n_trials}
-            )
-
-    # --- job construction: batch slices / scalar trials, shared pool ------
-    workers = jobs if jobs is not None else (os.cpu_count() or 1)
-    job_list = []
-    bounds = []  # per group: (start, end) into job_list
-    for group in groups:
-        config = group["config"]
-        states = _child_states(config, group["n_trials"])
-        start = len(job_list)
-        if group["factory"] is None and config.resolved_engine == "batch":
-            # Deliberately NOT parallel._batch_jobs: that helper always
-            # divides by the worker count, while a serial sweep must keep
-            # one slice per point to mirror run_trials' single-batch layout
-            # (slicing is result-invariant either way; this is about memory
-            # and per-batch fixed costs).
-            size = batch_size if batch_size is not None else config.batch_size
-            if size <= 0:
-                size = len(states) if workers <= 1 else math.ceil(len(states) / workers)
-            size = max(1, size)
-            job_list.extend(
-                (config, states[lo:lo + size], None) for lo in range(0, len(states), size)
-            )
-        else:
-            job_list.extend((config, [state], group["factory"]) for state in states)
-        bounds.append((start, len(job_list)))
-
-    job_results = _dispatch(_run_sweep_job, job_list, jobs)
-
-    # --- reassembly: group trials -> per-point prefixes -------------------
-    group_trials = [
-        [result for job in job_results[start:end] for result in job] for start, end in bounds
-    ]
-    out = []
-    for point, gid in zip(points, point_group):
-        group = groups[gid]
-        results = group_trials[gid][: point.n_trials]
-        engine_used = "scalar" if group["factory"] is not None else group["config"].resolved_engine
-        out.append(
-            SweepPointResult(
-                key=point.key,
-                config=group["config"],
-                n_trials=point.n_trials,
-                engine=engine_used,
-                results=results,
-                summary=summarize(r.flooding_time for r in results),
-            )
-        )
-    return out
+    groups, point_group = _build_groups(points, engine, stopping)
+    sequential = checkpoint is not None or trial_budget is not None or any(
+        group["rule"] is not None for group in groups
+    )
+    if not sequential:
+        return _run_single_pass(points, point_group, groups, jobs, batch_size)
+    return _run_sequential(
+        points, point_group, groups, jobs, batch_size, checkpoint, resume, trial_budget
+    )
