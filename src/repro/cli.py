@@ -17,11 +17,17 @@ Subcommands:
   — run the whole suite (engine/jobs/adaptive apply to the experiments
   that support them);
 * ``sweep --n N --parameter NAME --values V1 V2 ... [--trials T]
-  [--adaptive ...] [--checkpoint DIR] [--resume [DIR]] [--csv PATH]`` —
+  [--adaptive ...] [--checkpoint DIR] [--resume [DIR]] [--workers N]
+  [--lease-ttl SECONDS] [--max-retries N] [--csv PATH]`` —
   ad-hoc one-parameter sweeps over the canonical ``L = sqrt n``
   configuration through the sweep scheduler, with the same adaptive and
   checkpoint/resume controls; ``repro sweep --resume DIR`` continues a
   killed or budget-capped sweep exactly where it stopped;
+  ``--workers N`` self-spawns a lease-coordinated cooperative fleet on
+  the shared checkpoint, and ``--lease-ttl`` joins independent
+  invocations (one per host or terminal) to the same plan — a SIGKILLed
+  worker costs one TTL, not the run, and the final tables stay identical
+  to a solo run (``experiment``/``run`` take the same three flags);
 * ``flood --n N [--trials T] [--engine scalar|batch|auto] [--batch-size B]
   [--mobility NAME] [--radius-factor C] [--speed-fraction F] ...`` — ad-hoc
   flooding runs with the canonical ``L = sqrt n`` scaling; ``--engine
@@ -134,6 +140,33 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="DIR",
             help="continue the checkpoint in DIR (or in --checkpoint) "
             "bit-exactly from where the previous run stopped",
+        )
+        p.add_argument(
+            "--workers",
+            type=_positive_int,
+            default=1,
+            metavar="N",
+            help="cooperative worker processes to self-spawn against the "
+            "shared --checkpoint (lease-coordinated; a crashed worker costs "
+            "one lease TTL, not the run; tables identical to a solo run)",
+        )
+        p.add_argument(
+            "--lease-ttl",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="cooperative lease time-to-live: join the workers already "
+            "draining --checkpoint (independent invocations on one "
+            "directory share the plan; stale leases are reclaimed after "
+            "SECONDS without a heartbeat)",
+        )
+        p.add_argument(
+            "--max-retries",
+            type=int,
+            default=None,
+            metavar="N",
+            help="per-job crash retries (deterministic backoff) before a "
+            "repeatedly-crashing job is quarantined as a poison job",
         )
 
     run_p = sub.add_parser("experiment", aliases=["run"], help="run one experiment")
@@ -327,6 +360,8 @@ def _checkpoint_from_args(args) -> tuple:
 
 
 def _cmd_run(args) -> int:
+    from repro.simulation.parallel import PoisonJobError
+
     checkpoint, resume = _checkpoint_from_args(args)
     try:
         result = run_experiment(
@@ -334,7 +369,11 @@ def _cmd_run(args) -> int:
             engine=args.engine, jobs=args.jobs,
             stopping=_stopping_from_args(args),
             checkpoint=checkpoint, resume=resume,
+            workers=args.workers, lease_ttl=args.lease_ttl,
+            max_retries=args.max_retries,
         )
+    except PoisonJobError as error:
+        raise SystemExit(f"poison job quarantined: {error}")
     except ValueError as error:
         # e.g. --engine on a closed-form experiment with no scheduler path.
         raise SystemExit(str(error))
@@ -433,6 +472,7 @@ def _cmd_sweep(args) -> int:
     except TypeError as error:
         raise SystemExit(f"cannot sweep {args.parameter!r}: {error}")
     from repro.simulation.checkpoint import CheckpointError
+    from repro.simulation.parallel import PoisonJobError
     from repro.viz.tables import format_table
 
     try:
@@ -444,7 +484,12 @@ def _cmd_sweep(args) -> int:
             checkpoint=checkpoint,
             resume=resume,
             trial_budget=args.trial_budget,
+            workers=args.workers,
+            lease_ttl=args.lease_ttl,
+            max_retries=args.max_retries,
         )
+    except PoisonJobError as error:
+        raise SystemExit(f"poison job quarantined: {error}")
     except (CheckpointError, ValueError) as error:
         raise SystemExit(str(error))
     headers = [args.parameter, "mean T_flood", "min", "max", "completed", "engine"]

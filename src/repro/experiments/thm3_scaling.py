@@ -35,6 +35,9 @@ def run(
     stopping=None,
     checkpoint: str | None = None,
     resume: bool = False,
+    workers: int = 1,
+    lease_ttl: float | None = None,
+    max_retries: int | None = None,
 ) -> ExperimentResult:
     params = scale_params(
         scale,
@@ -62,6 +65,9 @@ def run(
         stopping=stopping,
         checkpoint=checkpoint,
         resume=resume,
+        workers=workers,
+        lease_ttl=lease_ttl,
+        max_retries=max_retries,
     )
 
     rows = []

@@ -83,6 +83,9 @@ def run(
     stopping=None,
     checkpoint: str | None = None,
     resume: bool = False,
+    workers: int = 1,
+    lease_ttl: float | None = None,
+    max_retries: int | None = None,
 ) -> ExperimentResult:
     params = scale_params(
         scale,
@@ -126,6 +129,9 @@ def run(
         stopping=stopping,
         checkpoint=checkpoint,
         resume=resume,
+        workers=workers,
+        lease_ttl=lease_ttl,
+        max_retries=max_retries,
     )
 
     _, dense_means, dense_rows = _panel_rows(points, "dense")

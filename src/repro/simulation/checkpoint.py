@@ -17,10 +17,14 @@ Layout of a checkpoint directory::
       manifest.json      # schema version + the plan's config fingerprints
       group_0000.json    # one file per deduplicated execution group:
       group_0001.json    #   {schema_version, config_hash, n_trials, results}
+      group_0001.lease   # cooperative-mode work lease (simulation/lease.py)
+      poison_0002.json   # sticky poison-job quarantine marker, if any
 
-Every file is written **atomically** (temp file + ``os.replace``) after
-each trial batch, so a kill at any instant leaves either the previous or
-the next consistent state — never a torn file.  The loader is deliberately
+Every file is written **atomically and durably** (per-process temp file +
+``os.replace`` + parent-directory fsync) after each trial batch, so a kill
+at any instant leaves either the previous or the next consistent state —
+never a torn file — and the temp names cannot collide across cooperating
+worker processes sharing the directory.  The loader is deliberately
 loud: truncated or corrupt JSON, an unknown schema version, a config hash
 that no longer matches the plan (the config was edited between runs), or a
 manifest/plan shape mismatch all raise :class:`CheckpointError` with an
@@ -43,6 +47,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import math
 import os
@@ -188,14 +193,43 @@ def decode_result(data: dict, config: FloodingConfig) -> FloodingResult:
 # ----------------------------------------------------------------------
 # The store
 # ----------------------------------------------------------------------
+_TMP_COUNTER = itertools.count()
+
+
 def _atomic_write_json(path: str, payload: dict) -> None:
-    tmp = f"{path}.tmp"
+    # The temp name is unique per process (pid + counter): two cooperating
+    # workers racing the same target — e.g. both creating the manifest of a
+    # fresh shared checkpoint — must never open each other's temp file and
+    # tear it mid-write.
+    tmp = f"{path}.tmp.{os.getpid()}.{next(_TMP_COUNTER)}"
     with open(tmp, "w") as handle:
         json.dump(payload, handle, allow_nan=True)
         handle.write("\n")
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+    _fsync_directory(os.path.dirname(os.path.abspath(path)))
+
+
+def _fsync_directory(directory: str) -> None:
+    """Make a rename durable: fsync the directory holding the new entry.
+
+    ``os.replace`` guarantees atomicity, not persistence — after a power
+    loss the directory may still hold the old entry unless the directory
+    inode itself was flushed.  Filesystems that refuse directory fsync
+    (some network mounts) degrade to atomic-but-not-durable, which is the
+    pre-PR-7 behaviour, so errors here are deliberately swallowed.
+    """
+    try:
+        dir_fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def _load_json(path: str, what: str) -> dict:
@@ -250,7 +284,7 @@ class SweepCheckpoint:
     def _group_path(self, index: int) -> str:
         return os.path.join(self.directory, f"group_{index:04d}.json")
 
-    def open(self, fingerprints: list, resume: bool) -> None:
+    def open(self, fingerprints: list, resume: bool, cooperative: bool = False) -> None:
         """Initialize a fresh checkpoint or validate an existing one.
 
         Args:
@@ -260,9 +294,21 @@ class SweepCheckpoint:
                 directory (which must exist and match the plan); ``False``
                 starts fresh (the directory must not already hold a
                 checkpoint — refusing to clobber is deliberate).
+            cooperative: create-or-join semantics for multi-worker runs —
+                an existing manifest is validated (like resume), a missing
+                one created (like a fresh run).  Two fresh workers racing
+                the creation both write the *identical* manifest through
+                per-process temp files and an atomic rename, so either
+                order is safe; ``resume`` is ignored.
         """
         manifest = self._manifest_path()
         exists = os.path.exists(manifest)
+        if cooperative:
+            if exists:
+                self._validate_manifest(fingerprints)
+            else:
+                self._create_manifest(fingerprints)
+            return
         if resume and not exists:
             raise CheckpointError(
                 f"nothing to resume: {self.directory!r} contains no "
@@ -276,26 +322,33 @@ class SweepCheckpoint:
                 "checkpoint at a fresh directory"
             )
         if resume:
-            data = _load_json(manifest, "checkpoint manifest")
-            _check_schema(data, manifest)
-            if data.get("kind") != _KIND:
-                raise CheckpointError(
-                    f"{manifest!r} is not a sweep-checkpoint manifest "
-                    f"(kind={data.get('kind')!r}); wrong directory?"
-                )
-            stored = data.get("groups")
-            if stored != list(fingerprints):
-                raise CheckpointError(
-                    "the sweep plan does not match the checkpoint in "
-                    f"{self.directory!r}: the configurations (or their order) "
-                    "changed between runs — resume requires the identical "
-                    "plan; use a fresh checkpoint directory for the edited "
-                    "sweep"
-                )
+            self._validate_manifest(fingerprints)
             return
+        self._create_manifest(fingerprints)
+
+    def _validate_manifest(self, fingerprints: list) -> None:
+        manifest = self._manifest_path()
+        data = _load_json(manifest, "checkpoint manifest")
+        _check_schema(data, manifest)
+        if data.get("kind") != _KIND:
+            raise CheckpointError(
+                f"{manifest!r} is not a sweep-checkpoint manifest "
+                f"(kind={data.get('kind')!r}); wrong directory?"
+            )
+        stored = data.get("groups")
+        if stored != list(fingerprints):
+            raise CheckpointError(
+                "the sweep plan does not match the checkpoint in "
+                f"{self.directory!r}: the configurations (or their order) "
+                "changed between runs — resume requires the identical "
+                "plan; use a fresh checkpoint directory for the edited "
+                "sweep"
+            )
+
+    def _create_manifest(self, fingerprints: list) -> None:
         os.makedirs(self.directory, exist_ok=True)
         _atomic_write_json(
-            manifest,
+            self._manifest_path(),
             {
                 "schema_version": CHECKPOINT_SCHEMA_VERSION,
                 "kind": _KIND,
@@ -337,3 +390,36 @@ class SweepCheckpoint:
                 "results": [encode_result(result) for result in results],
             },
         )
+
+    # -- poison-job quarantine markers ---------------------------------
+    def _poison_path(self, index: int) -> str:
+        return os.path.join(self.directory, f"poison_{index:04d}.json")
+
+    def write_poison(self, index: int, payload: dict) -> str:
+        """Persist a poison-job quarantine marker for a group.
+
+        The marker makes the quarantine *sticky* across workers and
+        resumes: every later worker touching this checkpoint fails fast
+        with the recorded diagnosis instead of re-crashing its own pool
+        on the same input.  Returns the marker path (for the error
+        message's "delete this to retry" instruction).
+        """
+        path = self._poison_path(index)
+        _atomic_write_json(
+            path,
+            {
+                "schema_version": CHECKPOINT_SCHEMA_VERSION,
+                "kind": "repro-sweep-poison",
+                **payload,
+            },
+        )
+        return path
+
+    def load_poison(self, index: int) -> dict | None:
+        """The group's quarantine marker, or ``None`` when not quarantined."""
+        path = self._poison_path(index)
+        if not os.path.exists(path):
+            return None
+        data = _load_json(path, "poison-quarantine marker")
+        data["path"] = path
+        return data

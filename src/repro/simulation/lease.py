@@ -1,0 +1,279 @@
+"""Group-level work leases: cooperative multi-worker sweep execution.
+
+N independent ``repro sweep --checkpoint DIR`` invocations — on one host
+or across machines sharing a filesystem — can drain a single sweep plan
+cooperatively.  The unit of ownership is one checkpoint **group** (a
+deduplicated execution group of :func:`repro.simulation.sweep.run_sweep`);
+a worker leases the groups it is executing so the others move on to
+unclaimed work instead of recomputing it.
+
+The protocol is deliberately minimal, built from two filesystem
+primitives that are atomic on POSIX (and on any shared filesystem worth
+trusting with a checkpoint):
+
+* **Acquisition** is an exclusive hard-link: the lease payload is written
+  to a per-owner temp file and ``os.link``-ed to ``group_NNNN.lease``.
+  The link fails with ``FileExistsError`` when the group is already
+  leased, and — unlike ``O_CREAT | O_EXCL`` + ``write`` — the visible
+  file is always *complete*: no reader ever observes a half-written
+  lease.
+* **Reclamation** of a stale lease (its ``heartbeat`` older than its
+  ``ttl``) starts with an ``os.rename`` of the lease file to a
+  per-owner tombstone.  Rename succeeds for exactly one claimant, so two
+  workers discovering the same dead owner cannot both think they won;
+  the winner unlinks the tombstone and re-acquires through the normal
+  exclusive-link path (where it can still lose a photo-finish race,
+  harmlessly).
+
+Every worker either finishes its lease and releases it, or stops
+heartbeating and provably *loses* it after the TTL — the fair-termination
+discipline from PAPERS.md's session-types line of work, reduced to files.
+Lease loss is detected on the next :meth:`LeaseManager.heartbeat`, which
+raises :class:`LeaseError` so the ex-owner discards its uncommitted round
+instead of clobbering the thief's progress.  Even the residual race (an
+owner writing results in the instant its lease is being reclaimed) is
+benign *for results*: the sweep seed schedule is keyed by trial index, so
+any two workers computing the same trials write byte-identical payloads —
+duplicated work, never divergent state.
+
+Timestamps are wall-clock (``time.time``) because they must compare
+across processes and hosts; they gate only *scheduling* (who may work on
+what), never results, which stay bit-exact by the seed-schedule argument
+above.  Cross-host use assumes clocks agree to within a fraction of the
+TTL — the usual NTP situation; pick a generous ``--lease-ttl`` otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+import uuid
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "LEASE_SCHEMA_VERSION",
+    "LeaseError",
+    "LeaseManager",
+    "worker_identity",
+]
+
+#: Bumped only on breaking payload changes.
+LEASE_SCHEMA_VERSION = 1
+
+#: Default lease time-to-live in seconds (heartbeats refresh it every
+#: scheduler round, which is orders of magnitude shorter for live workers).
+DEFAULT_LEASE_TTL = 30.0
+
+_KIND = "repro-sweep-lease"
+
+
+class LeaseError(RuntimeError):
+    """A lease could not be refreshed or is otherwise in a bad state.
+
+    Raised on heartbeat/release of a lease the caller no longer owns —
+    the signal to discard uncommitted work for that group and re-sync
+    from the checkpoint store.
+    """
+
+
+def worker_identity() -> str:
+    """``host-pid-nonce`` owner id, unique even across forked twins.
+
+    The nonce matters: a respawned worker with a recycled pid must not be
+    mistaken for its dead predecessor when leases are compared by owner.
+    """
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+
+
+class LeaseManager:
+    """Filesystem lease table for one checkpoint directory.
+
+    One instance per worker; all methods are keyed by the checkpoint
+    group index.  See the module docstring for the acquisition and
+    reclamation protocol.
+
+    Args:
+        directory: the sweep checkpoint directory the leases live beside.
+        ttl: seconds a lease survives without a heartbeat before any
+            worker may reclaim it.
+        owner: worker identity (default: a fresh :func:`worker_identity`).
+        clock: injection point for the timestamp source (tests).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        ttl: float = DEFAULT_LEASE_TTL,
+        owner: str | None = None,
+        clock=time.time,
+    ):
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be positive, got {ttl}")
+        self.directory = str(directory)
+        self.ttl = float(ttl)
+        self.owner = owner if owner is not None else worker_identity()
+        self.clock = clock
+        self._owned = set()
+
+    # -- paths & payloads ----------------------------------------------
+    def path(self, index: int) -> str:
+        return os.path.join(self.directory, f"group_{index:04d}.lease")
+
+    def _payload(self) -> dict:
+        now = self.clock()
+        return {
+            "schema_version": LEASE_SCHEMA_VERSION,
+            "kind": _KIND,
+            "owner": self.owner,
+            "created": now,
+            "heartbeat": now,
+            "ttl": self.ttl,
+        }
+
+    def _write_tmp(self, index: int, payload: dict) -> str:
+        # Owner ids embed pid + nonce, so the temp name cannot collide
+        # with another worker racing the same lease.
+        tmp = f"{self.path(index)}.claim-{self.owner}"
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return tmp
+
+    def read(self, index: int) -> dict | None:
+        """The current lease payload, or ``None`` when unleased.
+
+        Lease files only ever appear complete (exclusive-link creation,
+        atomic-replace heartbeats), so a decode error means real
+        corruption; it is reported as a stale foreign lease — eligible
+        for reclamation, never silently trusted.
+        """
+        try:
+            with open(self.path(index)) as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            return {"owner": "<unreadable>", "heartbeat": float("-inf"), "ttl": 0.0}
+        if not isinstance(data, dict):
+            return {"owner": "<unreadable>", "heartbeat": float("-inf"), "ttl": 0.0}
+        return data
+
+    def is_stale(self, payload: dict) -> bool:
+        """Whether a lease payload has outlived its TTL."""
+        ttl = payload.get("ttl", self.ttl)
+        try:
+            ttl = float(ttl)
+        except (TypeError, ValueError):
+            ttl = 0.0
+        heartbeat = payload.get("heartbeat", float("-inf"))
+        try:
+            heartbeat = float(heartbeat)
+        except (TypeError, ValueError):
+            heartbeat = float("-inf")
+        return self.clock() - heartbeat > ttl
+
+    def owns(self, index: int) -> bool:
+        return index in self._owned
+
+    @property
+    def owned(self) -> list:
+        """Indices currently held, ascending."""
+        return sorted(self._owned)
+
+    # -- the protocol --------------------------------------------------
+    def acquire(self, index: int) -> bool:
+        """Try to lease a group; ``True`` on success.
+
+        Failure means another worker holds a live lease — the caller
+        moves on to other groups and retries later (by which time the
+        holder has either finished and released, or gone stale and
+        become reclaimable).
+        """
+        if index in self._owned:
+            return True
+        if self._acquire_fresh(index):
+            return True
+        return self._reclaim(index)
+
+    def _reclaim(self, index: int) -> bool:
+        """Steal a stale lease; ``True`` when this worker ends up owning it."""
+        current = self.read(index)
+        if current is None:
+            # Released between our failed link and now: plain re-acquire.
+            return self._acquire_fresh(index)
+        if not self.is_stale(current):
+            return False
+        tombstone = f"{self.path(index)}.stale-{self.owner}"
+        try:
+            os.rename(self.path(index), tombstone)
+        except FileNotFoundError:
+            return False  # another claimant renamed it first
+        os.unlink(tombstone)
+        return self._acquire_fresh(index)
+
+    def _acquire_fresh(self, index: int) -> bool:
+        """One exclusive-link attempt, no reclamation recursion."""
+        tmp = self._write_tmp(index, self._payload())
+        try:
+            os.link(tmp, self.path(index))
+        except FileExistsError:
+            return False  # lost the photo finish to another worker
+        finally:
+            os.unlink(tmp)
+        self._owned.add(index)
+        return True
+
+    def heartbeat(self, index: int) -> None:
+        """Refresh an owned lease's timestamp.
+
+        Raises:
+            LeaseError: this worker does not (or no longer does) own the
+                lease — it went stale and was reclaimed.  The caller must
+                discard uncommitted work for the group and re-sync from
+                the checkpoint store.
+        """
+        if index not in self._owned:
+            raise LeaseError(
+                f"cannot heartbeat group {index}: this worker ({self.owner}) does "
+                "not hold its lease"
+            )
+        current = self.read(index)
+        if current is None or current.get("owner") != self.owner:
+            self._owned.discard(index)
+            holder = None if current is None else current.get("owner")
+            raise LeaseError(
+                f"lease on group {index} was lost by {self.owner} "
+                f"(now held by {holder!r}): the worker went silent past the "
+                f"{self.ttl}s TTL and the group was reclaimed; discarding this "
+                "round's uncommitted results for it"
+            )
+        payload = dict(current)
+        payload["heartbeat"] = self.clock()
+        tmp = self._write_tmp(index, payload)
+        os.replace(tmp, self.path(index))
+
+    def release(self, index: int) -> None:
+        """Give an owned lease back (idempotent; never throws on races)."""
+        if index not in self._owned:
+            return
+        self._owned.discard(index)
+        current = self.read(index)
+        if current is not None and current.get("owner") == self.owner:
+            try:
+                os.unlink(self.path(index))
+            except FileNotFoundError:
+                pass
+
+    def release_all(self) -> None:
+        for index in list(self._owned):
+            self.release(index)
+
+    def __enter__(self) -> "LeaseManager":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.release_all()
+        return False
