@@ -130,6 +130,20 @@ MOBILITY_TRIALS = 8
 MOBILITY_SMOKE_N = 300
 MOBILITY_SMOKE_TRIALS = 4
 
+#: The network suite: the PR 8 temporal-graph analytics workloads at the
+#: canonical scale — a connectivity-profile radius sweep (incremental
+#: union-find replay vs per-radius disk-graph rebuilds), exact MST
+#: thresholds (vs the retained bisection, cross-validated within ``tol``),
+#: batched journey times (vs per-source scalar temporal BFS), and batched
+#: contact recording (vs per-replica scalar recording).  Every row is
+#: parity-gated; parity failures exit 1, timing never does.
+NETWORK_PROFILE = {"snapshots": 8, "n": 2000, "n_radii": 12, "seed": 42}
+NETWORK_PROFILE_SMOKE = {"snapshots": 3, "n": 300, "n_radii": 6, "seed": 42}
+NETWORK_JOURNEYS = {"n": 2000, "steps": 30, "sources": 24, "seed": 7}
+NETWORK_JOURNEYS_SMOKE = {"n": 300, "steps": 10, "sources": 6, "seed": 7}
+NETWORK_CONTACTS = {"replicas": 8, "n": 1000, "steps": 20, "seed": 9}
+NETWORK_CONTACTS_SMOKE = {"replicas": 3, "n": 300, "steps": 8, "seed": 9}
+
 
 # ----------------------------------------------------------------------
 # Workload builders (shared with benchmarks/)
@@ -657,6 +671,231 @@ def _bench_mobility(repeats: int, smoke: bool) -> tuple:
 
 
 # ----------------------------------------------------------------------
+# Network suite: temporal-graph analytics, batched vs scalar
+# ----------------------------------------------------------------------
+def _network_snapshots(batch: int, n: int, seed: int) -> np.ndarray:
+    """A ``(B, n, 2)`` stack of stationary MRWP snapshots."""
+    from repro.mobility.stationary import PalmStationarySampler
+
+    side = math.sqrt(n)
+    sampler = PalmStationarySampler(side)
+    rng = np.random.default_rng(seed)
+    return np.stack([sampler.sample(n, rng).positions for _ in range(batch)], axis=0)
+
+
+def _rebuild_profile(positions: np.ndarray, side: float, radii: np.ndarray) -> dict:
+    """The pre-incremental profile: one disk-graph rebuild per probe radius.
+
+    Kept here as the benchmark contestant (and the parity oracle) for the
+    incremental replay — a fresh spatial index, edge enumeration, and
+    union-find per radius, exactly what ``connectivity_profile`` did
+    before the length-sorted prefix replay.
+    """
+    from repro.network.disk_graph import DiskGraph
+
+    n = positions.shape[0]
+    giant = np.zeros(radii.size)
+    ncomp = np.zeros(radii.size, dtype=np.intp)
+    isolated = np.zeros(radii.size)
+    connected = np.zeros(radii.size, dtype=bool)
+    for k, radius in enumerate(radii):
+        graph = DiskGraph(positions, max(float(radius), 0.0), side=side)
+        giant[k] = graph.giant_component_fraction()
+        ncomp[k] = graph.n_components()
+        isolated[k] = float(np.count_nonzero(graph.isolated_mask())) / max(1, n)
+        connected[k] = graph.is_connected()
+    return {
+        "giant_fraction": giant, "n_components": ncomp,
+        "isolated_fraction": isolated, "connected": connected,
+    }
+
+
+def _bench_network(repeats: int, smoke: bool) -> tuple:
+    """Batched temporal-graph analytics vs their scalar/rebuild baselines.
+
+    Returns ``(section, parity)``.  Four workloads:
+
+    * ``profile`` — :func:`~repro.network.connectivity.batch_connectivity_profile`
+      over a snapshot stack vs per-radius disk-graph rebuilds (the
+      incremental-replay parity is exact: canonical min-hooking labels
+      make prefix unions order-independent).
+    * ``threshold`` — exact MST bottleneck thresholds (batched) vs the
+      retained per-snapshot bisection; the gate is agreement within the
+      bisection tolerance, the headline is the speedup.
+    * ``journeys`` — multi-source :func:`~repro.network.evolving.journey_times`
+      under the batch engine vs the per-source scalar temporal BFS.
+    * ``contacts`` — :func:`~repro.network.contacts.batch_record_contacts`
+      over replica trajectories vs per-replica scalar recording.
+    """
+    from repro.mobility.mrwp import ManhattanRandomWaypoint
+    from repro.network.connectivity import (
+        batch_connectivity_profile,
+        batch_connectivity_threshold,
+        estimate_connectivity_threshold,
+    )
+    from repro.network.contacts import batch_record_contacts, record_contacts
+    from repro.network.evolving import journey_times
+    from repro.network.snapshots import SnapshotSeries, take_snapshots
+
+    parity = {}
+    rows = []
+
+    # --- connectivity profile: incremental replay vs per-radius rebuilds
+    profile_wl = dict(NETWORK_PROFILE_SMOKE if smoke else NETWORK_PROFILE)
+    stack = _network_snapshots(profile_wl["snapshots"], profile_wl["n"], profile_wl["seed"])
+    side = math.sqrt(profile_wl["n"])
+    base = math.sqrt(math.log(profile_wl["n"]))
+    radii = np.linspace(0.4, 2.0, profile_wl["n_radii"]) * base
+
+    batched = batch_connectivity_profile(stack, side, radii)
+    rebuilt = [_rebuild_profile(snapshot, side, radii) for snapshot in stack]
+    parity["network:profile"] = all(
+        np.array_equal(batched[key][b], rebuilt[b][key])
+        for b in range(profile_wl["snapshots"])
+        for key in ("giant_fraction", "n_components", "isolated_fraction", "connected")
+    )
+    best = _interleaved_best(
+        {
+            "batch": lambda: batch_connectivity_profile(stack, side, radii),
+            "scalar": lambda: [_rebuild_profile(s, side, radii) for s in stack],
+        },
+        repeats,
+    )
+    rows.append(
+        {
+            "name": "profile",
+            "workload": profile_wl,
+            "batch_seconds": best["batch"],
+            "scalar_seconds": best["scalar"],
+            "speedup": best["scalar"] / best["batch"],
+        }
+    )
+
+    # --- exact thresholds: batched MST bottleneck vs retained bisection
+    tol = side * 1e-3
+    mst_thresholds = batch_connectivity_threshold(stack, side)
+    bisect_thresholds = np.array(
+        [estimate_connectivity_threshold(s, side, method="bisect") for s in stack]
+    )
+    scalar_mst = np.array([estimate_connectivity_threshold(s, side) for s in stack])
+    # The bisection returns its upper endpoint: always >= the exact
+    # bottleneck, and within tol of it once the bracket closes.
+    gaps = bisect_thresholds - mst_thresholds
+    parity["network:threshold_mst_vs_bisect"] = bool(
+        np.all(gaps >= -1e-9) and np.all(gaps <= tol + 1e-9)
+    )
+    parity["network:threshold_batch_vs_scalar"] = bool(
+        np.allclose(mst_thresholds, scalar_mst, rtol=0.0, atol=1e-9)
+    )
+    best = _interleaved_best(
+        {
+            "batch": lambda: batch_connectivity_threshold(stack, side),
+            "scalar": lambda: [
+                estimate_connectivity_threshold(s, side, method="bisect") for s in stack
+            ],
+        },
+        repeats,
+    )
+    rows.append(
+        {
+            "name": "threshold",
+            "workload": {**profile_wl, "tol": tol, "scalar_method": "bisect"},
+            "batch_seconds": best["batch"],
+            "scalar_seconds": best["scalar"],
+            "speedup": best["scalar"] / best["batch"],
+            "max_abs_gap": float(np.max(np.abs(gaps))),
+        }
+    )
+
+    # --- journeys: batched multi-source temporal BFS vs per-source scalar
+    journeys_wl = dict(NETWORK_JOURNEYS_SMOKE if smoke else NETWORK_JOURNEYS)
+    n = journeys_wl["n"]
+    side = math.sqrt(n)
+    radius = 1.0 * math.sqrt(math.log(n))
+    rng = np.random.default_rng(journeys_wl["seed"])
+    model = ManhattanRandomWaypoint(n, side, 0.25 * radius, rng=rng)
+    series = SnapshotSeries(take_snapshots(model, journeys_wl["steps"]), radius, side)
+    sources = rng.choice(n, size=journeys_wl["sources"], replace=False)
+    batch_times = journey_times(series, sources, engine="batch")
+    scalar_times = journey_times(series, sources, engine="scalar")
+    parity["network:journeys"] = bool(np.array_equal(batch_times, scalar_times))
+    best = _interleaved_best(
+        {
+            "batch": lambda: journey_times(series, sources, engine="batch"),
+            "scalar": lambda: journey_times(series, sources, engine="scalar"),
+        },
+        repeats,
+    )
+    rows.append(
+        {
+            "name": "journeys",
+            "workload": {**journeys_wl, "radius": radius},
+            "batch_seconds": best["batch"],
+            "scalar_seconds": best["scalar"],
+            "speedup": best["scalar"] / best["batch"],
+        }
+    )
+
+    # --- contacts: batched replica recording vs per-replica scalar
+    contacts_wl = dict(NETWORK_CONTACTS_SMOKE if smoke else NETWORK_CONTACTS)
+    n = contacts_wl["n"]
+    side = math.sqrt(n)
+    radius = 0.75 * math.sqrt(math.log(n))
+    frames = np.stack(
+        [
+            take_snapshots(
+                ManhattanRandomWaypoint(
+                    n, side, 0.3 * radius, rng=np.random.default_rng([contacts_wl["seed"], b])
+                ),
+                contacts_wl["steps"],
+            )
+            for b in range(contacts_wl["replicas"])
+        ],
+        axis=0,
+    )
+    batch_traces = batch_record_contacts(frames, radius, side)
+    scalar_traces = [
+        record_contacts(SnapshotSeries(frames[b], radius, side), radius=radius)
+        for b in range(contacts_wl["replicas"])
+    ]
+    parity["network:contacts"] = all(
+        np.array_equal(bt.contacts_at(t), st.contacts_at(t))
+        for bt, st in zip(batch_traces, scalar_traces)
+        for t in range(contacts_wl["steps"] + 1)
+    )
+    best = _interleaved_best(
+        {
+            "batch": lambda: batch_record_contacts(frames, radius, side),
+            "scalar": lambda: [
+                record_contacts(SnapshotSeries(frames[b], radius, side), radius=radius)
+                for b in range(contacts_wl["replicas"])
+            ],
+        },
+        repeats,
+    )
+    rows.append(
+        {
+            "name": "contacts",
+            "workload": {**contacts_wl, "radius": radius},
+            "batch_seconds": best["batch"],
+            "scalar_seconds": best["scalar"],
+            "speedup": best["scalar"] / best["batch"],
+        }
+    )
+
+    batch_total = sum(row["batch_seconds"] for row in rows)
+    scalar_total = sum(row["scalar_seconds"] for row in rows)
+    section = {
+        "workload": {"smoke": smoke, "names": [row["name"] for row in rows]},
+        "workloads": rows,
+        "batch_total_seconds": batch_total,
+        "scalar_total_seconds": scalar_total,
+        "speedup": scalar_total / batch_total,
+    }
+    return section, parity
+
+
+# ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
 def run_benchmarks(
@@ -694,12 +933,16 @@ def run_benchmarks(
             parity-gated), ``"experiments"`` (the sweep-scheduler
             experiment suite at quick scale, batch vs scalar, table-parity
             gated), ``"mobility"`` (per-mobility-model batch vs scalar
-            over the flooding workload, parity-gated), or ``"all"``.
+            over the flooding workload, parity-gated), ``"network"``
+            (the temporal-graph analytics workloads — incremental
+            connectivity profiles, exact MST thresholds, batched journeys
+            and contact recording — vs their scalar/rebuild baselines,
+            parity-gated), or ``"all"``.
     """
-    if suite not in ("core", "protocols", "experiments", "mobility", "all"):
+    if suite not in ("core", "protocols", "experiments", "mobility", "network", "all"):
         raise ValueError(
-            "suite must be 'core', 'protocols', 'experiments', 'mobility' "
-            f"or 'all', got {suite!r}"
+            "suite must be 'core', 'protocols', 'experiments', 'mobility', "
+            f"'network' or 'all', got {suite!r}"
         )
     if repeats is None:
         repeats = 2 if smoke else 3
@@ -739,6 +982,11 @@ def run_benchmarks(
     if suite in ("mobility", "all"):
         mobility, mobility_parity = _bench_mobility(repeats, smoke)
         parity["checks"].update(mobility_parity)
+
+    network = None
+    if suite in ("network", "all"):
+        network, network_parity = _bench_network(repeats, smoke)
+        parity["checks"].update(network_parity)
 
     for name, seconds in baselines.items():
         if ":" in name:
@@ -803,6 +1051,12 @@ def run_benchmarks(
         report["workloads"]["mobility"] = mobility["workload"]
         report["mobility"] = mobility
         speedups["mobility_batch_vs_scalar"] = mobility["speedup"]
+    if network is not None:
+        report["workloads"]["network"] = network["workload"]
+        report["network"] = network
+        for row in network["workloads"]:
+            speedups[f"network_{row['name']}_batch_vs_scalar"] = row["speedup"]
+        speedups["network_batch_vs_scalar"] = network["speedup"]
     return report
 
 
@@ -867,6 +1121,20 @@ def render_table(report: dict) -> str:
             f"  {'TOTAL':22s} batch {mobility['batch_total_seconds']:7.3f} s  "
             f"scalar {mobility['scalar_total_seconds']:7.3f} s  "
             f"{mobility['speedup']:5.2f}x"
+        )
+    network = report.get("network")
+    if network is not None:
+        lines.append("")
+        lines.append("network suite (temporal-graph analytics, batched vs scalar):")
+        for row in network["workloads"]:
+            lines.append(
+                f"  {row['name']:22s} batch {row['batch_seconds']:7.3f} s  "
+                f"scalar {row['scalar_seconds']:7.3f} s  {row['speedup']:5.2f}x"
+            )
+        lines.append(
+            f"  {'TOTAL':22s} batch {network['batch_total_seconds']:7.3f} s  "
+            f"scalar {network['scalar_total_seconds']:7.3f} s  "
+            f"{network['speedup']:5.2f}x"
         )
     experiments = report.get("experiments")
     if experiments is not None:

@@ -33,7 +33,7 @@ Subcommands:
   flooding runs with the canonical ``L = sqrt n`` scaling; ``--engine
   batch`` advances all trials in lock-step through the vectorized batch
   engine (same results, faster), for any registered mobility model;
-* ``bench [--smoke] [--suite core|protocols|experiments|mobility|all] [--out PATH]
+* ``bench [--smoke] [--suite core|protocols|experiments|mobility|network|all] [--out PATH]
   [--repeats N] [--label TAG]`` — the perf-trajectory harness
   (:mod:`repro.bench`): kernel and end-to-end timings, the per-protocol
   batch-vs-scalar suite, the sweep-scheduler experiments suite
@@ -270,14 +270,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_p.add_argument(
         "--suite",
-        choices=("core", "protocols", "experiments", "mobility", "all"),
+        choices=("core", "protocols", "experiments", "mobility", "network", "all"),
         default="all",
         help="benchmark suite: 'core' (kernels + flooding end-to-end), "
         "'protocols' (every registered protocol, batch vs scalar, "
         "parity-gated), 'experiments' (the sweep-scheduler experiment "
         "suite at quick scale, batch vs scalar, table-parity gated), "
         "'mobility' (per-mobility-model batch vs scalar, parity-gated), "
-        "or 'all'",
+        "'network' (temporal-graph analytics: incremental connectivity "
+        "profiles, exact MST thresholds, batched journeys and contact "
+        "recording vs their scalar baselines, parity-gated), or 'all'",
     )
     bench_p.add_argument(
         "--out",

@@ -12,6 +12,17 @@ sub-network connects at small radii.  Two measurements:
    point sits at depth ``~ (L^3/n)^(1/3)``, so the full/uniform threshold
    ratio grows like ``n^(1/6) / sqrt(log n)`` — the finite-``n`` footprint
    of ref [13]'s "some root of n".
+
+Execution runs through the batched network-analytics layer and the sweep
+scheduler's worker machinery: ``engine="batch"`` (the ``"auto"`` default)
+stacks each panel's snapshots into one tensor and answers them with a
+single tiled enumeration + incremental union-find replay
+(:func:`~repro.network.connectivity.batch_connectivity_profile`,
+:func:`~repro.network.connectivity.batch_connectivity_threshold`);
+``jobs > 1`` fans the per-``n`` threshold estimations over a
+crash-surviving :class:`~repro.simulation.parallel.WorkerPool`.  Snapshots
+are sampled before any analysis, so the tables are identical for every
+engine/jobs combination.
 """
 
 from __future__ import annotations
@@ -24,36 +35,72 @@ from repro.core.flooding import build_zone_partition
 from repro.experiments.base import ExperimentResult, ExperimentSpec, scale_params
 from repro.mobility.stationary import PalmStationarySampler
 from repro.network.connectivity import (
+    batch_connectivity_profile,
+    batch_connectivity_threshold,
     connectivity_profile,
     estimate_connectivity_threshold,
     uniform_connectivity_threshold,
 )
+from repro.simulation.parallel import WorkerPool
 
 EXPERIMENT_ID = "connectivity"
 
+_ENGINES = ("auto", "batch", "scalar")
 
-def _mean_thresholds(n: int, snapshots: int, rng) -> tuple:
-    """Mean empirical thresholds (full, CZ-only) over stationary snapshots."""
+
+def _resolve_engine(engine: str | None) -> str:
+    engine = engine or "auto"
+    if engine not in _ENGINES:
+        raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    return "batch" if engine == "auto" else engine
+
+
+def _mean_thresholds(n: int, snapshots: int, rng, engine: str = "batch") -> tuple:
+    """Mean empirical thresholds (full, CZ-only) over stationary snapshots.
+
+    Snapshots are sampled up front (estimation draws nothing from ``rng``,
+    so the sample stream is engine-independent); the full-graph thresholds
+    then run through one batched Borůvka pass, while the CZ-only
+    thresholds stay scalar (the masked sub-populations are ragged).
+    """
     side = math.sqrt(n)
     sampler = PalmStationarySampler(side)
     zones = build_zone_partition(n, side, 1.3 * math.sqrt(math.log(n)))
-    full = []
+    snapshot_positions = [sampler.sample(n, rng).positions for _ in range(snapshots)]
+    if engine == "batch":
+        stack = np.stack(snapshot_positions, axis=0)
+        full = batch_connectivity_threshold(stack, side).tolist()
+    else:
+        full = [
+            estimate_connectivity_threshold(positions, side)
+            for positions in snapshot_positions
+        ]
     cz = []
-    for _ in range(snapshots):
-        positions = sampler.sample(n, rng).positions
-        full.append(estimate_connectivity_threshold(positions, side))
-        if zones is not None:
+    if zones is not None:
+        for positions in snapshot_positions:
             mask = zones.in_central_zone(positions)
             cz.append(estimate_connectivity_threshold(positions, side, mask=mask))
     return (float(np.mean(full)), float(np.mean(cz)) if cz else float("nan"))
 
 
-def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+def _threshold_job(args) -> tuple:
+    """Picklable per-``n`` threshold job for the worker pool."""
+    n, snapshots, job_seed, engine = args
+    return _mean_thresholds(n, snapshots, np.random.default_rng(job_seed), engine=engine)
+
+
+def run(
+    scale: str = "quick",
+    seed: int = 0,
+    engine: str | None = None,
+    jobs: int = 1,
+) -> ExperimentResult:
     params = scale_params(
         scale,
         quick={"profile_n": 2_000, "snapshots": 2, "threshold_ns": [500, 2_000, 8_000]},
         full={"profile_n": 16_000, "snapshots": 4, "threshold_ns": [500, 2_000, 8_000, 32_000]},
     )
+    engine = _resolve_engine(engine)
     rng = np.random.default_rng(seed)
 
     # Panel 1: transition profile at one n.
@@ -62,10 +109,20 @@ def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
     base = math.sqrt(math.log(n))
     sampler = PalmStationarySampler(side)
     radii = [0.4 * base, 0.6 * base, 0.8 * base, 1.2 * base, 2.0 * base]
-    profiles = []
-    for _ in range(params["snapshots"]):
-        positions = sampler.sample(n, rng).positions
-        profiles.append(connectivity_profile(positions, side, radii))
+    snapshot_positions = [
+        sampler.sample(n, rng).positions for _ in range(params["snapshots"])
+    ]
+    if engine == "batch":
+        stacked = batch_connectivity_profile(np.stack(snapshot_positions, axis=0), side, radii)
+        profiles = [
+            {key: val[b] if np.ndim(val) > 1 else val for key, val in stacked.items()}
+            for b in range(params["snapshots"])
+        ]
+    else:
+        profiles = [
+            connectivity_profile(positions, side, radii)
+            for positions in snapshot_positions
+        ]
     rows = [["-- profile --", f"n={n}", "", "", ""]]
     for k, radius in enumerate(radii):
         rows.append(
@@ -78,14 +135,19 @@ def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
             ]
         )
 
-    # Panel 2: threshold scaling across n.
+    # Panel 2: threshold scaling across n, fanned over the worker pool.
     rows.append(["-- thresholds --", "full", "CZ-only", "uniform benchmark", "full/uniform"])
+    threshold_jobs = [
+        (tn, params["snapshots"], seed + 10 + k, engine)
+        for k, tn in enumerate(params["threshold_ns"])
+    ]
+    with WorkerPool(max_workers=jobs or 1) as pool:
+        thresholds = pool.map(
+            _threshold_job, threshold_jobs, labels=[f"n={tn}" for tn, *_rest in threshold_jobs]
+        )
     ratios = []
     cz_below_full = []
-    for k, tn in enumerate(params["threshold_ns"]):
-        full_thr, cz_thr = _mean_thresholds(
-            tn, params["snapshots"], np.random.default_rng(seed + 10 + k)
-        )
+    for (tn, *_rest), (full_thr, cz_thr) in zip(threshold_jobs, thresholds):
         uniform_thr = uniform_connectivity_threshold(tn, math.sqrt(tn))
         ratio = full_thr / uniform_thr
         ratios.append(ratio)
@@ -112,7 +174,8 @@ def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
             "the giant component saturates long before full connectivity: the last",
             "holdouts are deep-corner agents — the Suburb of Definition 4;",
             "the full/uniform threshold ratio grows with n (~ n^(1/6)/sqrt(log n)),",
-            "the finite-n footprint of ref [13]'s exponentially-higher threshold.",
+            "the finite-n footprint of ref [13]'s exponentially-higher threshold;",
+            "thresholds are exact MST bottlenecks (scipy MST or Borůvka fallback).",
         ],
         passed=passed,
     )

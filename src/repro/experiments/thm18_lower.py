@@ -12,6 +12,18 @@ Two measurements:
 2. conditioned trials (state constructed to realize *B*): the step at which
    the trapped agent is informed, against the bound — a deterministic
    geometric fact the simulator must respect, and its ``1/v`` scaling.
+
+The conditioned trial loop runs through the batch simulation engine and
+the sweep scheduler's worker machinery: with ``engine="batch"`` (the
+``"auto"`` default) each speed fraction's trials advance in lock-step as
+replicas of one :class:`~repro.mobility.mrwp.BatchManhattanRandomWaypoint`
++ :class:`~repro.protocols.flooding.BatchFloodingState` pair, retiring a
+replica the round its trapped agent is informed; ``jobs > 1`` fans the
+fractions over a crash-surviving
+:class:`~repro.simulation.parallel.WorkerPool`.  Per-trial seeding
+(``default_rng([seed, trial, fraction])``) and the batch engine's
+per-replica draw-order parity make every engine/jobs combination produce
+the identical table.
 """
 
 from __future__ import annotations
@@ -22,11 +34,21 @@ import numpy as np
 
 from repro.core import theory
 from repro.experiments.base import ExperimentResult, ExperimentSpec, scale_params
-from repro.mobility.mrwp import ManhattanRandomWaypoint
+from repro.mobility.mrwp import BatchManhattanRandomWaypoint, ManhattanRandomWaypoint
 from repro.mobility.stationary import PalmStationarySampler
-from repro.protocols.flooding import FloodingProtocol
+from repro.protocols.flooding import BatchFloodingState, FloodingProtocol
+from repro.simulation.parallel import WorkerPool
 
 EXPERIMENT_ID = "thm18_lower"
+
+_ENGINES = ("auto", "batch", "scalar")
+
+
+def _resolve_engine(engine: str | None) -> str:
+    engine = engine or "auto"
+    if engine not in _ENGINES:
+        raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+    return "batch" if engine == "auto" else engine
 
 
 def _event_probability(n: int, side: float, d: float, sampler, rng, trials: int) -> float:
@@ -75,12 +97,70 @@ def _conditioned_state(n: int, side: float, d: float, sampler, rng):
     return state
 
 
-def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
+def _fraction_trials(args) -> list:
+    """Picklable per-fraction job: informed steps of all conditioned trials.
+
+    RNG discipline: each trial's generator is seeded
+    ``[seed, trial, int(1e6 * fraction)]`` and consumed in the scalar
+    order — conditioned-state construction first, then per-step mobility
+    redraws.  Flooding draws nothing, and the batch mobility engine
+    replays each replica's scalar draw sequence (retired replicas frozen),
+    so the batch path returns bit-identical steps to the scalar loop.
+    """
+    n, side, d, radius, fraction, speed, bound, trials, seed, engine = args
+    sampler = PalmStationarySampler(side)
+    max_steps = int(8 * bound) + 200
+    trial_rngs = [
+        np.random.default_rng([seed, trial, int(1e6 * fraction)]) for trial in range(trials)
+    ]
+    states = [_conditioned_state(n, side, d, sampler, rng) for rng in trial_rngs]
+    # Source: the agent farthest (Chebyshev) from the corner.
+    sources = [int(np.argmax(np.max(state.positions, axis=1))) for state in states]
+
+    if engine == "scalar":
+        informed_steps = []
+        for trial in range(trials):
+            model = ManhattanRandomWaypoint(
+                n, side, speed, rng=trial_rngs[trial], init=states[trial]
+            )
+            protocol = FloodingProtocol(n, side, radius, sources[trial], rng=trial_rngs[trial])
+            trapped_informed_at = math.inf
+            for step in range(1, max_steps + 1):
+                positions = model.step()
+                protocol.step(positions)
+                if protocol.informed[0]:
+                    trapped_informed_at = step
+                    break
+            informed_steps.append(trapped_informed_at)
+        return informed_steps
+
+    model = BatchManhattanRandomWaypoint(n, side, speed, rngs=trial_rngs, init=states)
+    protocol = BatchFloodingState(n, side, radius, sources)
+    active = np.ones(trials, dtype=bool)
+    informed_step = np.full(trials, math.inf)
+    for step in range(1, max_steps + 1):
+        if not active.any():
+            break
+        positions = model.step(active=active, copy=False)
+        protocol.step(positions, active=active)
+        done = active & protocol.informed[:, 0]
+        informed_step[done] = step
+        active &= ~done
+    return informed_step.tolist()
+
+
+def run(
+    scale: str = "quick",
+    seed: int = 0,
+    engine: str | None = None,
+    jobs: int = 1,
+) -> ExperimentResult:
     params = scale_params(
         scale,
         quick={"n": 1_000, "fractions": [0.1, 0.05], "prob_trials": 800, "trials": 3},
         full={"n": 8_000, "fractions": [0.2, 0.1, 0.05, 0.025], "prob_trials": 4_000, "trials": 6},
     )
+    engine = _resolve_engine(engine)
     n = params["n"]
     side = math.sqrt(n)
     d = side / n ** (1.0 / 3.0)
@@ -95,31 +175,24 @@ def run(scale: str = "quick", seed: int = 0) -> ExperimentResult:
     d_b = 0.234 * side / n ** (1.0 / 3.0)
     prob_b = _event_probability(n, side, d_b, sampler, rng, params["prob_trials"])
 
-    rows = []
-    checks = []
+    fraction_jobs = []
     for fraction in params["fractions"]:
         speed = fraction * radius
         bound = theory.flooding_lower_bound(n, side, radius, speed, d_constant=1.0)
-        informed_steps = []
-        for trial in range(params["trials"]):
-            trial_rng = np.random.default_rng([seed, trial, int(1e6 * fraction)])
-            state = _conditioned_state(n, side, d, sampler, trial_rng)
-            model = ManhattanRandomWaypoint(n, side, speed, rng=trial_rng, init=state)
-            # Source: the agent farthest (Chebyshev) from the corner.
-            source = int(np.argmax(np.max(model.positions, axis=1)))
-            protocol = FloodingProtocol(n, side, radius, source, rng=trial_rng)
+        fraction_jobs.append(
+            (n, side, d, radius, fraction, speed, bound, params["trials"], seed, engine)
+        )
+    with WorkerPool(max_workers=jobs or 1) as pool:
+        per_fraction_steps = pool.map(
+            _fraction_trials,
+            fraction_jobs,
+            labels=[f"v/R={job[4]}" for job in fraction_jobs],
+        )
 
-            trapped_informed_at = None
-            max_steps = int(8 * bound) + 200
-            for step in range(1, max_steps + 1):
-                positions = model.step()
-                protocol.step(positions)
-                if protocol.informed[0]:
-                    trapped_informed_at = step
-                    break
-            informed_steps.append(
-                trapped_informed_at if trapped_informed_at is not None else math.inf
-            )
+    rows = []
+    checks = []
+    for job, informed_steps in zip(fraction_jobs, per_fraction_steps):
+        _n, _side, _d, _radius, fraction, speed, bound, *_rest = job
         finite = [s for s in informed_steps if math.isfinite(s)]
         min_step = min(informed_steps)
         ok = min_step >= bound

@@ -118,6 +118,23 @@ class BoundSnapshot:
         qpos, spos = np.nonzero(dist2 <= self.radius * self.radius)
         return source_idx[spos], query_idx[qpos]
 
+    def pairs_within(self) -> np.ndarray:
+        """All unordered pairs of the snapshot within the bound radius.
+
+        The snapshot counterpart of :meth:`NeighborEngine.pairs_within`
+        for per-step edge extraction over a recorded series (disk-graph
+        snapshots, contact traces): binding each frame lets persistent
+        backends splice per-step displacements instead of re-sorting every
+        frame.  This base implementation delegates to the engine's
+        coordinate API; the grid snapshot overrides it with the persistent
+        incremental full index, the KD-tree snapshot with a fast-build
+        throwaway tree.
+
+        Returns:
+            ``(k, 2)`` intp pairs with ``i < j``, in backend order.
+        """
+        return self.engine.pairs_within(self.points, self.radius)
+
 
 class NeighborEngine:
     """Interface for radius-based neighbor queries on a square region."""
@@ -267,6 +284,11 @@ class _GridSnapshot(BoundSnapshot):
         hit = np.sum(diff * diff, axis=1) <= self.radius * self.radius
         return sources[hit], query_idx[qidx[hit]]
 
+    def pairs_within(self) -> np.ndarray:
+        # The persistent full index splices per-step displacements across
+        # binds, so frame-by-frame edge extraction never re-sorts n points.
+        return self._full_index().pairs_within(self.radius)
+
 
 class GridNeighborEngine(NeighborEngine):
     """Bucket-grid backend (pure numpy).
@@ -405,6 +427,13 @@ class _KDTreeSnapshot(BoundSnapshot):
             query_tree, max_distance=self.radius, output_type="ndarray"
         )
         return source_idx[hits["i"]], query_idx[hits["j"]]
+
+    def pairs_within(self) -> np.ndarray:
+        # Throwaway per-frame tree: skip the balancing passes, which
+        # dominate construction at snapshot sizes.
+        tree = self.engine._cKDTree(self.points, balanced_tree=False, compact_nodes=False)
+        pairs = tree.query_pairs(r=self.radius, output_type="ndarray")
+        return pairs.astype(np.intp, copy=False)
 
 
 class KDTreeNeighborEngine(NeighborEngine):

@@ -1,14 +1,32 @@
 """Network substrate: disk graphs, connectivity, evolving-graph reachability."""
 
+from repro.network.batch_union_find import (
+    BatchUnionFind,
+    batch_components_from_edges,
+    batch_mst_bottleneck,
+    mst_bottleneck,
+)
 from repro.network.connectivity import (
+    batch_connectivity_profile,
+    batch_connectivity_threshold,
     connectivity_profile,
     estimate_connectivity_threshold,
     uniform_connectivity_threshold,
     zone_connectivity,
 )
-from repro.network.contacts import MEETING_RADIUS_FACTOR, ContactTrace, record_contacts
+from repro.network.contacts import (
+    MEETING_RADIUS_FACTOR,
+    ContactTrace,
+    batch_record_contacts,
+    record_contacts,
+)
 from repro.network.disk_graph import DiskGraph
-from repro.network.evolving import journey_times, reachability_fraction, temporal_bfs
+from repro.network.evolving import (
+    batch_temporal_bfs,
+    journey_times,
+    reachability_fraction,
+    temporal_bfs,
+)
 from repro.network.journeys import (
     delay_statistics,
     delivery_delay_matrix,
@@ -27,10 +45,15 @@ from repro.network.union_find import UnionFind, components_from_edges
 __all__ = [
     "DiskGraph",
     "UnionFind",
+    "BatchUnionFind",
     "components_from_edges",
+    "batch_components_from_edges",
+    "mst_bottleneck",
+    "batch_mst_bottleneck",
     "SnapshotSeries",
     "take_snapshots",
     "temporal_bfs",
+    "batch_temporal_bfs",
     "journey_times",
     "reachability_fraction",
     "delivery_delay_matrix",
@@ -39,10 +62,13 @@ __all__ = [
     "delay_statistics",
     "ContactTrace",
     "record_contacts",
+    "batch_record_contacts",
     "MEETING_RADIUS_FACTOR",
     "uniform_connectivity_threshold",
     "estimate_connectivity_threshold",
+    "batch_connectivity_threshold",
     "connectivity_profile",
+    "batch_connectivity_profile",
     "zone_connectivity",
     "degree_summary",
     "degree_histogram",

@@ -12,13 +12,14 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
-from repro.geometry.neighbors import make_engine
+from repro.geometry.neighbors import BatchNeighborQuery, make_engine
 from repro.network.snapshots import SnapshotSeries
 
-__all__ = ["ContactTrace", "record_contacts"]
+__all__ = ["ContactTrace", "record_contacts", "batch_record_contacts"]
 
 #: The paper's meeting radius is 3/4 of the transmission radius (Section 4).
 MEETING_RADIUS_FACTOR = 0.75
@@ -102,12 +103,30 @@ class ContactTrace:
         return np.asarray(durations, dtype=np.float64)
 
 
+def _canonical_pairs(pairs: np.ndarray) -> np.ndarray:
+    """Sort a ``(k, 2)`` pair array lexicographically by ``(i, j)``.
+
+    Backends emit pairs in traversal order; the canonical order makes
+    scalar and batched recordings byte-identical and the raw
+    ``contacts_at`` arrays stable across backends.
+    """
+    if pairs.shape[0] <= 1:
+        return pairs
+    order = np.lexsort((pairs[:, 1], pairs[:, 0]))
+    return pairs[order]
+
+
 def record_contacts(
     series: SnapshotSeries,
-    radius: float = None,
+    radius: Optional[float] = None,
     backend: str = "auto",
 ) -> ContactTrace:
     """Extract the contact trace of a snapshot series.
+
+    Each frame is bound into the engine's snapshot API, so persistent
+    backends (the incremental grid) splice per-step displacements across
+    frames instead of re-sorting every one; per-step pairs are stored in
+    canonical ``(i, j)`` order.
 
     Args:
         series: recorded mobility snapshots.
@@ -120,6 +139,52 @@ def record_contacts(
     engine = make_engine(backend, series.side)
     trace = ContactTrace(n=series.n, n_steps=series.n_steps)
     for t in range(series.n_steps + 1):
-        pairs = engine.pairs_within(series.positions_at(t), radius)
-        trace.step_pairs.append(pairs)
+        pairs = engine.bind(series.positions_at(t), radius).pairs_within()
+        trace.step_pairs.append(_canonical_pairs(pairs))
     return trace
+
+
+def batch_record_contacts(
+    frames: np.ndarray,
+    radius: float,
+    side: float,
+    backend: str = "auto",
+) -> list:
+    """Contact traces of ``B`` replica trajectories, one engine call per step.
+
+    The per-replica contact export workload: a ``(B, T + 1, n, 2)`` frame
+    tensor (e.g. recorded straight from the batch mobility engine) is swept
+    frame-by-frame through one
+    :class:`~repro.geometry.neighbors.BatchNeighborQuery`, whose tiling
+    makes cross-replica contacts geometrically impossible — every
+    replica's pairs fall out of a single tiled enumeration per step.
+
+    Args:
+        frames: ``(B, T + 1, n, 2)`` position frames, replica-major.
+        radius: contact radius (pass the paper's meeting radius
+            ``MEETING_RADIUS_FACTOR * R`` to match :func:`record_contacts`
+            defaults).
+        side: region side length.
+        backend: batch-query backend name.
+
+    Returns:
+        list of ``B`` :class:`ContactTrace` objects, byte-identical to
+        recording each replica's series with :func:`record_contacts`.
+    """
+    frames = np.asarray(frames, dtype=np.float64)
+    if frames.ndim != 4 or frames.shape[3] != 2:
+        raise ValueError(f"frames must have shape (B, T+1, n, 2), got {frames.shape}")
+    batch_size, n_frames, n, _ = frames.shape
+    query = BatchNeighborQuery(side, batch_size, backend=backend)
+    traces = [ContactTrace(n=n, n_steps=n_frames - 1) for _ in range(batch_size)]
+    for t in range(n_frames):
+        rep, i, j = query.bind(np.ascontiguousarray(frames[:, t])).pairs_within(radius)
+        pairs = np.stack([i, j], axis=1) if rep.size else np.empty((0, 2), dtype=np.intp)
+        # Replica-major lexicographic sort: one pass splits into canonical
+        # per-replica blocks.
+        order = np.lexsort((j, i, rep))
+        rep, pairs = rep[order], pairs[order]
+        bounds = np.searchsorted(rep, np.arange(batch_size + 1))
+        for b in range(batch_size):
+            traces[b].step_pairs.append(pairs[bounds[b]:bounds[b + 1]])
+    return traces

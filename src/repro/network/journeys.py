@@ -5,14 +5,16 @@ module generalizes to the quantities delay-tolerant networking cares about
 (paper refs [16, 26, 29]): pairwise delivery delays, temporal eccentricity
 per source, and the "temporal diameter" (max over sources of flooding
 time) — all computed by replaying a recorded snapshot series through the
-one-hop-per-step reachability of :func:`repro.network.evolving.temporal_bfs`.
+one-hop-per-step reachability of :mod:`repro.network.evolving`.  Every
+multi-source sweep runs through :func:`~repro.network.evolving.journey_times`,
+whose default engine answers all sources with one batched query per step.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.network.evolving import temporal_bfs
+from repro.network.evolving import journey_times
 from repro.network.snapshots import SnapshotSeries
 
 __all__ = [
@@ -24,24 +26,25 @@ __all__ = [
 
 
 def delivery_delay_matrix(
-    series: SnapshotSeries, sources, multi_hop: bool = False
+    series: SnapshotSeries, sources, multi_hop: bool = False, engine: str = "auto"
 ) -> np.ndarray:
     """Delivery delays from each source to every agent.
 
     Args:
         series: recorded snapshots.
         sources: iterable of source indices.
+        engine: temporal-BFS engine (see
+            :func:`~repro.network.evolving.journey_times`).
 
     Returns:
         float array of shape ``(len(sources), n)``; ``inf`` marks pairs not
         reached within the recorded horizon.
     """
-    rows = [temporal_bfs(series, int(s), multi_hop=multi_hop) for s in sources]
-    return np.stack(rows, axis=0)
+    return journey_times(series, sources, multi_hop=multi_hop, engine=engine)
 
 
 def temporal_eccentricities(
-    series: SnapshotSeries, sources=None, multi_hop: bool = False
+    series: SnapshotSeries, sources=None, multi_hop: bool = False, engine: str = "auto"
 ) -> np.ndarray:
     """Flooding time from each source (== temporal eccentricity).
 
@@ -51,17 +54,19 @@ def temporal_eccentricities(
     """
     if sources is None:
         sources = range(series.n)
-    matrix = delivery_delay_matrix(series, sources, multi_hop=multi_hop)
+    matrix = delivery_delay_matrix(series, sources, multi_hop=multi_hop, engine=engine)
     return matrix.max(axis=1)
 
 
-def temporal_diameter(series: SnapshotSeries, sources=None, multi_hop: bool = False) -> float:
+def temporal_diameter(
+    series: SnapshotSeries, sources=None, multi_hop: bool = False, engine: str = "auto"
+) -> float:
     """Max journey time over (sampled) source/destination pairs.
 
     The paper: flooding time "has the same role of the diameter in static
     networks" — this is that diameter, measured.
     """
-    ecc = temporal_eccentricities(series, sources, multi_hop=multi_hop)
+    ecc = temporal_eccentricities(series, sources, multi_hop=multi_hop, engine=engine)
     return float(ecc.max())
 
 
@@ -70,8 +75,12 @@ def delay_statistics(
     n_pairs: int,
     rng: np.random.Generator,
     multi_hop: bool = False,
+    engine: str = "auto",
 ) -> dict:
     """Delivery-delay distribution over random source/destination pairs.
+
+    The distinct sampled sources are swept in one batched journey pass
+    (replacing the per-source memo dict the scalar loop kept).
 
     Returns:
         dict with ``delays`` (finite delays observed), ``delivered_fraction``
@@ -81,13 +90,9 @@ def delay_statistics(
         raise ValueError(f"n_pairs must be positive, got {n_pairs}")
     sources = rng.integers(0, series.n, size=n_pairs)
     destinations = rng.integers(0, series.n, size=n_pairs)
-    delays = np.empty(n_pairs)
-    cache = {}
-    for k, (src, dst) in enumerate(zip(sources, destinations)):
-        src = int(src)
-        if src not in cache:
-            cache[src] = temporal_bfs(series, src, multi_hop=multi_hop)
-        delays[k] = cache[src][int(dst)]
+    unique_sources, source_row = np.unique(sources, return_inverse=True)
+    matrix = journey_times(series, unique_sources, multi_hop=multi_hop, engine=engine)
+    delays = matrix[source_row, destinations]
     finite = delays[np.isfinite(delays)]
     return {
         "delays": finite,

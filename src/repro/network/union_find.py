@@ -5,11 +5,22 @@ structural notion (Central Zone connected vs. Suburb highly disconnected),
 and we compute components thousands of times across parameter sweeps, so
 the structure is implemented directly (path halving + union by size) with a
 bulk edge-ingestion helper.
+
+**Determinism**: the *partition* produced by any sequence of unions is
+independent of union order (components are a property of the edge set);
+only the internal choice of root representative depends on it.  Everything
+downstream therefore consumes either canonicalized labels
+(:func:`components_from_edges`, which routes through the vectorized
+min-hooking core of :mod:`repro.network.batch_union_find` and labels each
+component by its minimum vertex id) or order-insensitive aggregates
+(component counts and sizes).
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.network.batch_union_find import BatchUnionFind
 
 __all__ = ["UnionFind", "components_from_edges"]
 
@@ -63,11 +74,22 @@ class UnionFind:
         return int(self._size[self.find(x)])
 
     def labels(self) -> np.ndarray:
-        """Canonical component label (root index) for every element."""
-        out = np.empty(len(self), dtype=np.intp)
-        for i in range(len(self)):
-            out[i] = self.find(i)
-        return out
+        """Canonical component label (root index) for every element.
+
+        Vectorized final path compression: instead of a per-element
+        ``find`` walk, the whole parent array is pointer-doubled
+        (``parent = parent[parent]``) to a fixpoint — ``O(log n)`` full
+        gathers.  The compressed array is kept, so later ``find`` calls
+        are O(1) and repeated ``labels()`` reads cost one gather.
+        """
+        parent = self._parent
+        while True:
+            grand = parent[parent]
+            if np.array_equal(grand, parent):
+                break
+            parent = grand
+        self._parent = parent
+        return parent.copy()
 
     def connected(self, a: int, b: int) -> bool:
         """Whether ``a`` and ``b`` are in the same component."""
@@ -77,6 +99,12 @@ class UnionFind:
 def components_from_edges(n: int, edges: np.ndarray) -> np.ndarray:
     """Component labels (0..k-1, by first occurrence) of an edge-list graph.
 
+    Runs through the vectorized min-hooking core
+    (:class:`~repro.network.batch_union_find.BatchUnionFind`), so the labels
+    are canonical — component ``0`` contains vertex ``0``, and labels
+    appear in first-occurrence order along the vertex scan — independent
+    of edge order.
+
     Args:
         n: number of vertices.
         edges: integer array of shape ``(m, 2)``.
@@ -84,8 +112,11 @@ def components_from_edges(n: int, edges: np.ndarray) -> np.ndarray:
     Returns:
         ``(n,)`` integer labels; vertices in the same component share a label.
     """
-    uf = UnionFind(n)
-    uf.add_edges(edges)
-    roots = uf.labels()
-    _uniq, labels = np.unique(roots, return_inverse=True)
-    return labels
+    edges = np.asarray(edges)
+    if edges.size == 0:
+        return np.arange(n, dtype=np.intp)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise ValueError(f"edges must have shape (m, 2), got {edges.shape}")
+    uf = BatchUnionFind(1, n)
+    uf.add_edges(edges[:, 0], edges[:, 1], replica=np.zeros(edges.shape[0], dtype=np.intp))
+    return uf.dense_labels()[0]
