@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Flooding time: transit backbone vs homogeneous mobility.
+
+Paper artifact: Section 1 / ref [30]
+Flooding over transit+pedestrian composites vs the paper's homogeneous regimes.
+
+The benchmark times one quick-scale regeneration of the artifact and
+asserts its shape check passed, so `pytest benchmarks/ --benchmark-only`
+doubles as a reproduction smoke suite.
+"""
+
+from repro.experiments.registry import run_experiment
+
+
+def test_bench_transit_backbone(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("transit_backbone",),
+        kwargs={"scale": "quick", "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+    assert result.passed is not False

@@ -27,8 +27,9 @@ with a stable schema:
     ``protocol_baselines`` workload, the sweep-scheduler experiment
     suite (quick-scale batch-vs-scalar per migrated experiment, rendered
     reports compared for parity), and per-mobility-model batch-vs-scalar
-    timings over the flooding workload (native vectorized models plus the
-    replicated-fallback ``composite`` row, seed-for-seed parity gated).
+    timings over the flooding workload (every registered model is
+    batch-native since PR 9, ferry/composite/timetable included;
+    seed-for-seed parity gated).
 
 Timings interleave the contestants round-robin (warm-up first, best-of-N)
 so slow machine-wide drift hits every strategy equally — on shared CI
@@ -112,9 +113,10 @@ _ADAPTIVE_NOTE = re.compile(r"adaptive stopping: (\d+) trials vs (\d+) fixed bud
 
 #: The mobility suite: per-model batch-vs-scalar over the canonical
 #: ``L = sqrt n`` flooding workload, one row per registered mobility model
-#: (``ferry`` and ``composite`` ride along as the deliberately-replicated
-#: fallback rows).  ``mrwp-speed`` options are derived from the workload
-#: speed at build time; parity gates every row.
+#: — all batch-native since PR 9, the transit family (ferry / composite /
+#: timetable) included.  ``mrwp-speed`` options are derived from the
+#: workload speed at build time; ``timetable`` rider/board options are
+#: derived from the workload size; parity gates every row.
 MOBILITY_MODELS = (
     ("mrwp", {}),
     ("mrwp-pause", {"pause_time": 4.0}),
@@ -124,6 +126,7 @@ MOBILITY_MODELS = (
     ("random-direction", {}),
     ("ferry", {}),
     ("composite", {"ferries": 5}),
+    ("timetable", None),  # riders/dwell/capacity derived from the workload
 )
 MOBILITY_N = 1_000
 MOBILITY_TRIALS = 8
@@ -609,8 +612,19 @@ def _mobility_variant_configs(smoke: bool, seed: int = 42) -> list:
         batch = standard_config(
             n, radius_factor=1.0, seed=seed, mobility=name, engine="batch"
         )
-        if options is None:  # mrwp-speed: a real range around the workload speed
+        if options is None and name == "mrwp-speed":
+            # A real per-trip range around the workload speed.
             options = {"v_min": 0.5 * batch.speed, "v_max": 1.5 * batch.speed}
+        elif options is None and name == "timetable":
+            # A scheduled backbone sized to the workload: ~1% vehicles with
+            # dwelling stops, the rest riders who can board within R.
+            vehicles = max(2, n // 100)
+            options = {
+                "riders": n - vehicles,
+                "dwell": 2.0,
+                "capacity": 8,
+                "board_radius": batch.radius,
+            }
         batch = batch.with_options(mobility_options=dict(options))
         out.append((name, batch, batch.with_options(engine="scalar"), trials))
     return out
@@ -621,10 +635,10 @@ def _bench_mobility(repeats: int, smoke: bool) -> tuple:
 
     Returns ``(section, parity)``: the report's ``mobility`` section and the
     per-model seed-for-seed parity verdicts (parity gates the run, timing
-    never does).  Models outside ``BATCH_MOBILITY_REGISTRY`` run through the
-    replicated fallback — their ``native`` flag is False and their speedup
-    is expected to hover around 1x (the row exists to keep the slow path
-    visible, not to celebrate it).
+    never does).  Every registered model is batch-native since PR 9; the
+    ``native`` flag stays in the row schema so a user-registered model
+    without a batch twin (which would run through the replicated fallback
+    at ~1x) is still visible in the report.
     """
     from repro.mobility import BATCH_MOBILITY_REGISTRY
 

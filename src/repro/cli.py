@@ -29,10 +29,13 @@ Subcommands:
   worker costs one TTL, not the run, and the final tables stay identical
   to a solo run (``experiment``/``run`` take the same three flags);
 * ``flood --n N [--trials T] [--engine scalar|batch|auto] [--batch-size B]
-  [--mobility NAME] [--radius-factor C] [--speed-fraction F] ...`` — ad-hoc
-  flooding runs with the canonical ``L = sqrt n`` scaling; ``--engine
-  batch`` advances all trials in lock-step through the vectorized batch
-  engine (same results, faster), for any registered mobility model;
+  [--mobility NAME] [--mobility-options JSON] [--radius-factor C]
+  [--speed-fraction F] ...`` — ad-hoc flooding runs with the canonical
+  ``L = sqrt n`` scaling; ``--engine batch`` advances all trials in
+  lock-step through the vectorized batch engine (same results, faster) —
+  every registered mobility model is batch-native, transit family
+  included; ``--mobility-options`` passes model options (e.g.
+  ``'{"riders": 1990, "dwell": 2.0}'`` for ``--mobility timetable``);
 * ``bench [--smoke] [--suite core|protocols|experiments|mobility|network|all] [--out PATH]
   [--repeats N] [--label TAG]`` — the perf-trajectory harness
   (:mod:`repro.bench`): kernel and end-to-end timings, the per-protocol
@@ -46,6 +49,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import sys
 
@@ -65,6 +69,18 @@ def _positive_int(value: str) -> int:
     if number < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
     return number
+
+
+def _json_object(value: str) -> dict:
+    try:
+        parsed = json.loads(value)
+    except json.JSONDecodeError as exc:
+        raise argparse.ArgumentTypeError(f"invalid JSON: {exc}") from None
+    if not isinstance(parsed, dict):
+        raise argparse.ArgumentTypeError(
+            f"must be a JSON object, got {type(parsed).__name__}"
+        )
+    return parsed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -249,9 +265,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--mobility",
         choices=sorted(MODEL_REGISTRY),
         default="mrwp",
-        help="mobility model (any MODEL_REGISTRY name; models in "
-        "BATCH_MOBILITY_REGISTRY run natively vectorized under the batch "
-        "engine, the rest through the replicated fallback)",
+        help="mobility model (any MODEL_REGISTRY name; every registered "
+        "model runs natively vectorized under the batch engine, the "
+        "transit family ferry/composite/timetable included)",
+    )
+    flood_p.add_argument(
+        "--mobility-options",
+        type=_json_object,
+        default=None,
+        metavar="JSON",
+        help="mobility model options as a JSON object, e.g. "
+        "'{\"riders\": 1990, \"dwell\": 2.0, \"capacity\": 8}' for "
+        "--mobility timetable or '{\"ferries\": 5}' for --mobility "
+        "composite (validated against the model's option vocabulary at "
+        "config time)",
     )
     flood_p.add_argument(
         "--batch-size",
@@ -427,6 +454,7 @@ def _cmd_flood(args) -> int:
         max_steps=args.max_steps,
         protocol=args.protocol,
         mobility=args.mobility,
+        mobility_options=args.mobility_options or {},
         engine=args.engine,
         batch_size=args.batch_size,
     )

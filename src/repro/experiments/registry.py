@@ -33,6 +33,7 @@ EXPERIMENT_MODULES = {
     "meeting_suburb": "repro.experiments.meeting_suburb",
     "protocol_baselines": "repro.experiments.protocol_baselines",
     "mobility_ablation": "repro.experiments.mobility_ablation",
+    "transit_backbone": "repro.experiments.transit_backbone",
     "init_bias": "repro.experiments.init_bias",
     "thm10_growth": "repro.experiments.thm10_growth",
     "regime_map": "repro.experiments.regime_map",

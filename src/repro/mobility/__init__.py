@@ -23,8 +23,11 @@ from repro.mobility.distributions import (
     spatial_pdf_min,
 )
 from repro.mobility.ferry import (
+    BatchCompositeMobility,
+    BatchFerryPatrol,
     CompositeMobility,
     FerryPatrol,
+    batch_composite_with_ferries,
     composite_with_ferries,
     rectangle_route,
 )
@@ -52,6 +55,13 @@ from repro.mobility.stationary import (
     sample_destination_given_position,
     sample_stationary_positions,
 )
+from repro.mobility.timetable import (
+    BatchTimetableMobility,
+    Timetable,
+    TimetableMobility,
+    grid_shuttle_timetable,
+    loop_timetable,
+)
 
 MODEL_REGISTRY = {
     "mrwp": ManhattanRandomWaypoint,
@@ -62,6 +72,7 @@ MODEL_REGISTRY = {
     "random-direction": RandomDirection,
     "ferry": FerryPatrol,
     "composite": composite_with_ferries,
+    "timetable": TimetableMobility,
 }
 """Name -> constructor mapping used by the config/CLI layer and the
 ablation experiments (``composite`` maps to a config-shaped factory)."""
@@ -73,14 +84,26 @@ BATCH_MOBILITY_REGISTRY = {
     "rwp": BatchRandomWaypoint,
     "random-walk": BatchRandomWalk,
     "random-direction": BatchRandomDirection,
+    "ferry": BatchFerryPatrol,
+    "composite": batch_composite_with_ferries,
+    "timetable": BatchTimetableMobility,
 }
 """Models with a *native* vectorized batch implementation, key-compatible
 with :data:`MODEL_REGISTRY` (the batch counterpart of
-``repro.protocols.BATCH_PROTOCOL_REGISTRY``).  Every batch class is
-seed-for-seed bit-identical to its scalar sibling.  Names absent here
-(ferry / composite — deliberately exotic kinematics) run through
-:class:`~repro.mobility.base.ReplicatedBatchMobility` under the batch
-engine, and ``engine="auto"`` keeps them on the scalar engine."""
+``repro.protocols.BATCH_PROTOCOL_REGISTRY``; ``composite`` maps to a
+config-shaped factory).  Every batch entry is seed-for-seed bit-identical
+to its scalar sibling, and since PR 9 **every** scalar registry name has a
+native batch entry, so ``engine="auto"`` resolves every registered
+mobility to the batch engine.
+:class:`~repro.mobility.base.ReplicatedBatchMobility` remains only as the
+escape hatch for user-supplied scalar models registered without a batch
+twin."""
+
+NO_INIT_MODELS = frozenset({"random-walk", "random-direction", "ferry"})
+"""Registered models with no stationary-initialization vocabulary: their
+starting state is defined by the model itself (uniform walkers, uniform
+directions, evenly spaced ferries), so passing ``init=`` to them is a
+config error rather than a silently dropped option."""
 
 __all__ = [
     "MobilityModel",
@@ -105,11 +128,20 @@ __all__ = [
     "sample_stationary_speeds",
     "cold_start_speed_decay",
     "FerryPatrol",
+    "BatchFerryPatrol",
     "CompositeMobility",
+    "BatchCompositeMobility",
     "composite_with_ferries",
+    "batch_composite_with_ferries",
     "rectangle_route",
+    "Timetable",
+    "TimetableMobility",
+    "BatchTimetableMobility",
+    "loop_timetable",
+    "grid_shuttle_timetable",
     "MODEL_REGISTRY",
     "BATCH_MOBILITY_REGISTRY",
+    "NO_INIT_MODELS",
     "KinematicState",
     "PalmStationarySampler",
     "ClosedFormStationarySampler",

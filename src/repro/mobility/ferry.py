@@ -7,36 +7,47 @@ Suburb).  :class:`FerryPatrol` provides deterministic loop-following agents
 and :class:`CompositeMobility` glues them onto a background MRWP population,
 so the delay-tolerant-routing example can compare "wait for Lemma-16
 meetings" against "add ferries".
+
+Since PR 9 the ferry is a thin specialization of the timetable family
+(:mod:`repro.mobility.timetable`): a zero-dwell single-route
+:class:`~repro.mobility.timetable.TimetableMobility` with no riders.  The
+zero-dwell engine path reproduces the historical arc-length arithmetic bit
+for bit (asserted by a pinned regression test), and both models now have
+native batch twins — :class:`BatchFerryPatrol` and
+:class:`BatchCompositeMobility` — so nothing in this module needs the
+``ReplicatedBatchMobility`` fallback any more.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.mobility.base import MobilityModel
+from repro.mobility.base import BatchMobilityModel, MobilityModel
+from repro.mobility.timetable import (
+    BatchTimetableMobility,
+    Timetable,
+    TimetableMobility,
+    _route_positions_at_arc,
+    rectangle_route,
+)
 
 __all__ = [
     "FerryPatrol",
+    "BatchFerryPatrol",
     "CompositeMobility",
+    "BatchCompositeMobility",
     "composite_with_ferries",
+    "batch_composite_with_ferries",
     "rectangle_route",
 ]
 
 
-def rectangle_route(side: float, inset: float) -> np.ndarray:
-    """A rectangular loop at distance ``inset`` from the square's walls.
-
-    A common ferry route: it passes near all four Suburb corners.
-    """
-    if not 0 <= inset < side / 2:
-        raise ValueError(f"inset must be in [0, side/2), got {inset}")
-    lo = inset
-    hi = side - inset
-    return np.array([[lo, lo], [hi, lo], [hi, hi], [lo, hi]], dtype=np.float64)
-
-
-class FerryPatrol(MobilityModel):
+class FerryPatrol(TimetableMobility):
     """Deterministic agents looping along a closed polyline at constant speed.
+
+    A zero-dwell, single-route, rider-free timetable: vehicles never stop,
+    so their trajectory is the historical constant-speed arc advance
+    (bit-exact with the pre-timetable implementation).
 
     Args:
         n: number of ferries, spaced evenly along the route.
@@ -45,51 +56,65 @@ class FerryPatrol(MobilityModel):
         route: ``(k, 2)`` way-points of the closed loop (the segment from
             the last point back to the first is implied); defaults to
             :func:`rectangle_route` at distance ``inset`` from the walls.
+        rng: randomness source, consumed only when ``jitter > 0``.
         inset: wall distance of the default rectangular route (only used
             when ``route`` is omitted); defaults to ``side / 8``.
+        jitter: optional phase jitter — each ferry's starting arc is
+            offset by a uniform draw of up to ``jitter`` ferry spacings
+            (default 0: deterministic even spacing, no rng consumed).
     """
 
     def __init__(
         self, n: int, side: float, speed: float, route: np.ndarray = None,
-        rng=None, inset: float = None,
+        rng=None, inset: float = None, jitter: float = 0.0,
     ):
-        super().__init__(n, side, speed, rng)
         if route is None:
             route = rectangle_route(side, side / 8.0 if inset is None else inset)
-        route = np.asarray(route, dtype=np.float64)
-        if route.ndim != 2 or route.shape[1] != 2 or route.shape[0] < 2:
-            raise ValueError(f"route must have shape (k>=2, 2), got {route.shape}")
-        if np.any(route < 0) or np.any(route > side):
-            raise ValueError("route way-points must lie inside the square")
-        self.route = route
-        segments = np.diff(np.vstack([route, route[:1]]), axis=0)
-        self._seg_lengths = np.sqrt(np.sum(segments * segments, axis=1))
-        if np.any(self._seg_lengths <= 0):
-            raise ValueError("route contains zero-length segments")
-        self._cum = np.concatenate([[0.0], np.cumsum(self._seg_lengths)])
-        self.route_length = float(self._cum[-1])
-        # Even spacing along the loop.
-        self._arc = (np.arange(self.n) / self.n) * self.route_length
-
-    def _positions_at_arc(self, arc: np.ndarray) -> np.ndarray:
-        arc = np.mod(arc, self.route_length)
-        seg = np.clip(np.searchsorted(self._cum, arc, side="right") - 1, 0, len(self._seg_lengths) - 1)
-        offset = arc - self._cum[seg]
-        start = self.route[seg]
-        nxt = self.route[(seg + 1) % self.route.shape[0]]
-        direction = (nxt - start) / self._seg_lengths[seg][:, None]
-        return start + direction * offset[:, None]
+        timetable = Timetable([np.asarray(route, dtype=np.float64)])
+        super().__init__(
+            n, side, speed, rng=rng, timetable=timetable, jitter=jitter,
+        )
+        # Legacy surface, preserved for tests and downstream callers.
+        self.route = timetable.routes[0]
+        self._seg_lengths = timetable.seg_lengths[0]
+        self._cum = timetable.cum[0]
+        self.route_length = timetable.lengths[0]
 
     @property
-    def positions(self) -> np.ndarray:
-        return self._positions_at_arc(self._arc)
+    def _arc(self) -> np.ndarray:
+        return self._engine.veh_arc
 
-    def step(self, dt: float = 1.0) -> np.ndarray:
-        if dt <= 0:
-            raise ValueError(f"dt must be positive, got {dt}")
-        self._arc = np.mod(self._arc + self.speed * dt, self.route_length)
-        self.time += dt
-        return self.positions
+    def _positions_at_arc(self, arc: np.ndarray) -> np.ndarray:
+        return _route_positions_at_arc(
+            self.route, self._seg_lengths, self._cum, self.route_length, arc
+        )
+
+
+class BatchFerryPatrol(BatchTimetableMobility):
+    """Batch twin of :class:`FerryPatrol` — ``B`` replicas in lock-step.
+
+    Ferries are deterministic (``jitter=0``), so every replica carries the
+    identical patrol; the class exists so ``mobility="ferry"`` resolves to
+    a native batch model (and composes into
+    :class:`BatchCompositeMobility`) instead of the replicated fallback.
+    """
+
+    def __init__(
+        self, n: int, side: float, speed: float, rngs,
+        route: np.ndarray = None, inset: float = None, jitter: float = 0.0,
+    ):
+        if route is None:
+            route = rectangle_route(side, side / 8.0 if inset is None else inset)
+        timetable = Timetable([np.asarray(route, dtype=np.float64)])
+        super().__init__(
+            n, side, speed, rngs, timetable=timetable, jitter=jitter,
+        )
+        self.route = timetable.routes[0]
+        self.route_length = timetable.lengths[0]
+
+    @property
+    def _arc(self) -> np.ndarray:
+        return self._engine.veh_arc
 
 
 class CompositeMobility(MobilityModel):
@@ -131,6 +156,58 @@ class CompositeMobility(MobilityModel):
         return out
 
 
+class BatchCompositeMobility(BatchMobilityModel):
+    """Block-wise concatenation of native batch models, advanced in lock-step.
+
+    The batch twin of :class:`CompositeMobility`: each member keeps its own
+    ``(B, n_i, 2)`` state and the composite maintains an assembled
+    ``(B, sum n_i, 2)`` buffer with the same block order as the scalar
+    composition, so per-replica agent indices line up exactly.  All members
+    must share the batch size and (within the scalar tolerance) the side.
+    """
+
+    def __init__(self, models):
+        models = list(models)
+        if not models:
+            raise ValueError("at least one model is required")
+        batch_size = models[0].batch_size
+        side = models[0].side
+        for model in models[1:]:
+            if model.batch_size != batch_size:
+                raise ValueError("all composed models must share the batch size")
+            if abs(model.side - side) > 1e-9:
+                raise ValueError("all composed models must share the same side length")
+        total = sum(model.n for model in models)
+        super().__init__(
+            total, side, max(model.speed for model in models), models[0].rngs
+        )
+        self.models = models
+        self._pos = np.empty((batch_size * total, 2), dtype=np.float64)
+        self._gather()
+
+    def block_slices(self) -> list:
+        """Per-replica index slice of each member, in composition order."""
+        out = []
+        start = 0
+        for model in self.models:
+            out.append(slice(start, start + model.n))
+            start += model.n
+        return out
+
+    def _gather(self) -> None:
+        buf = self._pos.reshape(self.batch_size, self.n, 2)
+        for model, block in zip(self.models, self.block_slices()):
+            buf[:, block, :] = model.positions_view
+
+    def step(self, dt: float = 1.0, active=None, copy: bool = True) -> np.ndarray:
+        active = self._active_mask(active)
+        for model in self.models:
+            model.step(dt, active=active, copy=False)
+        self.time += dt
+        self._gather()
+        return self.positions if copy else self.positions_view
+
+
 def composite_with_ferries(
     n: int,
     side: float,
@@ -146,8 +223,7 @@ def composite_with_ferries(
     delay-tolerant-routing composition (MRWP agents ``0..n-ferries-1``,
     ferries after) as a single registered model, so experiments can select
     it by name.  Ferries are deterministic, so all randomness (and hence
-    seed-for-seed reproducibility under the replicated batch adapter)
-    lives in the MRWP block.
+    seed-for-seed reproducibility across engines) lives in the MRWP block.
 
     Args:
         n: total agents, ferries included.
@@ -168,3 +244,30 @@ def composite_with_ferries(
     background = ManhattanRandomWaypoint(n - ferries, side, speed, rng=rng, init=init)
     patrol = FerryPatrol(ferries, side, speed, inset=inset)
     return CompositeMobility([background, patrol])
+
+
+def batch_composite_with_ferries(
+    n: int,
+    side: float,
+    speed: float,
+    rngs,
+    ferries: int = 1,
+    inset: float = None,
+    init="stationary",
+) -> BatchCompositeMobility:
+    """Batch twin of :func:`composite_with_ferries`, same block layout.
+
+    Member construction order matches the scalar factory (MRWP background
+    first, ferries after), so per-replica draw order — and therefore every
+    position — is seed-for-seed identical to the scalar model.
+    """
+    from repro.mobility.mrwp import BatchManhattanRandomWaypoint
+
+    ferries = int(ferries)
+    if not 1 <= ferries <= n - 2:
+        raise ValueError(
+            f"ferries must be in [1, n - 2] (need an MRWP background), got {ferries}"
+        )
+    background = BatchManhattanRandomWaypoint(n - ferries, side, speed, rngs, init=init)
+    patrol = BatchFerryPatrol(ferries, side, speed, rngs)
+    return BatchCompositeMobility([background, patrol])

@@ -61,11 +61,13 @@ def build_batch_model(config: FloodingConfig, rngs) -> BatchMobilityModel:
 
     Every model in :data:`~repro.mobility.BATCH_MOBILITY_REGISTRY` gets its
     native vectorized implementation (same constructor arguments as the
-    scalar model, via :func:`~repro.simulation.runner.mobility_arguments`);
-    the deliberately-exotic models outside it (ferry / composite) fall back
-    to :class:`~repro.mobility.base.ReplicatedBatchMobility`, which is
-    correct (bit-identical to the scalar models) but not faster — the
-    fallback is flagged in the results so slow paths stay visible.
+    scalar model, via :func:`~repro.simulation.runner.mobility_arguments`).
+    All *registered* mobility names are batch-native; the
+    :class:`~repro.mobility.base.ReplicatedBatchMobility` branch survives
+    only as the escape hatch for user-supplied scalar models registered
+    without a batch twin — correct (bit-identical to the scalar models) but
+    not faster, and flagged in every replica's results so slow paths stay
+    visible.
 
     Args:
         config: the experiment parameters.
@@ -303,11 +305,12 @@ def run_protocol_batch(config: FloodingConfig, seed_seqs) -> list:
     counts = simulation.informed_counts_history
     extras = state.final_metrics(model.positions_view, zones)
     if isinstance(model, ReplicatedBatchMobility):
-        # One-time note per batch (on the first trial's extras): the
-        # mobility ran as a per-replica Python loop, so this batch saw no
-        # mobility vectorization win — visible in results, not buried in
-        # logs.
-        extras[0]["mobility_execution"] = "replicated (not vectorized)"
+        # The mobility ran as a per-replica Python loop, so this batch saw
+        # no mobility vectorization win.  Stamp every replica's extras so
+        # each per-trial record is self-describing — visible in results,
+        # not buried in logs.
+        for extra in extras:
+            extra["mobility_execution"] = "replicated (not vectorized)"
     for b in range(batch):
         history = counts[: n_steps[b] + 1, b].copy()
         completed = bool(complete[b])

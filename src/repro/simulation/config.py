@@ -16,7 +16,7 @@ import math
 from dataclasses import dataclass, field, replace
 
 from repro.core import theory
-from repro.mobility import BATCH_MOBILITY_REGISTRY, MODEL_REGISTRY
+from repro.mobility import BATCH_MOBILITY_REGISTRY, MODEL_REGISTRY, NO_INIT_MODELS
 from repro.protocols import BATCH_PROTOCOL_REGISTRY, PROTOCOL_REGISTRY
 
 __all__ = ["FloodingConfig", "standard_config"]
@@ -35,8 +35,11 @@ _MOBILITY_OPTION_KEYS = {
     "rwp": frozenset({"pause_time"}),
     "random-walk": frozenset({"boundary"}),
     "random-direction": frozenset({"mean_leg"}),
-    "ferry": frozenset({"inset"}),
+    "ferry": frozenset({"inset", "jitter"}),
     "composite": frozenset({"ferries", "inset"}),
+    "timetable": frozenset(
+        {"routes", "dwell", "headway", "capacity", "riders", "board_radius", "jitter"}
+    ),
 }
 
 
@@ -139,6 +142,12 @@ class FloodingConfig:
                 f"init must be one of {_INITS}, got {self.init!r} "
                 "(mobility models may restrict further: 'closed-form' is mrwp-only)"
             )
+        if self.mobility in NO_INIT_MODELS and self.init != "stationary":
+            raise ValueError(
+                f"mobility model {self.mobility!r} defines its own starting state "
+                f"and takes no init= option (got init={self.init!r}); drop init or "
+                "leave it at the default 'stationary'"
+            )
         if self.mobility not in MODEL_REGISTRY:
             raise ValueError(
                 f"unknown mobility model {self.mobility!r}; registered models: "
@@ -201,6 +210,26 @@ class FloodingConfig:
             raise ValueError(
                 f"ferries must be in [1, n - 2] (need an MRWP background), got {ferries}"
             )
+        jitter = options.get("jitter")
+        if jitter is not None and not 0 <= jitter <= 1:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        riders = options.get("riders")
+        if riders is not None and not 0 <= int(riders) <= self.n - 1:
+            raise ValueError(
+                f"riders must be in [0, n - 1] (at least one vehicle), got {riders}"
+            )
+        dwell = options.get("dwell")
+        if dwell is not None and isinstance(dwell, (int, float)) and dwell < 0:
+            raise ValueError(f"dwell must be non-negative, got {dwell}")
+        headway = options.get("headway")
+        if headway is not None and not headway > 0:
+            raise ValueError(f"headway must be positive, got {headway}")
+        capacity = options.get("capacity")
+        if capacity is not None and int(capacity) < 1:
+            raise ValueError(f"capacity must be at least 1, got {capacity}")
+        board_radius = options.get("board_radius")
+        if board_radius is not None and not board_radius > 0:
+            raise ValueError(f"board_radius must be positive, got {board_radius}")
 
     def with_options(self, **changes) -> "FloodingConfig":
         """A copy with the given fields replaced."""
@@ -213,11 +242,15 @@ class FloodingConfig:
         ``"auto"`` picks the batch engine exactly when **both** the
         protocol and the mobility model have native vectorized
         implementations (:data:`~repro.protocols.BATCH_PROTOCOL_REGISTRY`
-        and :data:`~repro.mobility.BATCH_MOBILITY_REGISTRY`); anything
-        else runs scalar — the replicated mobility fallback is a
-        per-replica Python loop, so batching it buys nothing.  An explicit
+        and :data:`~repro.mobility.BATCH_MOBILITY_REGISTRY`).  Every
+        *registered* mobility name is batch-native since PR 9, so for
+        registered models this reduces to the protocol check; the mobility
+        clause still matters for user-supplied models registered without a
+        batch twin, which ``auto`` keeps on the scalar engine (their
+        :class:`~repro.mobility.base.ReplicatedBatchMobility` adapter is a
+        per-replica Python loop, so batching buys nothing).  An explicit
         ``engine="batch"`` still forces the batch engine (with the
-        fallback, flagged in the results) for non-native mobility.
+        fallback, flagged in the results) for such models.
         """
         if self.engine != "auto":
             return self.engine

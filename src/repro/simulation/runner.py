@@ -17,7 +17,7 @@ import math
 import numpy as np
 
 from repro.core.flooding import build_zone_partition, select_source
-from repro.mobility import MODEL_REGISTRY
+from repro.mobility import MODEL_REGISTRY, NO_INIT_MODELS
 from repro.protocols import PROTOCOL_REGISTRY, FloodingProtocol
 from repro.simulation.config import FloodingConfig
 from repro.simulation.engine import Simulation
@@ -34,8 +34,11 @@ __all__ = [
 ]
 
 #: Models whose constructors take no ``init`` argument (their stationary
-#: law needs no warm-up state beyond uniform positions).
-_NO_INIT_MODELS = frozenset({"random-walk", "random-direction", "ferry"})
+#: law needs no warm-up state beyond uniform positions).  The canonical
+#: set lives in :data:`repro.mobility.NO_INIT_MODELS` so the config layer
+#: can reject ``init=`` for these models at construction time instead of
+#: this module silently dropping it.
+_NO_INIT_MODELS = NO_INIT_MODELS
 
 
 def mobility_arguments(config: FloodingConfig) -> tuple:

@@ -5,18 +5,25 @@ PR 5's core invariant: every model in ``BATCH_MOBILITY_REGISTRY`` advances
 — same initial state (stationary / Palm / uniform sampling included), same
 trajectories, same per-replica RNG streams — and the batch engine built on
 top of them returns exactly the scalar engine's trial results across
-models, inits, backends and engines.  The deliberately-exotic models
-(ferry / composite) stay correct through the ``ReplicatedBatchMobility``
-fallback, which must announce itself in the results.
+models, inits, backends and engines.  Since PR 9 that includes the transit
+family (ferry / composite / timetable): every registered name is
+batch-native, and ``ReplicatedBatchMobility`` survives only as the tested
+escape hatch for user-supplied scalar models, announcing itself in every
+replica's results.
 """
 
 import numpy as np
 import pytest
 
 from repro.geometry.neighbors import available_backends
-from repro.mobility import BATCH_MOBILITY_REGISTRY, MODEL_REGISTRY, ReplicatedBatchMobility
+from repro.mobility import (
+    BATCH_MOBILITY_REGISTRY,
+    MODEL_REGISTRY,
+    ManhattanRandomWaypoint,
+    ReplicatedBatchMobility,
+)
 from repro.simulation.batch import build_batch_model, run_protocol_batch
-from repro.simulation.config import FloodingConfig, standard_config
+from repro.simulation.config import _MOBILITY_OPTION_KEYS, FloodingConfig, standard_config
 from repro.simulation.runner import build_model, run_trials
 
 B = 4
@@ -39,6 +46,27 @@ MODEL_GRID = [
     ("random-walk", {"boundary": "clip"}, ("stationary",)),
     ("random-direction", {}, ("stationary",)),
     ("random-direction", {"mean_leg": 2.0}, ("stationary",)),
+    # Transit family (PR 9).  The ferry inset is chosen so the ferry
+    # spacing is NOT an exact divisor of the radius: evenly spaced
+    # collinear ferries otherwise put pairs at float-exact distance R,
+    # where different neighbor kernels may legitimately disagree on the
+    # inclusive boundary (a measure-zero tie no stochastic model produces).
+    ("ferry", {"inset": 1.9}, ("stationary",)),
+    ("ferry", {"inset": 1.9, "jitter": 0.5}, ("stationary",)),
+    ("composite", {"ferries": 3}, ("stationary", "uniform")),
+    ("timetable", {"riders": 40, "dwell": 2.0, "capacity": 3}, ("stationary", "uniform")),
+    (
+        "timetable",
+        {
+            "riders": 35,
+            "dwell": 1.5,
+            "headway": 4.0,
+            "capacity": 2,
+            "board_radius": 1.0,
+            "jitter": 0.5,
+        },
+        ("stationary",),
+    ),
 ]
 
 MODEL_INIT_CASES = [
@@ -89,7 +117,10 @@ class TestModelLevelParity:
     @pytest.mark.parametrize("name,options,init", MODEL_INIT_CASES)
     def test_initial_state_and_trajectory_bit_exact(self, name, options, init):
         scalars, batch = model_pair(name, options, init)
-        assert type(batch) is BATCH_MOBILITY_REGISTRY[name]
+        entry = BATCH_MOBILITY_REGISTRY[name]
+        if isinstance(entry, type):
+            assert type(batch) is entry
+        assert not isinstance(batch, ReplicatedBatchMobility)
         assert np.array_equal(np.stack([m.positions for m in scalars]), batch.positions)
         for _ in range(12):
             expected = np.stack([m.step() for m in scalars])
@@ -116,7 +147,15 @@ class TestModelLevelParity:
             expected = np.stack([m.step() for m in scalars])
             assert np.array_equal(batch.step(), expected)
 
-    @pytest.mark.parametrize("name,options", [("mrwp", {}), ("mrwp-pause", {"pause_time": 1.0})])
+    @pytest.mark.parametrize(
+        "name,options",
+        [
+            ("mrwp", {}),
+            ("mrwp-pause", {"pause_time": 1.0}),
+            ("ferry", {"inset": 1.9}),
+            ("timetable", {"riders": 40, "dwell": 1.0, "capacity": 3}),
+        ],
+    )
     def test_fractional_dt_parity(self, name, options):
         scalars, batch = model_pair(name, options, "stationary")
         for dt in (0.25, 1.75, 0.5, 3.0):
@@ -154,44 +193,79 @@ class TestEngineLevelParity:
             assert config.resolved_engine == "batch", name
 
 
-class TestReplicatedFallback:
-    """ferry / composite: correct through ReplicatedBatchMobility, visibly."""
+#: The PR 9 acceptance sweep: {timetable, ferry, composite} — each config
+#: must produce bit-identical positions and informed-counts across every
+#: backend and engine.
+TRANSIT_CASES = [
+    ("ferry", {"inset": 1.9}),
+    ("composite", {"ferries": 3}),
+    ("timetable", {"riders": 40, "dwell": 2.0, "capacity": 3}),
+]
 
-    def ferry_config(self, **overrides):
-        # inset chosen so the ferry spacing (perimeter / n) is NOT an exact
-        # divisor of the radius: evenly spaced collinear ferries otherwise
-        # put pairs at float-exact distance R, where different neighbor
-        # kernels may legitimately disagree on the inclusive boundary (a
-        # measure-zero tie no stochastic model produces).
-        return mobility_config("ferry", {"inset": 1.9}, max_steps=60, **overrides)
 
-    def composite_config(self, **overrides):
-        return mobility_config("composite", {"ferries": 3}, max_steps=200, **overrides)
+class TestTransitFamilyNative:
+    """ferry / composite / timetable run natively in the batch engine."""
 
-    def test_fallback_models_are_replicated(self):
+    @pytest.mark.parametrize("name,options", TRANSIT_CASES)
+    def test_transit_models_are_native(self, name, options):
         rngs = [np.random.default_rng(s) for s in np.random.SeedSequence(3).spawn(B)]
-        for config in (self.ferry_config(), self.composite_config()):
-            assert isinstance(build_batch_model(config, rngs), ReplicatedBatchMobility)
+        model = build_batch_model(mobility_config(name, options), rngs)
+        assert not isinstance(model, ReplicatedBatchMobility)
 
-    def test_ferry_and_composite_bit_identical_across_engines(self):
-        for config in (self.ferry_config(), self.composite_config()):
-            scalar = result_fingerprint(run_trials(config, 3))
-            batch = result_fingerprint(run_trials(config.with_options(engine="batch"), 3))
-            assert scalar == batch, config.mobility
+    @pytest.mark.parametrize("backend", available_backends())
+    @pytest.mark.parametrize("name,options", TRANSIT_CASES)
+    def test_bit_identical_across_backends_and_engines(self, name, options, backend):
+        """The acceptance sweep: {transit model} x {backend} x {engine}."""
+        config = mobility_config(name, options, max_steps=120, backend=backend)
+        reference = result_fingerprint(run_trials(config.with_options(engine="scalar"), 3))
+        for engine in ("batch", "auto"):
+            got = result_fingerprint(run_trials(config.with_options(engine=engine), 3))
+            assert got == reference, (name, backend, engine)
 
-    def test_fallback_note_appears_once_per_batch(self):
-        results = run_trials(self.composite_config(engine="batch"), 3)
+    @pytest.mark.parametrize("name,options", TRANSIT_CASES)
+    def test_no_fallback_note_and_auto_resolves_to_batch(self, name, options):
+        config = mobility_config(name, options, engine="auto")
+        assert config.resolved_engine == "batch"
+        results = run_trials(config, 2)
+        assert all("mobility_execution" not in r.extras for r in results)
+
+
+class TestReplicatedEscapeHatch:
+    """User-supplied scalar models without a batch twin still run correctly
+    through ReplicatedBatchMobility — and say so in every replica."""
+
+    NAME = "mrwp-scalar-only"
+
+    @pytest.fixture()
+    def scalar_only_model(self, monkeypatch):
+        monkeypatch.setitem(MODEL_REGISTRY, self.NAME, ManhattanRandomWaypoint)
+        monkeypatch.setitem(_MOBILITY_OPTION_KEYS, self.NAME, frozenset())
+        assert self.NAME not in BATCH_MOBILITY_REGISTRY
+        return self.NAME
+
+    def test_unregistered_batch_model_is_replicated(self, scalar_only_model):
+        rngs = [np.random.default_rng(s) for s in np.random.SeedSequence(3).spawn(B)]
+        config = mobility_config(scalar_only_model, {})
+        assert isinstance(build_batch_model(config, rngs), ReplicatedBatchMobility)
+
+    def test_escape_hatch_bit_identical_across_engines(self, scalar_only_model):
+        config = mobility_config(scalar_only_model, {}, max_steps=120)
+        scalar = result_fingerprint(run_trials(config, 3))
+        batch = result_fingerprint(run_trials(config.with_options(engine="batch"), 3))
+        assert scalar == batch
+
+    def test_fallback_note_stamped_on_every_replica(self, scalar_only_model):
+        results = run_trials(mobility_config(scalar_only_model, {}, engine="batch"), 3)
         notes = [r.extras.get("mobility_execution") for r in results]
-        assert notes[0] == "replicated (not vectorized)"
-        assert notes[1:] == [None, None]
+        assert notes == ["replicated (not vectorized)"] * 3
 
     def test_native_models_carry_no_fallback_note(self):
         results = run_trials(mobility_config("mrwp-pause", {"pause_time": 1.0}, engine="batch"), 2)
         assert all("mobility_execution" not in r.extras for r in results)
 
-    def test_auto_keeps_fallback_models_on_the_scalar_engine(self):
-        for config in (self.ferry_config(engine="auto"), self.composite_config(engine="auto")):
-            assert config.resolved_engine == "scalar"
+    def test_auto_keeps_escape_hatch_models_on_the_scalar_engine(self, scalar_only_model):
+        config = mobility_config(scalar_only_model, {}, engine="auto")
+        assert config.resolved_engine == "scalar"
 
 
 class TestConfigSurface:
@@ -224,9 +298,28 @@ class TestConfigSurface:
         assert model.v_min == model.v_max == SPEED
 
     def test_registry_keys_line_up(self):
-        from repro.simulation.config import _MOBILITY_OPTION_KEYS
-
-        assert set(BATCH_MOBILITY_REGISTRY) <= set(MODEL_REGISTRY)
-        assert set(MODEL_REGISTRY) - set(BATCH_MOBILITY_REGISTRY) == {"ferry", "composite"}
+        # Every registered mobility resolves to a native batch entry — the
+        # PR 9 acceptance criterion that retired the replicated fallback
+        # for built-in models.
+        assert set(BATCH_MOBILITY_REGISTRY) == set(MODEL_REGISTRY)
         # Registering a model requires declaring its option vocabulary too.
         assert set(_MOBILITY_OPTION_KEYS) == set(MODEL_REGISTRY)
+
+    def test_no_init_models_reject_init_at_config_time(self):
+        for name in ("ferry", "random-walk", "random-direction"):
+            with pytest.raises(ValueError, match="takes no init"):
+                mobility_config(name, {}, init="uniform")
+
+    def test_timetable_option_values_validated_at_construction(self):
+        with pytest.raises(ValueError, match="riders"):
+            mobility_config("timetable", {"riders": N})
+        with pytest.raises(ValueError, match="headway"):
+            mobility_config("timetable", {"headway": 0.0})
+        with pytest.raises(ValueError, match="capacity"):
+            mobility_config("timetable", {"capacity": 0})
+        with pytest.raises(ValueError, match="dwell"):
+            mobility_config("timetable", {"dwell": -1.0})
+        with pytest.raises(ValueError, match="board_radius"):
+            mobility_config("timetable", {"board_radius": 0.0})
+        with pytest.raises(ValueError, match="jitter"):
+            mobility_config("ferry", {"jitter": 1.5})

@@ -72,6 +72,28 @@ class TestFerryPatrol:
         with pytest.raises(ValueError):
             FerryPatrol(1, SIDE, 1.0, route=np.array([[1.0, 1.0], [1.0, 1.0]]))
 
+    def test_duplicate_waypoints_anywhere_in_route(self):
+        # A consecutive duplicate mid-route is a zero-length segment too.
+        with pytest.raises(ValueError, match="zero-length"):
+            FerryPatrol(
+                1, SIDE, 1.0,
+                route=np.array([[1.0, 1.0], [5.0, 1.0], [5.0, 1.0], [1.0, 5.0]]),
+            )
+        # An implied closing segment of length zero (last point == first).
+        with pytest.raises(ValueError, match="zero-length"):
+            FerryPatrol(
+                1, SIDE, 1.0,
+                route=np.array([[1.0, 1.0], [5.0, 1.0], [1.0, 1.0]]),
+            )
+
+    def test_waypoint_on_boundary_is_valid(self):
+        # The square is closed: way-points may sit exactly on the walls
+        # (inset 0 is the boundary patrol).
+        route = np.array([[0.0, 0.0], [SIDE, 0.0], [SIDE, SIDE], [0.0, SIDE]])
+        ferry = FerryPatrol(2, SIDE, 1.0, route=route)
+        positions = ferry.step()
+        assert in_square(positions, SIDE).all()
+
 
 class TestCompositeMobility:
     def test_concatenates_populations(self, rng):
@@ -103,6 +125,43 @@ class TestCompositeMobility:
         other = RandomWalk(10, SIDE + 1, 0.5, rng=rng)
         with pytest.raises(ValueError):
             CompositeMobility([walk, other])
+
+    def test_side_mismatch_tolerance(self, rng):
+        # Float noise below the 1e-9 documented tolerance composes; above
+        # it is rejected.
+        walk = RandomWalk(4, SIDE, 0.5, rng=rng)
+        near = RandomWalk(4, SIDE + 0.5e-9, 0.5, rng=rng)
+        combo = CompositeMobility([walk, near])
+        assert combo.n == 8
+        beyond = RandomWalk(4, SIDE + 1e-8, 0.5, rng=rng)
+        with pytest.raises(ValueError, match="side"):
+            CompositeMobility([walk, beyond])
+
+    def test_single_model_composition(self, rng):
+        walk = RandomWalk(7, SIDE, 0.5, rng=rng)
+        combo = CompositeMobility([walk])
+        assert combo.n == 7
+        assert combo.block_slices() == [slice(0, 7)]
+        assert np.array_equal(combo.positions, walk.positions)
+        combo.step()
+        assert np.array_equal(combo.positions, walk.positions)
+
+    def test_block_slices_under_nested_composites(self, rng):
+        inner = CompositeMobility(
+            [
+                RandomWalk(5, SIDE, 0.5, rng=rng),
+                FerryPatrol(2, SIDE, 0.5, route=rectangle_route(SIDE, 1.0)),
+            ]
+        )
+        outer = CompositeMobility([inner, RandomWalk(3, SIDE, 0.5, rng=rng)])
+        # The outer composition sees the inner composite as one 7-agent
+        # block; the inner split is still available on the inner model.
+        assert outer.n == 10
+        assert outer.block_slices() == [slice(0, 7), slice(7, 10)]
+        assert inner.block_slices() == [slice(0, 5), slice(5, 7)]
+        after = outer.step()
+        assert after.shape == (10, 2)
+        assert in_square(after, SIDE).all()
 
     def test_empty_rejected(self):
         with pytest.raises(ValueError):

@@ -187,11 +187,19 @@ class TestSweepParallelEngineDispatch:
 
     The bug: ``sweep_parallel`` branched once on the *base* config's
     ``resolved_engine``, so a sweep crossing an ``engine="auto"``
-    resolution boundary (native-batch mobility -> ferry, which has no
-    native batch implementation) shipped every variant through the base
-    config's engine.  ``max_workers=1`` keeps dispatch in-process so the
-    counting monkeypatches observe every call.
+    resolution boundary shipped every variant through the base config's
+    engine.  Every *built-in* mobility is batch-native since PR 9, so the
+    boundary is recreated the way a user-supplied scalar-only model would:
+    by removing ``ferry`` from ``BATCH_MOBILITY_REGISTRY`` for the test
+    (``max_workers=1`` keeps dispatch in-process, so both the registry
+    patch and the counting monkeypatches are visible to every call).
     """
+
+    @staticmethod
+    def _scalar_only_ferry(monkeypatch):
+        from repro.mobility import BATCH_MOBILITY_REGISTRY
+
+        monkeypatch.delitem(BATCH_MOBILITY_REGISTRY, "ferry")
 
     @staticmethod
     def _counting(monkeypatch):
@@ -215,6 +223,7 @@ class TestSweepParallelEngineDispatch:
         return batch_calls, scalar_calls
 
     def test_mobility_sweep_crossing_auto_boundary(self, monkeypatch):
+        self._scalar_only_ferry(monkeypatch)
         batch_calls, scalar_calls = self._counting(monkeypatch)
         base = standard_config(
             60, radius_factor=1.2, max_steps=40, seed=7, engine="auto", mobility="mrwp"
@@ -231,6 +240,7 @@ class TestSweepParallelEngineDispatch:
             ]
 
     def test_scalar_base_sweeping_into_batch_variants(self, monkeypatch):
+        self._scalar_only_ferry(monkeypatch)
         batch_calls, scalar_calls = self._counting(monkeypatch)
         base = standard_config(
             60, radius_factor=1.2, max_steps=40, seed=7, engine="auto", mobility="ferry"
