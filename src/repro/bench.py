@@ -147,6 +147,25 @@ NETWORK_JOURNEYS_SMOKE = {"n": 300, "steps": 10, "sources": 6, "seed": 7}
 NETWORK_CONTACTS = {"replicas": 8, "n": 1000, "steps": 20, "seed": 9}
 NETWORK_CONTACTS_SMOKE = {"replicas": 3, "n": 300, "steps": 8, "seed": 9}
 
+#: The kernels suite (PR 10): every compiled-tier kernel timed against the
+#: numpy reference path it replaces — same public entry point, tier
+#: switched with :func:`repro.kernels.use_kernel_tier` — plus the
+#: canonical end-to-end flooding run under ``kernels="compiled"`` vs
+#: ``kernels="numpy"``.  Every row is parity-gated (the compiled tier is
+#: bit-exact by contract), the compiled provider is warmed before any
+#: timing, and a ``compile_events()`` delta of zero across the timed
+#: region is itself a recorded check (warm-path-only measurement).
+KERNEL_TIER_PAIR = {"batch": 16, "n": 2_000, "radius": 2.8}
+KERNEL_TIER_PAIR_SMOKE = {"batch": 4, "n": 400, "radius": 2.8}
+KERNEL_TIER_LEGS = {"total": 20_000, "iterations": 5}
+KERNEL_TIER_LEGS_SMOKE = {"total": 2_000, "iterations": 3}
+KERNEL_TIER_SPLICE = {"n": 20_000, "steps": 8}
+KERNEL_TIER_SPLICE_SMOKE = {"n": 2_000, "steps": 4}
+KERNEL_TIER_UNION = {"replicas": 8, "n": 2_000, "rounds": 6}
+KERNEL_TIER_UNION_SMOKE = {"replicas": 3, "n": 400, "rounds": 3}
+KERNEL_TIER_ZONES = {"batch": 16, "n": 2_000, "steps": 10}
+KERNEL_TIER_ZONES_SMOKE = {"batch": 4, "n": 400, "steps": 4}
+
 
 # ----------------------------------------------------------------------
 # Workload builders (shared with benchmarks/)
@@ -910,6 +929,285 @@ def _bench_network(repeats: int, smoke: bool) -> tuple:
 
 
 # ----------------------------------------------------------------------
+# Kernels suite: compiled tier vs numpy, per kernel + end to end
+# ----------------------------------------------------------------------
+def _zone_workload_simulation(n: int, batch: int, seed: int):
+    """A real :class:`BatchSimulation` (canonical scaling, zones on) whose
+    ``_zone_fractions`` call site the zone-counts micro-benchmark drives."""
+    from repro.core.flooding import build_zone_partition, select_source
+    from repro.simulation.batch import (
+        BatchSimulation,
+        build_batch_model,
+        build_batch_state,
+    )
+
+    config = standard_config(n, seed=seed, engine="batch")
+    seed_seqs = np.random.SeedSequence(seed).spawn(batch)
+    mobility_rngs, protocol_rngs, source_rngs = [], [], []
+    for seed_seq in seed_seqs:
+        mobility_ss, protocol_ss, source_ss = seed_seq.spawn(3)
+        mobility_rngs.append(np.random.default_rng(mobility_ss))
+        protocol_rngs.append(np.random.default_rng(protocol_ss))
+        source_rngs.append(np.random.default_rng(source_ss))
+    model = build_batch_model(config, mobility_rngs)
+    sources = np.array(
+        [
+            select_source(model.positions[b], config.side, config.source, source_rngs[b])
+            for b in range(batch)
+        ],
+        dtype=np.intp,
+    )
+    state = build_batch_state(config, sources, protocol_rngs)
+    zones = build_zone_partition(
+        config.n, config.side, config.radius, config.threshold_factor
+    )
+    return BatchSimulation(model, state, zones=zones), config.side
+
+
+def _kernel_tier_workloads(smoke: bool) -> list:
+    """One ``(name, params, run)`` triple per compiled-tier kernel.
+
+    Each ``run(tier)`` drives the kernel's *public* entry point under
+    :func:`repro.kernels.use_kernel_tier` — the same dispatch sites the
+    simulation loop hits — and returns a canonical result object so the
+    two tiers can be compared for exact equality.
+    """
+    from repro.kernels import use_kernel_tier
+    from repro.mobility.kinematics import DenseLegScratch, advance_legs, advance_legs_dense
+    from repro.network.batch_union_find import BatchUnionFind
+
+    workloads = []
+
+    # -- pair kernels: the batched infection test and the cut contacts --
+    pair = dict(KERNEL_TIER_PAIR_SMOKE if smoke else KERNEL_TIER_PAIR)
+    batch, n, radius = pair["batch"], pair["n"], pair["radius"]
+    side = math.sqrt(n) * 0.7071 * 2
+    positions, informed, uninformed = batch_infection_workload(batch, n, side)
+    query = BatchNeighborQuery(side, batch)
+
+    def run_any_within(tier):
+        with use_kernel_tier(tier):
+            return query.any_within(positions, informed, uninformed, radius)
+
+    def run_contacts(tier):
+        with use_kernel_tier(tier):
+            r, s, q = query.bind(positions).contacts_within(informed, uninformed, radius)
+        # Emission order is unspecified on every backend: canonicalize by
+        # the unique (replica, source, query) key, like the protocols do.
+        order = np.argsort((r * n + s) * n + q, kind="stable")
+        return r[order].tobytes() + s[order].tobytes() + q[order].tobytes()
+
+    workloads.append(("batch_any_within", pair, run_any_within))
+    workloads.append(("batch_contacts", pair, run_contacts))
+
+    # -- leg kernels: masked carry-over advance + dense full-array pass --
+    legs = dict(KERNEL_TIER_LEGS_SMOKE if smoke else KERNEL_TIER_LEGS)
+    total, iterations = legs["total"], legs["iterations"]
+    leg_side = math.sqrt(total)
+    rng = np.random.default_rng(17)
+    leg_pos = rng.uniform(0.0, leg_side, size=(total, 2))
+    leg_target = rng.uniform(0.0, leg_side, size=(total, 2))
+    leg_budget = rng.uniform(0.0, 3.0, size=total)
+    leg_speed = rng.uniform(0.5, 1.5, size=total)
+    leg_idx = np.nonzero(leg_budget > 0.2)[0]
+    moving = leg_budget > 0.2
+    n_moving = int(np.count_nonzero(moving))
+    eps = 1e-9 * leg_side
+
+    def run_advance_legs(tier):
+        pos, target, budget = leg_pos.copy(), leg_target.copy(), leg_budget.copy()
+        with use_kernel_tier(tier):
+            for _ in range(iterations):
+                done = advance_legs(pos, target, budget, leg_idx, eps, speed=leg_speed)
+        return pos.tobytes() + budget.tobytes() + done.tobytes()
+
+    def run_advance_legs_dense(tier):
+        pos, target, budget = leg_pos.copy(), leg_target.copy(), leg_budget.copy()
+        scratch = DenseLegScratch(total)
+        with use_kernel_tier(tier):
+            for _ in range(iterations):
+                done = advance_legs_dense(
+                    pos, target, budget, moving, n_moving, eps, scratch, speed=leg_speed
+                )
+        return pos.tobytes() + budget.tobytes() + done.tobytes()
+
+    workloads.append(("advance_legs", legs, run_advance_legs))
+    workloads.append(("advance_legs_dense", legs, run_advance_legs_dense))
+
+    # -- incremental index kernels: argsort-splice + occupancy delta --
+    splice = dict(KERNEL_TIER_SPLICE_SMOKE if smoke else KERNEL_TIER_SPLICE)
+    sp_n, sp_steps = splice["n"], splice["steps"]
+    sp_side, sp_cell = math.sqrt(sp_n), 2.0
+    sp_snapshots = drifting_points(sp_n, sp_side, 0.7, steps=sp_steps, seed=3)
+
+    def run_grid_splice(tier):
+        index = IncrementalGridIndex(sp_side, sp_cell, rebuild_fraction=1.0)
+        with use_kernel_tier(tier):
+            for snap in sp_snapshots:
+                index.update(snap)
+        return index._order.tobytes() + index._sorted_ids.tobytes()
+
+    occ_batch, occ_n = (4, 500) if smoke else (16, 2_000)
+    occ_side, occ_cell = math.sqrt(occ_n), 1.25
+    occ_snapshots = [
+        np.broadcast_to(s, (occ_batch, occ_n, 2)).copy()
+        for s in drifting_points(occ_n, occ_side, 0.1, steps=sp_steps, seed=5)
+    ]
+
+    def run_occupancy_delta(tier):
+        occ = IncrementalBatchOccupancy(
+            occ_side, occ_batch, occ_cell, track_counts=True, rebuild_fraction=1.0
+        )
+        with use_kernel_tier(tier):
+            for snap in occ_snapshots:
+                occ.update(snap)
+        return occ.counts.copy()
+
+    workloads.append(("grid_splice", {"n": sp_n, "steps": sp_steps}, run_grid_splice))
+    workloads.append(
+        ("occupancy_delta", {"batch": occ_batch, "n": occ_n, "steps": sp_steps}, run_occupancy_delta)
+    )
+
+    # -- union-find fixpoint: incremental batched connectivity --
+    union = dict(KERNEL_TIER_UNION_SMOKE if smoke else KERNEL_TIER_UNION)
+    uf_replicas, uf_n, uf_rounds = union["replicas"], union["n"], union["rounds"]
+    uf_rng = np.random.default_rng(23)
+    uf_edges = [
+        (uf_rng.integers(0, uf_n, size=4 * uf_n), uf_rng.integers(0, uf_n, size=4 * uf_n))
+        for _ in range(uf_rounds)
+    ]
+
+    def run_union_fixpoint(tier):
+        uf = BatchUnionFind(uf_replicas, uf_n)
+        with use_kernel_tier(tier):
+            for u, v in uf_edges:
+                uf.add_edges(u, v)
+        return uf.labels()
+
+    workloads.append(("union_fixpoint", union, run_union_fixpoint))
+
+    # -- zone classification: CZ membership counts for completion tracking --
+    # Drives the hot-loop call site itself (``_zone_fractions`` with
+    # ``need_mask=False``) on a real batch simulation, so the row times the
+    # same dispatch the lock-step engine hits every recorded step.
+    zones_p = dict(KERNEL_TIER_ZONES_SMOKE if smoke else KERNEL_TIER_ZONES)
+    zc_batch, zc_n, zc_steps = zones_p["batch"], zones_p["n"], zones_p["steps"]
+    zc_sim, zc_side = _zone_workload_simulation(zc_n, zc_batch, seed=29)
+    zc_rng = np.random.default_rng(31)
+    zc_snapshots = [
+        zc_rng.uniform(0.0, zc_side, size=(zc_batch, zc_n, 2)) for _ in range(zc_steps)
+    ]
+    zc_sim.protocol.informed[:] = zc_rng.random((zc_batch, zc_n)) < 0.5
+    zc_rows = np.arange(zc_batch, dtype=np.intp)
+    zc_counts = np.count_nonzero(zc_sim.protocol.informed, axis=1)
+
+    def run_zone_counts(tier):
+        out = []
+        with use_kernel_tier(tier):
+            for snap in zc_snapshots:
+                _mask, cz_frac, suburb_frac = zc_sim._zone_fractions(
+                    snap, zc_rows, zc_counts, need_mask=False
+                )
+                out.append(cz_frac.tobytes() + suburb_frac.tobytes())
+        return b"".join(out)
+
+    workloads.append(("zone_counts", zones_p, run_zone_counts))
+    return workloads
+
+
+def _kernel_results_equal(a, b) -> bool:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return bool(np.array_equal(np.asarray(a), np.asarray(b)))
+    return a == b
+
+
+def _bench_kernel_tier(workload: dict, repeats: int, smoke: bool) -> tuple:
+    """The compiled-kernel-tier suite: per-kernel micro rows + end to end.
+
+    Returns ``(section, micro_rows, parity_checks)``; ``micro_rows`` also
+    land in the report's top-level ``kernels`` list.  Without a compiled
+    provider (no numba, C toolchain absent or disabled) the suite still
+    runs and records the numpy rows — the compiled columns and the
+    end-to-end compiled arm are simply absent.
+    """
+    from repro.kernels import (
+        available_kernel_backends,
+        compile_events,
+        kernel_backend,
+        kernel_tier_label,
+        warm_kernels,
+    )
+
+    provider = kernel_backend()
+    tiers = ("compiled", "numpy") if provider is not None else ("numpy",)
+    checks = {}
+
+    # Warm the compiled provider (cext build / numba JIT of every kernel
+    # signature) before anything is timed, then require zero compile
+    # events across the measured region: best-of-N must compare warm
+    # steady-state paths only.
+    warm_kernels()
+    events_before = compile_events()
+
+    micro_rows = []
+    for name, params, run in _kernel_tier_workloads(smoke):
+        if provider is not None:
+            checks[f"kernels:{name}"] = _kernel_results_equal(
+                run("compiled"), run("numpy")
+            )
+        best = _interleaved_best(
+            {tier: (lambda t=tier: run(t)) for tier in tiers}, repeats
+        )
+        for tier in tiers:
+            micro_rows.append(
+                {
+                    "name": f"{name}[{tier}]",
+                    "params": dict(params),
+                    "seconds": best[tier],
+                    "per_call": best[tier],
+                    "repeats": repeats,
+                }
+            )
+        if provider is not None:
+            micro_rows[-2]["speedup"] = best["numpy"] / best["compiled"]
+
+    # End to end: the canonical flooding workload under kernels="compiled"
+    # vs kernels="numpy" (the PR 9 path, unchanged), fingerprint-gated.
+    trials = workload["trials"]
+    configs = {
+        tier: _config(workload, "batch").with_options(kernels=tier) for tier in tiers
+    }
+    fingerprints = {
+        tier: _result_fingerprint(run_trials(config, trials))
+        for tier, config in configs.items()
+    }
+    if provider is not None:
+        checks["kernels:end_to_end"] = fingerprints["compiled"] == fingerprints["numpy"]
+    best = _interleaved_best(
+        {tier: (lambda c=configs[tier]: run_trials(c, trials)) for tier in tiers},
+        repeats,
+    )
+    end_to_end = {
+        f"{tier}_seconds": seconds for tier, seconds in best.items()
+    }
+    if provider is not None:
+        end_to_end["speedup"] = best["numpy"] / best["compiled"]
+
+    checks["kernels:warm_path_only"] = compile_events() == events_before
+
+    section = {
+        "workload": dict(workload),
+        "provider": provider,
+        "tier_label": kernel_tier_label("auto"),
+        "backends": available_kernel_backends(),
+        "end_to_end": end_to_end,
+        "compile_events": events_before,
+        "micro": [row["name"] for row in micro_rows],
+    }
+    return section, micro_rows, checks
+
+
+# ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
 def run_benchmarks(
@@ -951,12 +1249,17 @@ def run_benchmarks(
             (the temporal-graph analytics workloads — incremental
             connectivity profiles, exact MST thresholds, batched journeys
             and contact recording — vs their scalar/rebuild baselines,
-            parity-gated), or ``"all"``.
+            parity-gated), ``"kernels"`` (the compiled kernel tier vs the
+            numpy reference paths: per-kernel micro-benchmarks through the
+            public dispatch sites plus the canonical end-to-end run under
+            ``kernels="compiled"`` vs ``kernels="numpy"``, every row
+            parity-gated, provider warmed before timing with a zero
+            compile-event delta asserted), or ``"all"``.
     """
-    if suite not in ("core", "protocols", "experiments", "mobility", "network", "all"):
+    if suite not in ("core", "protocols", "experiments", "mobility", "network", "kernels", "all"):
         raise ValueError(
             "suite must be 'core', 'protocols', 'experiments', 'mobility', "
-            f"'network' or 'all', got {suite!r}"
+            f"'network', 'kernels' or 'all', got {suite!r}"
         )
     if repeats is None:
         repeats = 2 if smoke else 3
@@ -1002,6 +1305,12 @@ def run_benchmarks(
         network, network_parity = _bench_network(repeats, smoke)
         parity["checks"].update(network_parity)
 
+    kernel_tier = None
+    if suite in ("kernels", "all"):
+        kernel_tier, tier_rows, tier_parity = _bench_kernel_tier(workload, repeats, smoke)
+        kernels.extend(tier_rows)
+        parity["checks"].update(tier_parity)
+
     for name, seconds in baselines.items():
         if ":" in name:
             # Provenance annotations (e.g. "pr4:pause_extension_auto"):
@@ -1033,6 +1342,14 @@ def run_benchmarks(
         scipy_version = scipy.__version__
     except ImportError:  # pragma: no cover - depends on environment
         scipy_version = None
+    try:
+        import numba
+
+        numba_version = numba.__version__
+    except ImportError:  # pragma: no cover - depends on environment
+        numba_version = None
+    from repro.kernels import kernel_tier_label
+
     report = {
         "schema_version": SCHEMA_VERSION,
         "label": label,
@@ -1043,6 +1360,8 @@ def run_benchmarks(
             "python": platform.python_version(),
             "numpy": np.__version__,
             "scipy": scipy_version,
+            "numba": numba_version,
+            "kernel_tier": kernel_tier_label("auto"),
             "machine": platform.machine(),
             "system": platform.system(),
         },
@@ -1071,6 +1390,11 @@ def run_benchmarks(
         for row in network["workloads"]:
             speedups[f"network_{row['name']}_batch_vs_scalar"] = row["speedup"]
         speedups["network_batch_vs_scalar"] = network["speedup"]
+    if kernel_tier is not None:
+        report["workloads"]["kernel_tier"] = kernel_tier["workload"]
+        report["kernel_tier"] = kernel_tier
+        if "speedup" in kernel_tier["end_to_end"]:
+            speedups["end_to_end_compiled_vs_numpy"] = kernel_tier["end_to_end"]["speedup"]
     return report
 
 
@@ -1150,6 +1474,20 @@ def render_table(report: dict) -> str:
             f"scalar {network['scalar_total_seconds']:7.3f} s  "
             f"{network['speedup']:5.2f}x"
         )
+    kernel_tier = report.get("kernel_tier")
+    if kernel_tier is not None:
+        lines.append("")
+        provider = kernel_tier["provider"] or "none"
+        lines.append(
+            f"kernel tier (provider={provider}, label={kernel_tier['tier_label']}):"
+        )
+        e2e = kernel_tier["end_to_end"]
+        for tier in ("compiled", "numpy"):
+            key = f"{tier}_seconds"
+            if key in e2e:
+                lines.append(f"  end_to_end[{tier}] {e2e[key]:8.3f} s")
+        if "speedup" in e2e:
+            lines.append(f"  end_to_end compiled vs numpy {e2e['speedup']:5.2f}x")
     experiments = report.get("experiments")
     if experiments is not None:
         workload = experiments["workload"]

@@ -36,14 +36,19 @@ Subcommands:
   every registered mobility model is batch-native, transit family
   included; ``--mobility-options`` passes model options (e.g.
   ``'{"riders": 1990, "dwell": 2.0}'`` for ``--mobility timetable``);
-* ``bench [--smoke] [--suite core|protocols|experiments|mobility|network|all] [--out PATH]
-  [--repeats N] [--label TAG]`` — the perf-trajectory harness
+  ``--kernels compiled|numpy|auto`` selects the compiled kernel tier for
+  the hot loops (bit-exact by contract — tier changes speed, never
+  results; ``sweep`` takes the same flag);
+* ``bench [--smoke] [--suite core|protocols|experiments|mobility|network|kernels|all]
+  [--out PATH] [--repeats N] [--label TAG]`` — the perf-trajectory harness
   (:mod:`repro.bench`): kernel and end-to-end timings, the per-protocol
   batch-vs-scalar suite, the sweep-scheduler experiments suite
   (quick-scale batch-vs-scalar per migrated experiment, table-parity
-  gated), and cross-strategy parity checks, written as machine-readable
-  JSON so future PRs can regress against it.  Exit status reflects
-  **parity only**, never timing.
+  gated), the compiled-kernel-tier suite (per-kernel compiled vs numpy
+  micro-benchmarks plus the canonical end-to-end run, fingerprint-parity
+  gated, warm-path-only measurement asserted), and cross-strategy parity
+  checks, written as machine-readable JSON so future PRs can regress
+  against it.  Exit status reflects **parity only**, never timing.
 """
 
 from __future__ import annotations
@@ -140,6 +145,17 @@ def build_parser() -> argparse.ArgumentParser:
             "budget); implies --adaptive",
         )
 
+    def add_kernels(p):
+        p.add_argument(
+            "--kernels",
+            choices=("auto", "compiled", "numpy"),
+            default="auto",
+            help="compiled kernel tier for hot loops: 'numpy' (reference "
+            "vectorized paths), 'compiled' (numba/cext provider, bit-exact "
+            "by contract, error if no provider is available), or 'auto' "
+            "(compiled when a provider exists, else numpy; the default)",
+        )
+
     def add_checkpoint(p):
         p.add_argument(
             "--checkpoint",
@@ -220,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--speed-fraction", type=float, default=0.25)
     sweep_p.add_argument("--max-steps", type=int, default=20_000)
     sweep_p.add_argument("--seed", type=int, default=0)
+    add_kernels(sweep_p)
     sweep_p.add_argument(
         "--trial-budget",
         type=_positive_int,
@@ -286,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="trials per batch with --engine batch (0 = all in one batch)",
     )
+    add_kernels(flood_p)
 
     bench_p = sub.add_parser(
         "bench", help="run the perf-trajectory benchmark suite (repro.bench)"
@@ -297,7 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_p.add_argument(
         "--suite",
-        choices=("core", "protocols", "experiments", "mobility", "network", "all"),
+        choices=("core", "protocols", "experiments", "mobility", "network", "kernels", "all"),
         default="all",
         help="benchmark suite: 'core' (kernels + flooding end-to-end), "
         "'protocols' (every registered protocol, batch vs scalar, "
@@ -306,7 +324,9 @@ def build_parser() -> argparse.ArgumentParser:
         "'mobility' (per-mobility-model batch vs scalar, parity-gated), "
         "'network' (temporal-graph analytics: incremental connectivity "
         "profiles, exact MST thresholds, batched journeys and contact "
-        "recording vs their scalar baselines, parity-gated), or 'all'",
+        "recording vs their scalar baselines, parity-gated), 'kernels' "
+        "(compiled tier vs numpy: per-kernel micro-benchmarks plus the "
+        "canonical end-to-end run, fingerprint-parity gated), or 'all'",
     )
     bench_p.add_argument(
         "--out",
@@ -321,7 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="best-of-N timing repeats (default 3, smoke 2)",
     )
-    bench_p.add_argument("--label", default="PR6", help="free-form tag stored in the report")
+    bench_p.add_argument("--label", default="PR10", help="free-form tag stored in the report")
     bench_p.add_argument(
         "--baseline",
         action="append",
@@ -457,6 +477,7 @@ def _cmd_flood(args) -> int:
         mobility_options=args.mobility_options or {},
         engine=args.engine,
         batch_size=args.batch_size,
+        kernels=args.kernels,
     )
     print(config.describe())
     if args.trials > 1 or config.resolved_engine == "batch":
@@ -495,6 +516,7 @@ def _cmd_sweep(args) -> int:
         speed_fraction=args.speed_fraction,
         seed=args.seed,
         max_steps=args.max_steps,
+        kernels=args.kernels,
     )
     values = [_parse_sweep_value(v) for v in args.values]
     try:

@@ -1,4 +1,11 @@
-"""Geometric substrate: points, Manhattan paths, spatial indexes, samplers."""
+"""Geometric substrate: points, Manhattan paths, spatial indexes, samplers.
+
+Also the registry surface for backend selection: ``available_backends()``
+lists the neighbor engines (and, with ``kind="kernels"``, the compiled
+kernel providers), and ``kernel_backend()`` / ``use_kernel_tier()`` /
+``kernel_tier_label()`` are re-exported from :mod:`repro.kernels` so
+callers can probe and scope the compiled tier from one import.
+"""
 
 from repro.geometry.grid import GridIndex
 from repro.geometry.incremental import IncrementalBatchOccupancy, IncrementalGridIndex
@@ -39,6 +46,12 @@ from repro.geometry.sampling import (
     sample_uniform_disk,
     sample_uniform_square,
 )
+from repro.kernels import (
+    KERNEL_TIERS,
+    kernel_backend,
+    kernel_tier_label,
+    use_kernel_tier,
+)
 
 __all__ = [
     "GridIndex",
@@ -52,6 +65,10 @@ __all__ = [
     "BatchNeighborQuery",
     "make_engine",
     "available_backends",
+    "KERNEL_TIERS",
+    "kernel_backend",
+    "kernel_tier_label",
+    "use_kernel_tier",
     "ManhattanPath",
     "VERTICAL_FIRST",
     "HORIZONTAL_FIRST",

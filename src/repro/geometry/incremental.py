@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.geometry.grid import GridIndex
 from repro.geometry.points import as_points
+from repro.kernels import get_kernel
 
 __all__ = ["IncrementalGridIndex", "IncrementalBatchOccupancy"]
 
@@ -102,17 +103,33 @@ class IncrementalGridIndex(GridIndex):
         self._points = points
         if moved.size == 0:
             return self
-        # Remove the moved points from the sorted layout ...
-        keep = np.ones(self.size, dtype=bool)
-        keep[self._rank[moved]] = False
-        base_order = self._order[keep]
-        base_ids = self._sorted_ids[keep]
-        # ... and merge-insert them at their new buckets.
         new_ids = ids[moved]
         by_bucket = np.argsort(new_ids, kind="stable")
-        insert_at = np.searchsorted(base_ids, new_ids[by_bucket], side="left")
-        self._order = np.insert(base_order, insert_at, moved[by_bucket])
-        self._sorted_ids = np.insert(base_ids, insert_at, new_ids[by_bucket])
+        spliced = None
+        kernel = get_kernel("grid_splice")
+        if kernel is not None:
+            # Compiled tier: one merge pass over the surviving layout and
+            # the bucket-sorted moved points — same insertion positions
+            # (new before equal old) as the searchsorted/insert pair below.
+            removed = np.zeros(self.size, dtype=bool)
+            removed[self._rank[moved]] = True
+            spliced = kernel(
+                self._order, self._sorted_ids, removed,
+                np.ascontiguousarray(new_ids[by_bucket]),
+                np.ascontiguousarray(moved[by_bucket]),
+            )
+        if spliced is not None:
+            self._order, self._sorted_ids = spliced
+        else:
+            # Remove the moved points from the sorted layout ...
+            keep = np.ones(self.size, dtype=bool)
+            keep[self._rank[moved]] = False
+            base_order = self._order[keep]
+            base_ids = self._sorted_ids[keep]
+            # ... and merge-insert them at their new buckets.
+            insert_at = np.searchsorted(base_ids, new_ids[by_bucket], side="left")
+            self._order = np.insert(base_order, insert_at, moved[by_bucket])
+            self._sorted_ids = np.insert(base_ids, insert_at, new_ids[by_bucket])
         self._ids = ids
         # Bucket offsets via counts + cumsum: O(n + cells), cheaper than the
         # build path's searchsorted over every bucket id.
@@ -257,6 +274,10 @@ class IncrementalBatchOccupancy:
                 ).astype(np.int64).reshape(self.batch_size, mm)
             else:
                 flat = self.counts.reshape(-1)
-                np.subtract.at(flat, base + old_cells, 1)
-                np.add.at(flat, base + new_cells, 1)
+                old_gid = base + old_cells
+                new_gid = base + new_cells
+                kernel = get_kernel("occupancy_delta")
+                if kernel is None or kernel(flat, old_gid, new_gid) is None:
+                    np.subtract.at(flat, old_gid, 1)
+                    np.add.at(flat, new_gid, 1)
         return self.cid

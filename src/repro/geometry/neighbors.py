@@ -48,6 +48,7 @@ import numpy as np
 from repro.geometry.grid import GridIndex
 from repro.geometry.incremental import IncrementalBatchOccupancy, IncrementalGridIndex
 from repro.geometry.points import as_points
+from repro.kernels import get_kernel
 
 __all__ = [
     "NeighborEngine",
@@ -741,6 +742,17 @@ class BatchBoundQuery:
         if radius <= 0:
             raise ValueError(f"radius must be positive, got {radius}")
         source_mask, query_mask = self._check_masks(source_mask, query_mask)
+        if self.query.backend == "auto":
+            # Compiled tier (when a run activated it): one fused
+            # grid-build + 3x3-scan pass over the exact predicate —
+            # bit-identical to the strategies below for any scan order.
+            kernel = get_kernel("batch_any_within")
+            if kernel is not None:
+                result = kernel(
+                    self.positions, source_mask, query_mask, radius, self.query.side
+                )
+                if result is not None:
+                    return result
         if self.query.backend in ("auto", "cells"):
             result = self._cells_any_within(source_mask, query_mask, radius)
             if result is not None:
@@ -792,6 +804,17 @@ class BatchBoundQuery:
         if radius <= 0:
             raise ValueError(f"radius must be positive, got {radius}")
         source_mask, query_mask = self._check_masks(source_mask, query_mask)
+        if self.query.backend == "auto":
+            # Compiled tier: enumerate the exact cut contacts directly
+            # (order unspecified, like every backend below — the sampling
+            # protocols canonicalize by sorting on unique keys).
+            kernel = get_kernel("batch_contacts")
+            if kernel is not None:
+                result = kernel(
+                    self.positions, source_mask, query_mask, radius, self.query.side
+                )
+                if result is not None:
+                    return result
         n = self.positions.shape[1]
         empty = (np.empty(0, dtype=np.intp),) * 3
         source_flat = np.nonzero(source_mask.reshape(-1))[0]
@@ -1061,13 +1084,27 @@ _BACKENDS = {
 _AVAILABLE_BACKENDS = None
 
 
-def available_backends() -> list:
-    """Names of neighbor-engine backends importable in this environment.
+def available_backends(kind: str = "neighbors") -> list:
+    """Names of backends importable in this environment.
 
-    The scipy probe runs once per process and is cached — constructing
-    engines and batch queries in a hot loop must not re-attempt the
-    import every time.
+    Args:
+        kind: ``"neighbors"`` (default) lists the neighbor-engine
+            backends; ``"kernels"`` lists the kernel tiers backing the
+            ``kernels`` config knob — compiled providers first (``numba``
+            and/or ``cext``, probed once per process with the
+            ``REPRO_NO_NUMBA=1`` / ``REPRO_NO_CEXT=1`` escape hatches),
+            then the always-available ``numpy``.
+
+    Every probe runs once per process and is cached — constructing
+    engines and batch queries in a hot loop must not re-attempt imports
+    (or compiler invocations) every time.
     """
+    if kind == "kernels":
+        from repro.kernels import available_kernel_backends
+
+        return available_kernel_backends()
+    if kind != "neighbors":
+        raise ValueError(f"unknown backend kind {kind!r}; expected 'neighbors' or 'kernels'")
     global _AVAILABLE_BACKENDS
     if _AVAILABLE_BACKENDS is None:
         names = ["grid", "brute"]

@@ -1,0 +1,449 @@
+"""C provider for the compiled kernel tier.
+
+Mirrors :mod:`repro.kernels._cores` statement for statement in C99 and
+builds a shared object on first use with the system compiler (``cc``),
+cached under a source-hash directory so rebuilds only happen when the
+source changes.  Compiled **without** ``-ffast-math``: the float kernels
+must execute the same IEEE operation sequence as the numpy reference
+(libm ``sqrt`` is correctly rounded, ``(int64_t)`` casts truncate like
+``int()``), so results stay bit-identical.
+
+The adapters exported through :func:`load_cores` take the same array
+arguments as the Python cores, which lets :mod:`repro.kernels._glue`
+drive either provider unchanged.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from types import SimpleNamespace
+
+import numpy as np
+
+__all__ = ["load_cores", "build_error"]
+
+C_SOURCE = r"""
+#include <stdint.h>
+#include <math.h>
+
+static void grid_build(const double *restrict pos, int64_t n, int64_t m, double inv_cell,
+                       const int64_t *restrict src, int64_t S,
+                       int64_t *restrict cellk, int64_t *restrict starts, int64_t n_starts,
+                       int64_t *restrict srcsort)
+{
+    int64_t mm = m * m;
+    for (int64_t k = 0; k < S; k++) {
+        int64_t i = src[k];
+        int64_t b = i / n;
+        int64_t ci = (int64_t)(pos[2 * i] * inv_cell);
+        if (ci < 0) ci = 0; else if (ci >= m) ci = m - 1;
+        int64_t cj = (int64_t)(pos[2 * i + 1] * inv_cell);
+        if (cj < 0) cj = 0; else if (cj >= m) cj = m - 1;
+        int64_t c = b * mm + ci * m + cj;
+        cellk[k] = c;
+        starts[c + 2] += 1;
+    }
+    for (int64_t c = 1; c < n_starts; c++)
+        starts[c] += starts[c - 1];
+    for (int64_t k = 0; k < S; k++) {
+        int64_t c = cellk[k];
+        srcsort[starts[c + 1]] = src[k];
+        starts[c + 1] += 1;
+    }
+}
+
+void repro_any_within(const double *restrict pos, int64_t n, int64_t m, double inv_cell,
+                      double r2, const int64_t *restrict src, int64_t S,
+                      const int64_t *restrict qry, int64_t Q,
+                      int64_t *restrict cellk, int64_t *restrict starts, int64_t n_starts,
+                      int64_t *restrict srcsort, uint8_t *restrict out)
+{
+    grid_build(pos, n, m, inv_cell, src, S, cellk, starts, n_starts, srcsort);
+    int64_t mm = m * m;
+    for (int64_t k = 0; k < Q; k++) {
+        int64_t i = qry[k];
+        int64_t b = i / n;
+        double qx = pos[2 * i];
+        double qy = pos[2 * i + 1];
+        int64_t ci = (int64_t)(qx * inv_cell);
+        if (ci < 0) ci = 0; else if (ci >= m) ci = m - 1;
+        int64_t cj = (int64_t)(qy * inv_cell);
+        if (cj < 0) cj = 0; else if (cj >= m) cj = m - 1;
+        int hit = 0;
+        int64_t base = b * mm;
+        for (int64_t ii = ci - 1; ii <= ci + 1 && !hit; ii++) {
+            if (ii < 0 || ii >= m) continue;
+            for (int64_t jj = cj - 1; jj <= cj + 1 && !hit; jj++) {
+                if (jj < 0 || jj >= m) continue;
+                int64_t c = base + ii * m + jj;
+                for (int64_t t = starts[c]; t < starts[c + 1]; t++) {
+                    int64_t j = srcsort[t];
+                    double dx = qx - pos[2 * j];
+                    double dy = qy - pos[2 * j + 1];
+                    if (dx * dx + dy * dy <= r2) { hit = 1; break; }
+                }
+            }
+        }
+        if (hit) out[i] = 1;
+    }
+}
+
+int64_t repro_contacts(const double *restrict pos, int64_t n, int64_t m, double inv_cell,
+                       double r2, const int64_t *restrict src, int64_t S,
+                       const int64_t *restrict qry, int64_t Q,
+                       int64_t *restrict cellk, int64_t *restrict starts, int64_t n_starts,
+                       int64_t *restrict srcsort, int64_t *restrict out_s, int64_t *restrict out_q,
+                       int64_t cap)
+{
+    grid_build(pos, n, m, inv_cell, src, S, cellk, starts, n_starts, srcsort);
+    int64_t mm = m * m;
+    int64_t total = 0;
+    for (int64_t k = 0; k < Q; k++) {
+        int64_t i = qry[k];
+        int64_t b = i / n;
+        double qx = pos[2 * i];
+        double qy = pos[2 * i + 1];
+        int64_t ci = (int64_t)(qx * inv_cell);
+        if (ci < 0) ci = 0; else if (ci >= m) ci = m - 1;
+        int64_t cj = (int64_t)(qy * inv_cell);
+        if (cj < 0) cj = 0; else if (cj >= m) cj = m - 1;
+        int64_t base = b * mm;
+        for (int64_t ii = ci - 1; ii <= ci + 1; ii++) {
+            if (ii < 0 || ii >= m) continue;
+            for (int64_t jj = cj - 1; jj <= cj + 1; jj++) {
+                if (jj < 0 || jj >= m) continue;
+                int64_t c = base + ii * m + jj;
+                for (int64_t t = starts[c]; t < starts[c + 1]; t++) {
+                    int64_t j = srcsort[t];
+                    double dx = qx - pos[2 * j];
+                    double dy = qy - pos[2 * j + 1];
+                    if (dx * dx + dy * dy <= r2) {
+                        if (total < cap) { out_s[total] = j; out_q[total] = i; }
+                        total++;
+                    }
+                }
+            }
+        }
+    }
+    return total;
+}
+
+int64_t repro_advance_legs(double *restrict pos, const double *restrict target, double *restrict budget,
+                           const int64_t *restrict idx, int64_t K, double eps,
+                           const double *restrict speed_arr, double speed_scalar,
+                           int speed_mode, int metric, int64_t *restrict done)
+{
+    int64_t cnt = 0;
+    for (int64_t k = 0; k < K; k++) {
+        int64_t i = idx[k];
+        double d0 = target[2 * i] - pos[2 * i];
+        double d1 = target[2 * i + 1] - pos[2 * i + 1];
+        double dist = (metric == 0) ? (fabs(d0) + fabs(d1))
+                                    : sqrt(d0 * d0 + d1 * d1);
+        double b = budget[i];
+        double move, s = 1.0;
+        if (speed_mode == 0) {
+            move = (b < dist) ? b : dist;
+        } else {
+            s = (speed_mode == 1) ? speed_scalar : speed_arr[i];
+            double can = b * s;
+            move = (can < dist) ? can : dist;
+        }
+        double frac = (dist > eps) ? (move / dist) : 1.0;
+        pos[2 * i] += d0 * frac;
+        pos[2 * i + 1] += d1 * frac;
+        budget[i] = (speed_mode == 0) ? (b - move) : (b - move / s);
+        if (move >= dist - eps) { done[cnt] = i; cnt++; }
+    }
+    for (int64_t k = 0; k < cnt; k++) {
+        int64_t i = done[k];
+        pos[2 * i] = target[2 * i];
+        pos[2 * i + 1] = target[2 * i + 1];
+    }
+    return cnt;
+}
+
+int64_t repro_advance_legs_dense(double *restrict pos, const double *restrict target,
+                                 double *restrict budget, const uint8_t *restrict moving,
+                                 int64_t total, int all_moving, double eps,
+                                 const double *restrict speed_arr, double speed_scalar,
+                                 int speed_mode, int64_t *restrict done)
+{
+    int64_t cnt = 0;
+    for (int64_t i = 0; i < total; i++) {
+        double d0 = target[2 * i] - pos[2 * i];
+        double d1 = target[2 * i + 1] - pos[2 * i + 1];
+        double dist = fabs(d0) + fabs(d1);
+        double b = budget[i];
+        double move, s = 1.0;
+        if (speed_mode == 0) {
+            move = (b < dist) ? b : dist;
+        } else {
+            s = (speed_mode == 1) ? speed_scalar : speed_arr[i];
+            double can = b * s;
+            move = (can < dist) ? can : dist;
+        }
+        double frac = (dist > eps) ? (move / dist) : 1.0;
+        double spent = (speed_mode == 0) ? move : (move / s);
+        int is_moving = all_moving || moving[i];
+        if (!is_moving) { frac = 0.0; spent = 0.0; }
+        pos[2 * i] += d0 * frac;
+        pos[2 * i + 1] += d1 * frac;
+        budget[i] = b - spent;
+        if (is_moving && move >= dist - eps) { done[cnt] = i; cnt++; }
+    }
+    for (int64_t k = 0; k < cnt; k++) {
+        int64_t i = done[k];
+        pos[2 * i] = target[2 * i];
+        pos[2 * i + 1] = target[2 * i + 1];
+    }
+    return cnt;
+}
+
+void repro_splice(const int64_t *restrict order, const int64_t *restrict sorted_ids,
+                  const uint8_t *restrict removed, int64_t N,
+                  const int64_t *restrict new_ids, const int64_t *restrict new_pts, int64_t nn,
+                  int64_t *restrict out_order, int64_t *restrict out_ids)
+{
+    int64_t k = 0, j = 0;
+    for (int64_t t = 0; t < N; t++) {
+        if (removed[t]) continue;
+        int64_t idv = sorted_ids[t];
+        while (j < nn && new_ids[j] <= idv) {
+            out_ids[k] = new_ids[j];
+            out_order[k] = new_pts[j];
+            k++; j++;
+        }
+        out_ids[k] = idv;
+        out_order[k] = order[t];
+        k++;
+    }
+    while (j < nn) {
+        out_ids[k] = new_ids[j];
+        out_order[k] = new_pts[j];
+        k++; j++;
+    }
+}
+
+void repro_union(int64_t *restrict parent, int64_t N, const int64_t *restrict u,
+                 const int64_t *restrict v, int64_t E)
+{
+    for (int64_t k = 0; k < E; k++) {
+        int64_t x = u[k];
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        int64_t y = v[k];
+        while (parent[y] != y) {
+            parent[y] = parent[parent[y]];
+            y = parent[y];
+        }
+        if (x == y) continue;
+        if (x < y) parent[y] = x; else parent[x] = y;
+    }
+    for (int64_t i = 0; i < N; i++)
+        parent[i] = parent[parent[i]];
+}
+
+void repro_occupancy_delta(int64_t *restrict counts, const int64_t *restrict old_cells,
+                           const int64_t *restrict new_cells, int64_t K)
+{
+    for (int64_t k = 0; k < K; k++) {
+        counts[old_cells[k]] -= 1;
+        counts[new_cells[k]] += 1;
+    }
+}
+
+void repro_zone_counts(const double *restrict pos, int64_t total, int64_t n, double ell,
+                       int64_t m, const uint8_t *restrict cz_mask,
+                       const uint8_t *restrict informed, int64_t *restrict cz_total,
+                       int64_t *restrict cz_informed)
+{
+    for (int64_t t = 0; t < total; t++) {
+        int64_t b = t / n;
+        int64_t ix = (int64_t)(pos[2 * t] / ell);
+        if (ix < 0) ix = 0; else if (ix >= m) ix = m - 1;
+        int64_t iy = (int64_t)(pos[2 * t + 1] / ell);
+        if (iy < 0) iy = 0; else if (iy >= m) iy = m - 1;
+        if (cz_mask[ix * m + iy]) {
+            cz_total[b] += 1;
+            if (informed[t]) cz_informed[b] += 1;
+        }
+    }
+}
+"""
+
+_BUILD_ERROR: str | None = None
+_BUILD_COUNT = 0
+
+
+def build_error() -> str | None:
+    """Why the last build attempt failed (``None`` if it succeeded / never ran)."""
+    return _BUILD_ERROR
+
+
+def build_count() -> int:
+    """How many times this process actually invoked the compiler."""
+    return _BUILD_COUNT
+
+
+def _cache_dir(digest: str) -> str:
+    root = os.environ.get("REPRO_CEXT_CACHE")
+    if not root:
+        root = os.path.join(tempfile.gettempdir(), "repro-cext")
+    return os.path.join(root, digest)
+
+
+def _build_library() -> str:
+    """Compile (or reuse) the shared object; returns its path."""
+    global _BUILD_COUNT
+    digest = hashlib.sha256(C_SOURCE.encode()).hexdigest()[:16]
+    directory = _cache_dir(digest)
+    lib_path = os.path.join(directory, "libreprokernels.so")
+    if os.path.exists(lib_path):
+        return lib_path
+    _BUILD_COUNT += 1
+    os.makedirs(directory, exist_ok=True)
+    src_path = os.path.join(directory, "kernels.c")
+    with open(src_path, "w") as fh:
+        fh.write(C_SOURCE)
+    tmp_path = lib_path + f".tmp{os.getpid()}"
+    cmd = ["cc", "-O3", "-fPIC", "-shared", "-o", tmp_path, src_path, "-lm"]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+    if proc.returncode != 0:
+        raise RuntimeError(f"cc failed: {proc.stderr.strip()[:500]}")
+    os.replace(tmp_path, lib_path)  # atomic: concurrent builders race safely
+    return lib_path
+
+
+_f64_p = ctypes.POINTER(ctypes.c_double)
+_i64_p = ctypes.POINTER(ctypes.c_int64)
+_u8_p = ctypes.POINTER(ctypes.c_uint8)
+_i64 = ctypes.c_int64
+_f64 = ctypes.c_double
+_int = ctypes.c_int
+
+
+def _fp(arr):
+    return arr.ctypes.data_as(_f64_p)
+
+
+def _ip(arr):
+    return arr.ctypes.data_as(_i64_p)
+
+
+def _bp(arr):
+    return arr.ctypes.data_as(_u8_p)
+
+
+def _declare(lib):
+    lib.repro_any_within.restype = None
+    lib.repro_any_within.argtypes = [
+        _f64_p, _i64, _i64, _f64, _f64, _i64_p, _i64, _i64_p, _i64,
+        _i64_p, _i64_p, _i64, _i64_p, _u8_p,
+    ]
+    lib.repro_contacts.restype = _i64
+    lib.repro_contacts.argtypes = [
+        _f64_p, _i64, _i64, _f64, _f64, _i64_p, _i64, _i64_p, _i64,
+        _i64_p, _i64_p, _i64, _i64_p, _i64_p, _i64_p, _i64,
+    ]
+    lib.repro_advance_legs.restype = _i64
+    lib.repro_advance_legs.argtypes = [
+        _f64_p, _f64_p, _f64_p, _i64_p, _i64, _f64, _f64_p, _f64, _int, _int, _i64_p,
+    ]
+    lib.repro_advance_legs_dense.restype = _i64
+    lib.repro_advance_legs_dense.argtypes = [
+        _f64_p, _f64_p, _f64_p, _u8_p, _i64, _int, _f64, _f64_p, _f64, _int, _i64_p,
+    ]
+    lib.repro_splice.restype = None
+    lib.repro_splice.argtypes = [
+        _i64_p, _i64_p, _u8_p, _i64, _i64_p, _i64_p, _i64, _i64_p, _i64_p,
+    ]
+    lib.repro_union.restype = None
+    lib.repro_union.argtypes = [_i64_p, _i64, _i64_p, _i64_p, _i64]
+    lib.repro_occupancy_delta.restype = None
+    lib.repro_occupancy_delta.argtypes = [_i64_p, _i64_p, _i64_p, _i64]
+    lib.repro_zone_counts.restype = None
+    lib.repro_zone_counts.argtypes = [
+        _f64_p, _i64, _i64, _f64, _i64, _u8_p, _u8_p, _i64_p, _i64_p,
+    ]
+
+
+def load_cores():
+    """Build + load the library; returns a ``_cores``-shaped namespace.
+
+    Raises on any failure (no compiler, build error, missing symbol); the
+    registry treats that as "provider unavailable" and caches the reason.
+    """
+    global _BUILD_ERROR
+    try:
+        lib = ctypes.CDLL(_build_library())
+        _declare(lib)
+    except Exception as exc:  # noqa: BLE001 - any failure disables the provider
+        _BUILD_ERROR = str(exc)
+        raise
+
+    def any_within_core(pos, n, m, inv_cell, r2, src, qry, cellk, starts, srcsort, out):
+        lib.repro_any_within(
+            _fp(pos), _i64(n), _i64(m), _f64(inv_cell), _f64(r2),
+            _ip(src), _i64(src.shape[0]), _ip(qry), _i64(qry.shape[0]),
+            _ip(cellk), _ip(starts), _i64(starts.shape[0]), _ip(srcsort), _bp(out),
+        )
+
+    def contacts_core(pos, n, m, inv_cell, r2, src, qry, cellk, starts, srcsort, out_s, out_q, cap):
+        return lib.repro_contacts(
+            _fp(pos), _i64(n), _i64(m), _f64(inv_cell), _f64(r2),
+            _ip(src), _i64(src.shape[0]), _ip(qry), _i64(qry.shape[0]),
+            _ip(cellk), _ip(starts), _i64(starts.shape[0]), _ip(srcsort),
+            _ip(out_s), _ip(out_q), _i64(cap),
+        )
+
+    def advance_legs_core(pos, target, budget, idx, eps, speed_arr, speed_scalar, speed_mode, metric, done):
+        return lib.repro_advance_legs(
+            _fp(pos), _fp(target), _fp(budget), _ip(idx), _i64(idx.shape[0]),
+            _f64(eps), _fp(speed_arr), _f64(speed_scalar), _int(speed_mode),
+            _int(metric), _ip(done),
+        )
+
+    def advance_legs_dense_core(pos, target, budget, moving, all_moving, eps, speed_arr, speed_scalar, speed_mode, done):
+        return lib.repro_advance_legs_dense(
+            _fp(pos), _fp(target), _fp(budget), _bp(moving),
+            _i64(budget.shape[0]), _int(1 if all_moving else 0), _f64(eps),
+            _fp(speed_arr), _f64(speed_scalar), _int(speed_mode), _ip(done),
+        )
+
+    def splice_core(order, sorted_ids, removed, new_ids, new_pts, out_order, out_ids):
+        lib.repro_splice(
+            _ip(order), _ip(sorted_ids), _bp(removed), _i64(order.shape[0]),
+            _ip(new_ids), _ip(new_pts), _i64(new_ids.shape[0]),
+            _ip(out_order), _ip(out_ids),
+        )
+
+    def union_core(parent, u, v):
+        lib.repro_union(_ip(parent), _i64(parent.shape[0]), _ip(u), _ip(v), _i64(u.shape[0]))
+
+    def occupancy_delta_core(counts, old_cells, new_cells):
+        lib.repro_occupancy_delta(_ip(counts), _ip(old_cells), _ip(new_cells), _i64(old_cells.shape[0]))
+
+    def zone_counts_core(pos, n, ell, m, cz_mask, informed, cz_total, cz_informed):
+        lib.repro_zone_counts(
+            _fp(pos), _i64(pos.shape[0]), _i64(n), _f64(ell), _i64(m),
+            _bp(cz_mask), _bp(informed), _ip(cz_total), _ip(cz_informed),
+        )
+
+    _BUILD_ERROR = None
+    return SimpleNamespace(
+        any_within_core=any_within_core,
+        contacts_core=contacts_core,
+        advance_legs_core=advance_legs_core,
+        advance_legs_dense_core=advance_legs_dense_core,
+        splice_core=splice_core,
+        union_core=union_core,
+        occupancy_delta_core=occupancy_delta_core,
+        zone_counts_core=zone_counts_core,
+    )

@@ -1,0 +1,58 @@
+"""Numba provider: ``@njit`` the shared loop cores.
+
+Jit options are deliberately strict — nopython (implicit with ``njit``),
+``fastmath=False`` (the default) so the float kernels keep the exact IEEE
+operation sequence of the interpreted cores, and ``cache=True`` so CI can
+warm the JIT cache once and reuse it across processes.  Every core in
+:mod:`repro.kernels._cores` is a self-contained module-level function, so
+this is the plainest possible jit application.
+
+Importing this module raises if numba is unavailable; the registry
+handles the ``REPRO_NO_NUMBA=1`` escape hatch *before* importing us and
+treats any import/jit failure as "provider unavailable".
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numba
+
+from . import _cores
+
+__all__ = ["load_cores", "dispatchers", "numba_version"]
+
+_CORE_NAMES = (
+    "any_within_core",
+    "contacts_core",
+    "advance_legs_core",
+    "advance_legs_dense_core",
+    "splice_core",
+    "union_core",
+    "occupancy_delta_core",
+    "zone_counts_core",
+)
+
+_DISPATCHERS = None
+
+
+def _jit_all():
+    global _DISPATCHERS
+    if _DISPATCHERS is None:
+        jit = numba.njit(cache=True, nogil=True)
+        _DISPATCHERS = {name: jit(getattr(_cores, name)) for name in _CORE_NAMES}
+    return _DISPATCHERS
+
+
+def load_cores():
+    """Jit the cores; returns a ``_cores``-shaped namespace."""
+    return SimpleNamespace(**_jit_all())
+
+
+def dispatchers():
+    """The live numba dispatchers (for compile-event accounting)."""
+    return dict(_jit_all())
+
+
+def numba_version() -> str:
+    return numba.__version__

@@ -34,6 +34,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.paths import path_corner
+from repro.kernels import get_kernel
 
 __all__ = [
     "advance_legs",
@@ -74,6 +75,13 @@ def advance_legs(pos, target, budget, idx, eps, speed=None, metric="manhattan"):
         flat indices of the agents that reached their leg target this
         iteration (already snapped onto it), in ascending order.
     """
+    kernel = get_kernel("advance_legs")
+    if kernel is not None:
+        # Compiled tier: one fused loop with the identical IEEE operation
+        # sequence (bit-exact); falls through on unsupported layouts.
+        done = kernel(pos, target, budget, idx, eps, speed, metric)
+        if done is not None:
+            return done
     delta = target[idx] - pos[idx]
     if metric == "manhattan":
         dist = np.abs(delta).sum(axis=1)  # legs are axis-aligned
@@ -140,6 +148,13 @@ def advance_legs_dense(pos, target, budget, moving, n_moving, eps, scratch, spee
     Returns:
         flat indices of agents that reached their leg target (snapped).
     """
+    kernel = get_kernel("advance_legs_dense")
+    if kernel is not None:
+        # Compiled tier: fused dense pass, masked rows included (their
+        # ``+= delta * 0.0`` no-op is part of the bit-exact contract).
+        done = kernel(pos, target, budget, moving, n_moving, eps, speed)
+        if done is not None:
+            return done
     total = budget.shape[0]
     delta = np.subtract(target, pos, out=scratch.delta)
     dist = np.abs(delta[:, 0], out=scratch.dist)  # legs are axis-aligned

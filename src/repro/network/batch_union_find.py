@@ -37,6 +37,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import get_kernel
+
 __all__ = [
     "BatchUnionFind",
     "batch_components_from_edges",
@@ -82,6 +84,12 @@ class BatchUnionFind:
 
     def _union_flat(self, u: np.ndarray, v: np.ndarray) -> None:
         """Union flat-id endpoint pairs by min-hooking + shortcutting."""
+        kernel = get_kernel("union_fixpoint")
+        if kernel is not None and kernel(self._parent, u, v) is not None:
+            # Compiled tier: sequential union-by-min + a final compression
+            # pass — same canonical min-rooted fixpoint as the vectorized
+            # rounds below (labels are the component minima either way).
+            return
         parent = self._parent
         while True:
             lu = parent[u]

@@ -37,6 +37,7 @@ import math
 import numpy as np
 
 from repro.core.flooding import build_zone_partition, select_source
+from repro.kernels import get_kernel, kernel_tier_label, use_kernel_tier
 from repro.mobility import (
     BATCH_MOBILITY_REGISTRY,
     BatchMobilityModel,
@@ -165,12 +166,46 @@ class BatchSimulation:
         """Back-compat alias for :attr:`protocol` (pre-PR 3 name)."""
         return self.protocol
 
-    def _zone_fractions(self, positions: np.ndarray, rows: np.ndarray, counts=None) -> tuple:
+    def _zone_fractions(
+        self, positions: np.ndarray, rows: np.ndarray, counts=None, need_mask=True
+    ) -> tuple:
         """Informed fraction inside / outside the Central Zone, for the
         given replica rows only (completion times are monotone, so frozen
-        replicas need no further classification)."""
+        replicas need no further classification).
+
+        With ``need_mask=False`` the per-point mask is not materialized
+        (callers that only record completion times pass it) and the
+        compiled ``zone_counts`` kernel may serve the counts — the same
+        cell classification and integer sums, so the fractions derived
+        below are bit-identical.
+        """
         subset = positions if rows.size == positions.shape[0] else positions[rows]
         k, n, _ = subset.shape
+        if not need_mask and counts is not None:
+            kernel = get_kernel("zone_counts")
+            if kernel is not None:
+                grid = self.zones.grid
+                result = kernel(
+                    np.ascontiguousarray(subset),
+                    self.protocol.informed[rows],
+                    grid.ell,
+                    grid.m,
+                    self.zones.cz_mask,
+                )
+                if result is not None:
+                    cz_total, cz_informed = result
+                    suburb_total = n - cz_total
+                    suburb_informed = counts[rows] - cz_informed
+                    with np.errstate(invalid="ignore", divide="ignore"):
+                        cz_frac = np.where(
+                            cz_total > 0, cz_informed / np.maximum(cz_total, 1), 1.0
+                        )
+                        suburb_frac = np.where(
+                            suburb_total > 0,
+                            suburb_informed / np.maximum(suburb_total, 1),
+                            1.0,
+                        )
+                    return None, cz_frac, suburb_frac
         in_cz = self.zones.in_central_zone(subset.reshape(-1, 2)).reshape(k, n)
         informed = self.protocol.informed[rows]
         cz_total = np.count_nonzero(in_cz, axis=1)
@@ -243,7 +278,9 @@ class BatchSimulation:
                     )
                 )[0]
                 if rows.size:
-                    _in_cz, cz_frac, suburb_frac = self._zone_fractions(positions, rows, counts)
+                    _in_cz, cz_frac, suburb_frac = self._zone_fractions(
+                        positions, rows, counts, need_mask=False
+                    )
                     self._record_zone_times(float(step), rows, cz_frac, suburb_frac)
             # Retirement is monotone (a scalar loop never resumes after it
             # breaks), so the mask only ever shrinks.
@@ -297,7 +334,10 @@ def run_protocol_batch(config: FloodingConfig, seed_seqs) -> list:
             config.n, config.side, config.radius, config.threshold_factor
         )
     simulation = BatchSimulation(model, state, zones=zones)
-    n_steps = simulation.run(config.max_steps)
+    # The configured kernel tier is active for the lock-step loop only —
+    # bit-exact by contract, so the tier changes speed, never results.
+    with use_kernel_tier(config.kernels):
+        n_steps = simulation.run(config.max_steps)
 
     results = []
     complete = state.complete_mask()
@@ -331,7 +371,11 @@ def run_protocol_batch(config: FloodingConfig, seed_seqs) -> list:
             informed_history=history,
             source=int(sources[b]),
             final_coverage=float(history[-1]) / config.n,
-            extras={"n_agents": config.n, "config": config},
+            extras={
+                "n_agents": config.n,
+                "config": config,
+                "kernel_tier": kernel_tier_label(config.kernels),
+            },
         )
         result.extras.update(extras[b])
         if zones is not None:

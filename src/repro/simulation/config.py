@@ -16,6 +16,7 @@ import math
 from dataclasses import dataclass, field, replace
 
 from repro.core import theory
+from repro.kernels import KERNEL_TIERS, resolve_kernel_tier
 from repro.mobility import BATCH_MOBILITY_REGISTRY, MODEL_REGISTRY, NO_INIT_MODELS
 from repro.protocols import BATCH_PROTOCOL_REGISTRY, PROTOCOL_REGISTRY
 
@@ -96,6 +97,14 @@ class FloodingConfig:
         batch_size: trials advanced per batch when ``engine="batch"``
             (0 — the default — runs all of a call's or worker's trials in
             one batch).  Has no effect on results, only on peak memory.
+        kernels: hot-loop kernel tier — ``"numpy"`` (the vectorized
+            reference paths), ``"compiled"`` (loop kernels via numba or
+            the bundled C extension; an explicit demand that raises at
+            run time when no provider is available), or ``"auto"`` (the
+            default: compiled when a provider exists, numpy otherwise).
+            Every compiled kernel is bit-exact against its numpy path
+            (asserted by the parity sweeps), so the tier never changes
+            results — only speed.
     """
 
     n: int
@@ -117,6 +126,7 @@ class FloodingConfig:
     track_zones: bool = True
     engine: str = "scalar"
     batch_size: int = 0
+    kernels: str = "auto"
 
     def __post_init__(self):
         if self.n < 2:
@@ -172,6 +182,10 @@ class FloodingConfig:
             raise ValueError(f"unknown neighbor options: {sorted(unknown)}")
         if self.batch_size < 0:
             raise ValueError(f"batch_size must be non-negative, got {self.batch_size}")
+        if self.kernels not in KERNEL_TIERS:
+            raise ValueError(
+                f"kernels must be one of {KERNEL_TIERS}, got {self.kernels!r}"
+            )
 
     def _validate_mobility_options(self) -> None:
         """Per-model option vocabulary and value checks, at config time."""
@@ -257,6 +271,16 @@ class FloodingConfig:
         if self.protocol not in BATCH_PROTOCOL_REGISTRY:
             return "scalar"
         return "batch" if self.mobility in BATCH_MOBILITY_REGISTRY else "scalar"
+
+    @property
+    def resolved_kernels(self) -> str:
+        """The kernel tier that will actually run (``"numpy"``/``"compiled"``).
+
+        ``"auto"`` resolves against the cached provider probes (numba,
+        then the bundled C extension); an explicit ``"compiled"`` with no
+        provider available raises here rather than deep inside a run.
+        """
+        return resolve_kernel_tier(self.kernels)
 
     def assumptions(self, c1: float = theory.PAPER_C1) -> theory.Assumptions:
         """Check this configuration against the paper's hypotheses."""

@@ -17,6 +17,7 @@ import math
 import numpy as np
 
 from repro.core.flooding import build_zone_partition, select_source
+from repro.kernels import kernel_tier_label, use_kernel_tier
 from repro.mobility import MODEL_REGISTRY, NO_INIT_MODELS
 from repro.protocols import PROTOCOL_REGISTRY, FloodingProtocol
 from repro.simulation.config import FloodingConfig
@@ -141,7 +142,11 @@ def run_flooding(
     observers.extend(extra)
 
     simulation = Simulation(model, protocol, observers)
-    n_steps = simulation.run(config.max_steps)
+    # The configured kernel tier is active for the simulation loop only
+    # (model/protocol construction above uses the library default), and is
+    # bit-exact by contract — the tier changes speed, never results.
+    with use_kernel_tier(config.kernels):
+        n_steps = simulation.run(config.max_steps)
 
     informed_recorder = observers[0]
     history = informed_recorder.informed_history()
@@ -164,7 +169,11 @@ def run_flooding(
         informed_history=history,
         source=source,
         final_coverage=protocol.informed_count / config.n,
-        extras={"n_agents": config.n, "config": config},
+        extras={
+            "n_agents": config.n,
+            "config": config,
+            "kernel_tier": kernel_tier_label(config.kernels),
+        },
     )
     if extra:
         result.extras["observers"] = extra

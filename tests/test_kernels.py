@@ -1,0 +1,453 @@
+"""Compiled kernel tier: registry, parity, and end-to-end invisibility.
+
+The tier's core contract is the same one the neighbor-backend suite
+enforces: ``kernels`` is a *performance* knob.  Every compiled kernel is
+bit-exact against its numpy path, so compiled and numpy runs of the same
+seeds must be indistinguishable down to the informed-at step of every
+agent — and every test here must stay green whether or not a compiled
+provider (numba or the bundled C extension) is actually available.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.neighbors import available_backends
+from repro.kernels import (
+    KERNEL_NAMES,
+    KERNEL_TIERS,
+    _reset_probe_cache_for_tests,
+    active_kernel_tier,
+    available_kernel_backends,
+    compile_events,
+    get_kernel,
+    kernel_backend,
+    kernel_tier_label,
+    provider_kernels,
+    reference_kernels,
+    resolve_kernel_tier,
+    use_kernel_tier,
+    warm_kernels,
+)
+from repro.simulation import run_trials, standard_config
+
+HAVE_PROVIDER = kernel_backend() is not None
+
+needs_provider = pytest.mark.skipif(
+    not HAVE_PROVIDER, reason="no compiled kernel provider on this host"
+)
+
+
+def _tables():
+    """Every kernel table under test: the pure-Python reference cores
+    (always available — they *are* the spec) plus each real provider."""
+    tables = [("reference", reference_kernels())]
+    for backend in available_kernel_backends():
+        if backend != "numpy":
+            tables.append((backend, provider_kernels(backend)))
+    return tables
+
+
+TABLES = _tables()
+TABLE_IDS = [name for name, _ in TABLES]
+
+
+# ----------------------------------------------------------------------
+# Registry, probes, and escape hatches
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_backend_list_always_ends_with_numpy(self):
+        backends = available_kernel_backends()
+        assert backends[-1] == "numpy"
+        assert len(backends) == len(set(backends))
+
+    def test_geometry_registry_exposes_kernel_backends(self):
+        assert available_backends(kind="kernels") == available_kernel_backends()
+        # The default kind still answers for the neighbor subsystem.
+        assert "grid" in available_backends()
+
+    def test_escape_hatches_force_numpy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NUMBA", "1")
+        monkeypatch.setenv("REPRO_NO_CEXT", "1")
+        _reset_probe_cache_for_tests()
+        try:
+            assert kernel_backend() is None
+            assert available_kernel_backends() == ["numpy"]
+            assert resolve_kernel_tier("auto") == "numpy"
+            assert kernel_tier_label("auto") == "numpy"
+            assert warm_kernels() == "numpy"
+            with pytest.raises(RuntimeError, match="compiled"):
+                resolve_kernel_tier("compiled")
+            # An explicit compiled demand surfaces through the runner too.
+            config = standard_config(40, seed=3, kernels="compiled")
+            with pytest.raises(RuntimeError, match="compiled"):
+                run_trials(config, 1)
+        finally:
+            monkeypatch.delenv("REPRO_NO_NUMBA")
+            monkeypatch.delenv("REPRO_NO_CEXT")
+            _reset_probe_cache_for_tests()
+
+    def test_probe_results_are_cached(self):
+        first = kernel_backend()
+        assert kernel_backend() is first or kernel_backend() == first
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError, match="kernel tier"):
+            resolve_kernel_tier("bogus")
+
+    def test_tier_label_matches_backend(self):
+        label = kernel_tier_label("auto")
+        backend = kernel_backend()
+        if backend is None:
+            assert label == "numpy"
+        elif backend == "numba":
+            assert label.startswith("numba-")
+        else:
+            assert label == "cext"
+        assert kernel_tier_label("numpy") == "numpy"
+
+
+class TestTierScoping:
+    def test_default_tier_is_numpy(self):
+        assert active_kernel_tier() == "numpy"
+        assert get_kernel("batch_any_within") is None
+
+    def test_numpy_tier_never_dispatches(self):
+        with use_kernel_tier("numpy") as tier:
+            assert tier == "numpy"
+            assert all(get_kernel(name) is None for name in KERNEL_NAMES)
+
+    @needs_provider
+    def test_compiled_tier_scopes_and_restores(self):
+        with use_kernel_tier("compiled") as tier:
+            assert tier == "compiled"
+            assert all(callable(get_kernel(name)) for name in KERNEL_NAMES)
+            with use_kernel_tier("numpy"):
+                assert get_kernel("union_fixpoint") is None
+            assert callable(get_kernel("union_fixpoint"))
+        assert active_kernel_tier() == "numpy"
+        assert get_kernel("union_fixpoint") is None
+
+    def test_auto_resolves_to_best_available(self):
+        expected = "compiled" if HAVE_PROVIDER else "numpy"
+        assert resolve_kernel_tier("auto") == expected
+        with use_kernel_tier("auto") as tier:
+            assert tier == expected
+
+
+class TestConfigKnob:
+    def test_default_and_validation(self):
+        config = standard_config(50)
+        assert config.kernels == "auto"
+        with pytest.raises(ValueError, match="kernels"):
+            standard_config(50, kernels="bogus")
+        for tier in KERNEL_TIERS:
+            if tier == "compiled" and not HAVE_PROVIDER:
+                continue
+            assert standard_config(50, kernels=tier).kernels == tier
+
+    def test_resolved_kernels_property(self):
+        assert standard_config(50, kernels="numpy").resolved_kernels == "numpy"
+        auto = standard_config(50).resolved_kernels
+        assert auto == ("compiled" if HAVE_PROVIDER else "numpy")
+        if not HAVE_PROVIDER:
+            with pytest.raises(RuntimeError):
+                standard_config(50, kernels="compiled").resolved_kernels
+
+
+# ----------------------------------------------------------------------
+# Per-kernel parity against independent numpy oracles
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("table", [t for _, t in TABLES], ids=TABLE_IDS)
+class TestPairKernelParity:
+    def _oracle_any_within(self, pos, src_mask, qry_mask, radius):
+        batch, n, _ = pos.shape
+        out = np.zeros((batch, n), dtype=bool)
+        for b in range(batch):
+            d = pos[b, :, None, :] - pos[b, None, :, :]
+            hit = ((d ** 2).sum(-1) <= radius * radius) & src_mask[b][None, :]
+            out[b] = hit.any(axis=1) & qry_mask[b]
+        return out
+
+    def test_any_within_randomized(self, table, rng):
+        for _ in range(25):
+            batch = int(rng.integers(1, 4))
+            n = int(rng.integers(1, 40))
+            side = float(rng.uniform(0.5, 8.0))
+            radius = float(rng.uniform(0.05, side))
+            pos = rng.uniform(0, side, size=(batch, n, 2))
+            src = rng.random((batch, n)) < rng.uniform(0, 1)
+            qry = rng.random((batch, n)) < rng.uniform(0, 1)
+            got = table["batch_any_within"](pos, src, qry, radius, side)
+            assert got is not None
+            expect = self._oracle_any_within(pos, src, qry, radius)
+            np.testing.assert_array_equal(got, expect)
+
+    def test_contacts_randomized(self, table, rng):
+        for _ in range(15):
+            batch = int(rng.integers(1, 3))
+            n = int(rng.integers(2, 30))
+            side = float(rng.uniform(1.0, 6.0))
+            radius = float(rng.uniform(0.2, side / 2))
+            pos = rng.uniform(0, side, size=(batch, n, 2))
+            src = rng.random((batch, n)) < 0.6
+            qry = rng.random((batch, n)) < 0.6
+            got = table["batch_contacts"](pos, src, qry, radius, side)
+            assert got is not None
+            rep, s_idx, q_idx = got
+            pairs = set(zip(rep.tolist(), s_idx.tolist(), q_idx.tolist()))
+            expect = set()
+            for b in range(batch):
+                d = pos[b, :, None, :] - pos[b, None, :, :]
+                close = (d ** 2).sum(-1) <= radius * radius
+                for s in np.nonzero(src[b])[0]:
+                    for q in np.nonzero(qry[b])[0]:
+                        if close[s, q]:
+                            expect.add((b, int(s), int(q)))
+            assert pairs == expect
+            assert len(rep) == len(expect)
+
+    def test_adversarial_masks(self, table, rng):
+        pos = rng.uniform(0, 5.0, size=(2, 6, 2))
+        full = np.ones((2, 6), dtype=bool)
+        none = np.zeros((2, 6), dtype=bool)
+        # Empty frontier: no sources.
+        assert not table["batch_any_within"](pos, none, full, 1.0, 5.0).any()
+        # All-frozen replicas: no queries.
+        assert not table["batch_any_within"](pos, full, none, 1.0, 5.0).any()
+        rep, s_idx, q_idx = table["batch_contacts"](pos, none, full, 1.0, 5.0)
+        assert rep.size == 0 and s_idx.size == 0 and q_idx.size == 0
+
+    def test_single_agent(self, table, rng):
+        pos = rng.uniform(0, 3.0, size=(1, 1, 2))
+        mask = np.ones((1, 1), dtype=bool)
+        got = table["batch_any_within"](pos, mask, mask, 0.5, 3.0)
+        # The lone agent is within radius zero of itself.
+        assert got[0, 0]
+
+    def test_out_of_domain_returns_none(self, table, rng):
+        pos32 = rng.uniform(0, 3.0, size=(1, 4, 2)).astype(np.float32)
+        mask = np.ones((1, 4), dtype=bool)
+        assert table["batch_any_within"](pos32, mask, mask, 0.5, 3.0) is None
+        assert table["batch_any_within"](
+            rng.uniform(0, 3.0, size=(1, 4, 2)), mask, mask, -1.0, 3.0
+        ) is None
+
+
+@pytest.mark.parametrize("table", [t for _, t in TABLES], ids=TABLE_IDS)
+class TestLegKernelParity:
+    def _numpy_advance(self, pos, target, budget, idx, eps, speed, metric):
+        """The vectorized reference semantics, re-derived independently."""
+        delta = target[idx] - pos[idx]
+        if metric == "manhattan":
+            dist = np.abs(delta).sum(axis=1)
+        else:
+            dist = np.sqrt((delta ** 2).sum(axis=1))
+        b = budget[idx]
+        if speed is None:
+            move = np.minimum(b, dist)
+            spent = move
+        else:
+            s = speed[idx] if isinstance(speed, np.ndarray) else float(speed)
+            move = np.minimum(b * s, dist)
+            spent = move / s
+        frac = np.where(dist > eps, move / np.where(dist > eps, dist, 1.0), 1.0)
+        pos[idx] += delta * frac[:, None]
+        budget[idx] = b - spent
+        arrived = move >= dist - eps
+        done = idx[arrived]
+        pos[done] = target[done]
+        return done
+
+    @pytest.mark.parametrize("metric", ["manhattan", "euclidean"])
+    @pytest.mark.parametrize("speed_kind", ["none", "scalar", "array"])
+    def test_advance_legs_randomized(self, table, rng, metric, speed_kind):
+        for _ in range(10):
+            total = int(rng.integers(1, 25))
+            pos = rng.uniform(0, 4.0, size=(total, 2))
+            target = rng.uniform(0, 4.0, size=(total, 2))
+            budget = rng.uniform(0.0, 2.0, size=total)
+            idx = np.nonzero(rng.random(total) < 0.7)[0].astype(np.intp)
+            speed = {
+                "none": None,
+                "scalar": 1.3,
+                "array": rng.uniform(0.5, 2.0, size=total),
+            }[speed_kind]
+            eps = 1e-9
+            pos_k, budget_k = pos.copy(), budget.copy()
+            done_k = table["advance_legs"](pos_k, target, budget_k, idx, eps, speed, metric)
+            assert done_k is not None
+            pos_r, budget_r = pos.copy(), budget.copy()
+            done_r = self._numpy_advance(pos_r, target, budget_r, idx, eps, speed, metric)
+            np.testing.assert_array_equal(np.sort(done_k), np.sort(done_r))
+            np.testing.assert_array_equal(pos_k, pos_r)
+            np.testing.assert_array_equal(budget_k, budget_r)
+
+    def test_advance_legs_dense_matches_sparse(self, table, rng):
+        for _ in range(10):
+            total = int(rng.integers(1, 25))
+            pos = rng.uniform(0, 4.0, size=(total, 2))
+            target = rng.uniform(0, 4.0, size=(total, 2))
+            budget = rng.uniform(0.0, 2.0, size=total)
+            moving = rng.random(total) < 0.8
+            idx = np.nonzero(moving)[0].astype(np.intp)
+            pos_d, budget_d = pos.copy(), budget.copy()
+            done_d = table["advance_legs_dense"](
+                pos_d, target, budget_d, moving, int(moving.sum()), 1e-9, None
+            )
+            pos_s, budget_s = pos.copy(), budget.copy()
+            done_s = table["advance_legs"](pos_s, target, budget_s, idx, 1e-9, None)
+            np.testing.assert_array_equal(np.sort(done_d), np.sort(done_s))
+            np.testing.assert_array_equal(pos_d, pos_s)
+            np.testing.assert_array_equal(budget_d, budget_s)
+
+    def test_empty_index_set(self, table):
+        pos = np.zeros((3, 2))
+        target = np.ones((3, 2))
+        budget = np.ones(3)
+        done = table["advance_legs"](
+            pos, target, budget, np.empty(0, dtype=np.intp), 1e-9, None
+        )
+        assert done is not None and done.size == 0
+        np.testing.assert_array_equal(pos, np.zeros((3, 2)))
+
+
+@pytest.mark.parametrize("table", [t for _, t in TABLES], ids=TABLE_IDS)
+class TestStructureKernelParity:
+    def test_grid_splice_matches_numpy_splice(self, table, rng):
+        for _ in range(20):
+            n = int(rng.integers(1, 40))
+            order = rng.permutation(n).astype(np.intp)
+            # Bucket ids may repeat (several points per bucket) and the new
+            # ids may collide with surviving ones — exactly the hard case.
+            sorted_ids = np.sort(rng.integers(0, 3 * n, size=n)).astype(np.intp)
+            removed = rng.random(n) < 0.3
+            n_new = int(rng.integers(0, 8))
+            new_ids = np.sort(rng.integers(0, 3 * n, size=n_new)).astype(np.intp)
+            new_pts = rng.integers(0, n, size=n_new).astype(np.intp)
+            got = table["grid_splice"](order, sorted_ids, removed, new_ids, new_pts)
+            assert got is not None
+            out_order, out_ids = got
+            keep = ~removed
+            kept_order = order[keep]
+            kept_ids = sorted_ids[keep]
+            insert_at = np.searchsorted(kept_ids, new_ids, side="left")
+            np.testing.assert_array_equal(
+                out_order, np.insert(kept_order, insert_at, new_pts)
+            )
+            np.testing.assert_array_equal(
+                out_ids, np.insert(kept_ids, insert_at, new_ids)
+            )
+
+    def test_occupancy_delta(self, table, rng):
+        counts = rng.integers(0, 5, size=20).astype(np.int64)
+        old = rng.integers(0, 20, size=12)
+        new = rng.integers(0, 20, size=12)
+        expect = counts.copy()
+        np.subtract.at(expect, old, 1)
+        np.add.at(expect, new, 1)
+        assert table["occupancy_delta"](counts, old, new) is True
+        np.testing.assert_array_equal(counts, expect)
+
+    def test_union_fixpoint_min_labels(self, table, rng):
+        for _ in range(15):
+            n = int(rng.integers(1, 50))
+            parent = np.arange(n, dtype=np.intp)
+            e = int(rng.integers(0, 3 * n + 1))
+            u = rng.integers(0, n, size=e)
+            v = rng.integers(0, n, size=e)
+            assert table["union_fixpoint"](parent, u, v) is True
+            # Oracle: connected components, labelled by their minimum member.
+            label = np.arange(n)
+            changed = True
+            while changed:
+                changed = False
+                for a, b in zip(u, v):
+                    lo = min(label[a], label[b])
+                    if label[a] != lo or label[b] != lo:
+                        label[label == label[a]] = lo
+                        label[label == label[b]] = lo
+                        changed = True
+            np.testing.assert_array_equal(parent, label)
+            # Canonical form: every entry points straight at its root.
+            np.testing.assert_array_equal(parent[parent], parent)
+
+    def test_zone_counts_matches_cell_classification(self, table, rng):
+        for _ in range(20):
+            batch = int(rng.integers(1, 4))
+            n = int(rng.integers(1, 40))
+            m = int(rng.integers(1, 7))
+            side = float(rng.uniform(1.0, 9.0))
+            ell = side / m
+            pos = rng.uniform(0, side, size=(batch, n, 2))
+            informed = rng.random((batch, n)) < 0.5
+            cz_mask = rng.random((m, m)) < 0.5
+            got = table["zone_counts"](pos, informed, ell, m, cz_mask)
+            assert got is not None
+            cz_total, cz_informed = got
+            ij = (pos.reshape(-1, 2) / ell).astype(np.intp)
+            np.clip(ij, 0, m - 1, out=ij)
+            in_cz = cz_mask[ij[:, 0], ij[:, 1]].reshape(batch, n)
+            np.testing.assert_array_equal(cz_total, np.count_nonzero(in_cz, axis=1))
+            np.testing.assert_array_equal(
+                cz_informed, np.count_nonzero(in_cz & informed, axis=1)
+            )
+            assert cz_total.dtype == np.intp and cz_informed.dtype == np.intp
+
+
+# ----------------------------------------------------------------------
+# Compiled tier end-to-end: invisible in results, visible in extras
+# ----------------------------------------------------------------------
+def fingerprints(config, trials=3):
+    return [
+        (
+            r.flooding_time,
+            r.completed,
+            r.n_steps,
+            r.source,
+            tuple(np.asarray(r.informed_history).tolist()),
+            r.cz_completion_time,
+            r.suburb_completion_time,
+        )
+        for r in run_trials(config, trials)
+    ]
+
+
+class TestEndToEndParity:
+    @needs_provider
+    @pytest.mark.parametrize(
+        "mobility,mobility_options",
+        [("mrwp", {}), ("rwp", {}), ("random-walk", {}), ("mrwp-pause", {"pause_time": 2.0})],
+    )
+    @pytest.mark.parametrize("engine", ["scalar", "batch"])
+    def test_tier_is_invisible_in_results(self, mobility, mobility_options, engine):
+        base = standard_config(
+            70, seed=31, mobility=mobility,
+            mobility_options=dict(mobility_options), engine=engine,
+        )
+        reference = fingerprints(base.with_options(kernels="numpy"))
+        compiled = fingerprints(base.with_options(kernels="compiled"))
+        assert compiled == reference
+
+    @needs_provider
+    @pytest.mark.parametrize("neighbor_options", [{}, {"incremental": False}, {"prune": False}])
+    def test_tier_is_invisible_across_neighbor_strategies(self, neighbor_options):
+        base = standard_config(
+            70, seed=7, engine="batch", neighbor_options=dict(neighbor_options)
+        )
+        assert fingerprints(base.with_options(kernels="compiled")) == fingerprints(
+            base.with_options(kernels="numpy")
+        )
+
+    def test_extras_record_resolved_tier(self):
+        numpy_run = run_trials(standard_config(50, seed=5, kernels="numpy"), 1)
+        assert numpy_run[0].extras["kernel_tier"] == "numpy"
+        auto_run = run_trials(standard_config(50, seed=5, engine="batch"), 1)
+        assert auto_run[0].extras["kernel_tier"] == kernel_tier_label("auto")
+
+    @needs_provider
+    def test_warm_then_no_new_compiles(self):
+        warm_kernels()
+        before = compile_events()
+        config = standard_config(60, seed=13, engine="batch", kernels="compiled")
+        run_trials(config, 2)
+        assert compile_events() == before
